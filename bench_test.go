@@ -1,0 +1,294 @@
+// Package commguard_test hosts the repository-level benchmark harness:
+// one benchmark per table/figure of the paper's evaluation (§7), each
+// regenerating its figure's data on the reduced "quick" sweep so that
+// `go test -bench=. -benchmem` reproduces every result end to end.
+// `cmd/experiments` runs the full-size sweeps.
+package commguard_test
+
+import (
+	"math"
+	"testing"
+
+	"commguard/internal/apps"
+	"commguard/internal/commguard"
+	"commguard/internal/experiments"
+	"commguard/internal/fault"
+	"commguard/internal/queue"
+	"commguard/internal/sim"
+)
+
+func benchOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Seeds = 1
+	o.MTBEs = []float64{64e3, 1024e3}
+	o.FrameScales = []int{1, 4}
+	return o
+}
+
+// BenchmarkFigure3ProtectionConfigs regenerates the motivating jpeg
+// comparison: error-free vs software-queue vs reliable-queue vs CommGuard
+// at MTBE 1M. Reports CommGuard's PSNR advantage over the unguarded
+// reliable queue as a custom metric.
+func BenchmarkFigure3ProtectionConfigs(b *testing.B) {
+	o := benchOptions()
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure3(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cg, rq float64
+		for _, r := range rows {
+			switch r.Protection {
+			case sim.CommGuard:
+				cg = r.MeanPSNR
+			case sim.ReliableQueue:
+				rq = r.MeanPSNR
+			}
+		}
+		adv = cg - rq
+	}
+	b.ReportMetric(adv, "dB-advantage")
+}
+
+// BenchmarkFigure7ExampleRun regenerates the annotated jpeg example run at
+// MTBE 512k (pad/discard counting).
+func BenchmarkFigure7ExampleRun(b *testing.B) {
+	o := benchOptions()
+	var res *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.PSNR, "dB")
+	b.ReportMetric(float64(res.Pads+res.Discards), "pad+discard-items")
+}
+
+// BenchmarkFigure8DataLoss regenerates the lost-data-ratio sweep across
+// all six benchmarks.
+func BenchmarkFigure8DataLoss(b *testing.B) {
+	o := benchOptions()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, s := range series {
+			for _, p := range s.Points {
+				if p.LossRatio.Mean > worst {
+					worst = p.LossRatio.Mean
+				}
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-loss-ratio")
+}
+
+// BenchmarkFigure9VisualQuality regenerates the jpeg PSNR-vs-MTBE example
+// points.
+func BenchmarkFigure9VisualQuality(b *testing.B) {
+	o := benchOptions()
+	var span float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		span = pts[len(pts)-1].PSNR - pts[0].PSNR
+	}
+	b.ReportMetric(span, "dB-recovery-span")
+}
+
+// BenchmarkFigure10MediaQuality regenerates jpeg/mp3 quality vs MTBE and
+// frame size.
+func BenchmarkFigure10MediaQuality(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11StreamQuality regenerates the non-media benchmarks'
+// SNR curves.
+func BenchmarkFigure11StreamQuality(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12MemoryOverhead regenerates the header memory-event
+// shares and reports the geometric mean.
+func BenchmarkFigure12MemoryOverhead(b *testing.B) {
+	o := benchOptions()
+	var gmeanLoads float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure12(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gmeanLoads = rows[len(rows)-1].LoadRatio
+	}
+	b.ReportMetric(100*gmeanLoads, "gmean-header-load-%")
+}
+
+// BenchmarkFigure13RuntimeOverhead regenerates the wall-clock overhead of
+// CommGuard over plain reliable queues.
+func BenchmarkFigure13RuntimeOverhead(b *testing.B) {
+	o := benchOptions()
+	o.FrameScales = []int{1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure13(o, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure14Suboperations regenerates the CommGuard suboperation
+// accounting (Tables 2-3 categories) and reports the worst benchmark's
+// total share.
+func BenchmarkFigure14Suboperations(b *testing.B) {
+	o := benchOptions()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.Total > worst {
+				worst = r.Total
+			}
+		}
+	}
+	b.ReportMetric(100*worst, "worst-subop-%")
+}
+
+// BenchmarkTable1AlignmentManager measures the per-pop cost of the AM FSM
+// (Table 1) on an aligned stream — the steady-state overhead every
+// guarded pop pays.
+func BenchmarkTable1AlignmentManager(b *testing.B) {
+	qcfg := queue.Config{WorkingSets: 8, WorkingSetUnits: 1024, ProtectPointers: true, Timeout: 0}
+	q := queue.MustNew(0, qcfg)
+	am := commguard.NewAlignmentManager(q, 0)
+	am.NewFrameComputation(0)
+	go func() {
+		for {
+			q.Push(queue.DataUnit(1))
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		am.Pop()
+	}
+}
+
+// BenchmarkTables23GuardedTransit measures the end-to-end per-item cost of
+// a guarded edge (QM push + AM pop + header amortization), the hardware
+// suboperation path of Tables 2-3.
+func BenchmarkTables23GuardedTransit(b *testing.B) {
+	builder, _ := apps.ByName("complex-fir")
+	inst, err := builder.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	itemsMoved := res.Run.QueueTotals().ItemLoads
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := builder.New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(itemsMoved), "items/run")
+}
+
+// BenchmarkAblationHeaderIDs quantifies the design choice DESIGN.md calls
+// out: CommGuard's ID-carrying headers vs a count-only checker (which, on
+// the consumer side, is equivalent to the unchecked reliable queue because
+// producer miscounts are invisible without in-band markers). Reports the
+// quality gap on mp3 at MTBE 256k.
+func BenchmarkAblationHeaderIDs(b *testing.B) {
+	builder, _ := apps.ByName("mp3")
+	run := func(p sim.Protection, seed int64) float64 {
+		res, err := sim.RunBenchmark(builder, sim.Config{Protection: p, MTBE: 256e3, Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := res.Quality
+		if math.IsInf(q, 1) {
+			q = 60
+		}
+		if math.IsNaN(q) || q < -20 {
+			q = -20
+		}
+		return q
+	}
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		const seeds = 2
+		var with, without float64
+		for s := int64(0); s < seeds; s++ {
+			with += run(sim.CommGuard, 50+s)
+			without += run(sim.ReliableQueue, 50+s)
+		}
+		gap = (with - without) / seeds
+	}
+	b.ReportMetric(gap, "dB-gap")
+}
+
+// BenchmarkAblationFrameScale quantifies the frame-size knob (§5.4): the
+// header count reduction from x1 to x8 frames on mp3.
+func BenchmarkAblationFrameScale(b *testing.B) {
+	builder, _ := apps.ByName("mp3")
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		headers := func(scale int) float64 {
+			res, err := sim.RunBenchmark(builder, sim.Config{Protection: sim.CommGuard, FrameScale: scale})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return float64(res.Guard.HI.HeadersInserted)
+		}
+		reduction = headers(1) / headers(8)
+	}
+	b.ReportMetric(reduction, "header-reduction-x")
+}
+
+// BenchmarkAblationClassSensitivity isolates each §3 error class and
+// reports CommGuard's advantage on the control-flow classes (the
+// conversion the paper's title promises).
+func BenchmarkAblationClassSensitivity(b *testing.B) {
+	o := benchOptions()
+	o.Seeds = 2
+	var tripAdvantage float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ClassSensitivity(o, "mp3", 30_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Class == fault.ControlTrip {
+				tripAdvantage = r.GuardedDB - r.PlainDB
+			}
+		}
+	}
+	b.ReportMetric(tripAdvantage, "dB-advantage-on-trips")
+}

@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's evaluation figures (§7).
+//
+// Example:
+//
+//	experiments -fig all -quick        # fast reduced sweep
+//	experiments -fig 10               # full Figure 10 sweep (slow)
+//	experiments -fig 8 -seeds 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commguard/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 3|7|8|9|10|11|12|13|14|sensitivity|all")
+		quickF = flag.Bool("quick", false, "reduced sweep (smaller workloads, fewer seeds)")
+		seeds  = flag.Int("seeds", 0, "override seeds per point (paper: 5)")
+		csvDir = flag.String("csv", "", "with -fig all: also write per-figure CSVs to this directory")
+		mdPath = flag.String("md", "", "with -fig all: also write a Markdown report to this path")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *quickF {
+		opts = experiments.QuickOptions()
+	}
+	if *seeds > 0 {
+		opts.Seeds = *seeds
+	}
+	opts.Out = os.Stdout
+
+	if err := run(*fig, opts, *csvDir, *mdPath); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, opts experiments.Options, csvDir, mdPath string) error {
+	if fig == "all" {
+		all, err := experiments.RunAll(opts)
+		if err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if err := experiments.WriteCSV(csvDir, all); err != nil {
+				return err
+			}
+			fmt.Printf("\nCSV data written to %s\n", csvDir)
+		}
+		if mdPath != "" {
+			f, err := os.Create(mdPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiments.WriteMarkdown(f, all); err != nil {
+				return err
+			}
+			fmt.Printf("Markdown report written to %s\n", mdPath)
+		}
+		return nil
+	}
+
+	var err error
+	switch fig {
+	case "3":
+		_, err = experiments.Figure3(opts)
+	case "7":
+		_, err = experiments.Figure7(opts)
+	case "8":
+		_, err = experiments.Figure8(opts)
+	case "9":
+		_, err = experiments.Figure9(opts)
+	case "10":
+		_, err = experiments.Figure10(opts)
+	case "11":
+		_, err = experiments.Figure11(opts)
+	case "12":
+		_, err = experiments.Figure12(opts)
+	case "13":
+		_, err = experiments.Figure13(opts, 3)
+	case "14":
+		_, err = experiments.Figure14(opts)
+	case "sensitivity":
+		_, err = experiments.ClassSensitivity(opts, "mp3", 128e3)
+	default:
+		err = fmt.Errorf("unknown figure %q", fig)
+	}
+	return err
+}

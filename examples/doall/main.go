@@ -1,0 +1,60 @@
+// doall: the paper's §9 observation that CommGuard subsumes ERSA's
+// programming model — do-all parallelism over unreliable workers — as an
+// ordinary StreamIt split-join, with *cooperating* unreliable cores
+// instead of one fully-reliable supervisor.
+//
+// A pool of identical workers computes cube roots of independent tasks.
+// We sweep the error rate and report how many results stay within 1% of
+// the true value, with and without CommGuard.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"commguard/internal/apps"
+	"commguard/internal/sim"
+)
+
+func main() {
+	cfg := apps.DoAllConfig{Workers: 4, Tasks: 4096, IterationsPerTask: 12}
+	build := func() (*apps.Instance, error) { return apps.NewDoAll(cfg) }
+
+	correct := func(out []float64) int {
+		n := 0
+		for i, got := range out {
+			x := 1 + 999*math.Abs(math.Sin(0.37*float64(i)))
+			want := math.Cbrt(x)
+			if math.Abs(got-want) <= 0.01*want {
+				n++
+			}
+		}
+		return n
+	}
+
+	fmt.Printf("do-all pool: %d workers, %d independent tasks\n\n", cfg.Workers, cfg.Tasks)
+	fmt.Printf("%-10s %22s %22s\n", "MTBE", "correct (CommGuard)", "correct (unguarded)")
+	for _, mtbe := range []float64{16e3, 64e3, 256e3} {
+		results := map[sim.Protection]int{}
+		for _, p := range []sim.Protection{sim.CommGuard, sim.ReliableQueue} {
+			inst, err := build()
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Run(inst, sim.Config{Protection: p, MTBE: mtbe, Seed: 17}, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[p] = correct(res.Output)
+		}
+		fmt.Printf("%-10s %17d/%d %17d/%d\n",
+			fmt.Sprintf("%.0fk", mtbe/1000),
+			results[sim.CommGuard], cfg.Tasks,
+			results[sim.ReliableQueue], cfg.Tasks)
+	}
+	fmt.Println("\nEach worker is idempotent and stateless (the do-all contract), so a")
+	fmt.Println("misaligned result stream is pure waste without CommGuard: the round-robin")
+	fmt.Println("collector merges answers under the wrong task indices from the first")
+	fmt.Println("miscount on. CommGuard realigns the pool at every frame boundary.")
+}

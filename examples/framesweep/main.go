@@ -1,0 +1,48 @@
+// framesweep: the frame-size ablation (paper §5.4, Figs. 10–13) on mp3.
+// Larger frames mean fewer headers and less serialization, but each
+// misalignment then corrupts more data before the next realignment point.
+// This example sweeps frame scales x1..x8 at a fixed error rate and
+// reports both sides of the trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"commguard/internal/apps"
+	"commguard/internal/sim"
+)
+
+func main() {
+	builder, _ := apps.ByName("mp3")
+	const mtbe = 256e3
+	const seeds = 3
+
+	fmt.Printf("mp3 under CommGuard at MTBE %.0fk, frame scales x1..x8 (%d seeds)\n\n", mtbe/1000, seeds)
+	fmt.Printf("%-8s %12s %12s %14s %12s\n", "scale", "SNR (dB)", "headers", "realignments", "loss items")
+	for _, scale := range []int{1, 2, 4, 8} {
+		var snr float64
+		var headers, realigns, loss uint64
+		for s := int64(0); s < seeds; s++ {
+			inst, err := builder.New()
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Run(inst, sim.Config{
+				Protection: sim.CommGuard, MTBE: mtbe, Seed: 100 + s, FrameScale: scale,
+			}, inst.Reference)
+			if err != nil {
+				log.Fatal(err)
+			}
+			snr += res.Quality
+			headers += res.Guard.HI.HeadersInserted
+			realigns += res.Guard.AM.Realignments
+			loss += res.Guard.AM.DataLossItems()
+		}
+		fmt.Printf("x%-7d %12.2f %12d %14d %12d\n",
+			scale, snr/seeds, headers/seeds, realigns/seeds, loss/seeds)
+	}
+	fmt.Println("\nHeaders fall linearly with frame size; quality is flat-to-worse because a")
+	fmt.Println("single realignment now pads or discards a larger frame (the paper keeps the")
+	fmt.Println("StreamIt-default frame size for exactly this reason, §7.2.2).")
+}

@@ -1,0 +1,52 @@
+// jpegdemo: decode a JPEG-compressed test image on 10 error-prone cores
+// and report PSNR under each protection configuration — the paper's
+// motivating example (Fig. 3) as a runnable program. It also writes the
+// decoded images as PGM/PPM files so the degradation is visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"commguard/internal/apps"
+	"commguard/internal/media"
+	"commguard/internal/sim"
+)
+
+func main() {
+	outDir := "jpegdemo-out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	builder, _ := apps.ByName("jpeg")
+	const mtbe = 1e6 // the paper's Fig. 3 error rate: 1M instructions/core
+
+	fmt.Printf("jpeg decode on error-prone cores (MTBE %.0fk instructions/core)\n\n", mtbe/1000)
+	fmt.Printf("%-18s %10s  %s\n", "configuration", "PSNR (dB)", "output")
+
+	for _, p := range []sim.Protection{sim.ErrorFree, sim.SoftwareQueue, sim.ReliableQueue, sim.CommGuard} {
+		inst, err := builder.New()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sim.Config{Protection: p, MTBE: mtbe, Seed: 7}
+		res, err := sim.Run(inst, cfg, inst.Reference)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(outDir, fmt.Sprintf("%s.ppm", p))
+		if err := media.WritePPMFile(path, media.PixelsToImage(res.Output, 640, 192)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %10.1f  %s\n", p, res.Quality, path)
+		if p == sim.CommGuard && res.Guard != nil {
+			fmt.Printf("%-18s %10s  %d realignments, %d padded, %d discarded items\n",
+				"", "", res.Guard.AM.Realignments, res.Guard.AM.PaddedItems, res.Guard.AM.DiscardedItems)
+		}
+	}
+	fmt.Println("\nOpen the .ppm files to compare: the unguarded error-prone runs shred the")
+	fmt.Println("image, while CommGuard confines every error to the frames it occurred in.")
+}

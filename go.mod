@@ -1,0 +1,3 @@
+module commguard
+
+go 1.22

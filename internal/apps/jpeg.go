@@ -1,0 +1,167 @@
+package apps
+
+import (
+	"fmt"
+
+	"commguard/internal/codec/jpegcodec"
+	"commguard/internal/stream"
+)
+
+// JPEGConfig sizes the jpeg benchmark workload.
+type JPEGConfig struct {
+	// W, H are the image dimensions; W must make whole MCU rows (the sink
+	// consumes one 8-pixel-high row per firing, Fig. 2) and H whole rows.
+	W, H int
+	// Quality is the encoder quality (1..100).
+	Quality int
+}
+
+// DefaultJPEGConfig uses a 640-pixel-wide image so the sink's pop rate is
+// the paper's 15360 items per firing (80 MCUs x 192 items, Fig. 2), and
+// enough 8-pixel rows (frames) that a single realigned frame costs a few
+// percent of the image, as in the paper's photo.
+func DefaultJPEGConfig() JPEGConfig {
+	return JPEGConfig{W: 640, H: 192, Quality: 75}
+}
+
+// NewJPEG builds the jpeg decode benchmark: the 10-node streaming graph of
+// Fig. 1. The compressed bitstream is entropy-decoded into the source tape
+// (coefficients); the graph performs dequantization, IDCT, color
+// conversion, data-parallel per-channel processing (the R/G/B split-join)
+// and row assembly.
+//
+// Graph (10 nodes): F0 coeff source -> F1 dequant -> F2 IDCT+color ->
+// split(R,G,B) -> F3R/F3G/F3B channel conditioners -> join -> F6 row
+// assembler -> F7 sink.
+func NewJPEG(cfg JPEGConfig) (*Instance, error) {
+	if cfg.W%8 != 0 || cfg.H%8 != 0 || cfg.W <= 0 || cfg.H <= 0 {
+		return nil, fmt.Errorf("apps: jpeg dimensions %dx%d not multiples of 8", cfg.W, cfg.H)
+	}
+	img := jpegcodec.TestImage(cfg.W, cfg.H)
+	data, err := jpegcodec.Encode(img, cfg.Quality)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := jpegcodec.DecodeCoeffs(data)
+	if err != nil {
+		return nil, err
+	}
+	tape := make([]uint32, len(cs.Coeffs))
+	for i, c := range cs.Coeffs {
+		tape[i] = uint32(c)
+	}
+	lumaQ, chromaQ := jpegcodec.QuantTables(cs.Quality)
+
+	g := stream.NewGraph()
+	src := g.Add(stream.NewSource("F0-coeffs", jpegcodec.CoeffsPerMCU, tape))
+
+	dequant := stream.NewFuncFilter("F1-dequant", 192, 192, 1200, func(ctx *stream.Ctx) {
+		var zz [64]int32
+		var out [64]float64
+		for ci := 0; ci < 3; ci++ {
+			for i := 0; i < 64; i++ {
+				zz[i] = int32(ctx.Pop(0))
+			}
+			quant := &lumaQ
+			if ci > 0 {
+				quant = &chromaQ
+			}
+			jpegcodec.DequantizeBlock(zz[:], quant, &out)
+			for i := 0; i < 64; i++ {
+				ctx.PushF32(0, float32(out[i]))
+			}
+		}
+	})
+
+	idctColor := stream.NewFuncFilter("F2-idct-color", 192, 192, 6500, func(ctx *stream.Ctx) {
+		var comps [3][64]float64
+		for ci := 0; ci < 3; ci++ {
+			for i := 0; i < 64; i++ {
+				comps[ci][i] = sanitize(float64(ctx.PopF32(0)))
+			}
+			jpegcodec.ReconstructBlock(&comps[ci])
+		}
+		var rgb [192]uint8
+		jpegcodec.MCUToRGB(&comps[0], &comps[1], &comps[2], &rgb)
+		for i := 0; i < 192; i++ {
+			ctx.Push(0, uint32(rgb[i]))
+		}
+	})
+
+	channelFilter := func(name string) stream.Filter {
+		return stream.NewFuncFilter(name, 1, 1, 12, func(ctx *stream.Ctx) {
+			v := ctx.Pop(0)
+			if v > 255 { // condition the channel value back into pixel range
+				v = 255
+			}
+			ctx.Push(0, v)
+		})
+	}
+
+	rowAssemble := stream.NewFuncFilter("F6-row", 192, 192, 600, func(ctx *stream.Ctx) {
+		for i := 0; i < 192; i++ {
+			ctx.Push(0, ctx.Pop(0))
+		}
+	})
+
+	mcusPerRow := cfg.W / 8
+	sink := stream.NewSink("F7-out", jpegcodec.CoeffsPerMCU*mcusPerRow)
+
+	n1 := g.Add(dequant)
+	n2 := g.Add(idctColor)
+	split := g.Add(stream.NewRoundRobinSplitter("F3-split", 1, 1, 1))
+	join := g.Add(stream.NewRoundRobinJoiner("F4-join", 1, 1, 1))
+	n6 := g.Add(rowAssemble)
+	n7 := g.Add(sink)
+	if err := g.ChainNodes(src, n1, n2, split); err != nil {
+		return nil, err
+	}
+	if err := g.SplitJoin(split, join,
+		[]stream.Filter{channelFilter("F3R")},
+		[]stream.Filter{channelFilter("F3G")},
+		[]stream.Filter{channelFilter("F3B")},
+	); err != nil {
+		return nil, err
+	}
+	if err := g.ChainNodes(join, n6, n7); err != nil {
+		return nil, err
+	}
+
+	ref := make([]float64, len(img.Pix))
+	for i, p := range img.Pix {
+		ref[i] = float64(p)
+	}
+
+	return &Instance{
+		Name:   "jpeg",
+		Metric: "PSNR",
+		Graph:  g,
+		Output: func() []float64 {
+			out := jpegcodec.NewImage(cfg.W, cfg.H)
+			collected := sink.Collected()
+			var rgb [192]uint8
+			mcus := cs.MCUCount()
+			for m := 0; m < mcus; m++ {
+				base := m * 192
+				for i := 0; i < 192; i++ {
+					var v uint32
+					if base+i < len(collected) {
+						v = collected[base+i]
+					}
+					if v > 255 {
+						v = 255
+					}
+					rgb[i] = uint8(v)
+				}
+				jpegcodec.PlaceMCU(out, m, &rgb)
+			}
+			pix := make([]float64, len(out.Pix))
+			for i, p := range out.Pix {
+				pix[i] = float64(p)
+			}
+			return pix
+		},
+		Reference: ref,
+		Quality:   psnrQuality,
+	}, nil
+}

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"fmt"
+
+	"commguard/internal/codec/mp3codec"
+	"commguard/internal/stream"
+)
+
+// MP3Config sizes the mp3 benchmark workload.
+type MP3Config struct {
+	// Frames is the number of coded audio frames (256 PCM samples each).
+	Frames int
+}
+
+// DefaultMP3Config gives roughly half a minute of frame computations at
+// experiment scale.
+func DefaultMP3Config() MP3Config { return MP3Config{Frames: 64} }
+
+// NewMP3 builds the mp3 decode benchmark as a 6-node pipeline mirroring
+// the Layer-III decode stages: F0 coded-frame source -> F1 scale-factor
+// dequantizer -> F2 IMDCT -> F3 overlap-add -> F4 PCM conditioning ->
+// F5 sink. The quality reference is the original PCM, so the score folds
+// together algorithmic and error-induced lossiness exactly like the paper
+// (§6, "compare the result quality (both algorithmic and error-prone
+// lossiness) with the baseline").
+func NewMP3(cfg MP3Config) (*Instance, error) {
+	if cfg.Frames <= 0 {
+		return nil, fmt.Errorf("apps: mp3 needs at least one frame, got %d", cfg.Frames)
+	}
+	pcm := mp3codec.TestSignal(cfg.Frames * mp3codec.FrameSamples)
+	data, err := mp3codec.Encode(pcm)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := mp3codec.DecodeCoeffs(data)
+	if err != nil {
+		return nil, err
+	}
+	tape := make([]uint32, len(cs.Items))
+	for i, v := range cs.Items {
+		tape[i] = uint32(v)
+	}
+
+	g := stream.NewGraph()
+	src := g.Add(stream.NewSource("F0-frames", mp3codec.ItemsPerFrame, tape))
+
+	dequant := stream.NewFuncFilter("F1-dequant", mp3codec.ItemsPerFrame, mp3codec.N, 1500, func(ctx *stream.Ctx) {
+		items := make([]int32, mp3codec.ItemsPerFrame)
+		for i := range items {
+			items[i] = int32(ctx.Pop(0))
+		}
+		var coeffs [mp3codec.N]float64
+		mp3codec.DequantizeFrame(items, &coeffs)
+		for _, c := range coeffs {
+			ctx.PushF32(0, float32(c))
+		}
+	})
+
+	imdct := stream.NewFuncFilter("F2-imdct", mp3codec.N, 2*mp3codec.N, 20000, func(ctx *stream.Ctx) {
+		var coeffs [mp3codec.N]float64
+		for i := range coeffs {
+			coeffs[i] = sanitize(float64(ctx.PopF32(0)))
+		}
+		var widened [2 * mp3codec.N]float64
+		mp3codec.IMDCT(&coeffs, &widened)
+		for _, v := range widened {
+			ctx.PushF32(0, float32(v))
+		}
+	})
+
+	var tail [mp3codec.N]float64
+	ola := stream.NewFuncFilter("F3-overlap", 2*mp3codec.N, mp3codec.N, 2500, func(ctx *stream.Ctx) {
+		var cur [2 * mp3codec.N]float64
+		for i := range cur {
+			cur[i] = sanitize(float64(ctx.PopF32(0)))
+		}
+		var out [mp3codec.N]float64
+		mp3codec.OverlapAdd(&tail, &cur, &out)
+		for _, v := range out {
+			ctx.PushF32(0, float32(v))
+		}
+	})
+
+	condition := stream.NewFuncFilter("F4-pcm", mp3codec.N, mp3codec.N, 800, func(ctx *stream.Ctx) {
+		for i := 0; i < mp3codec.N; i++ {
+			v := sanitize(float64(ctx.PopF32(0)))
+			if v > 2 {
+				v = 2
+			}
+			if v < -2 {
+				v = -2
+			}
+			ctx.PushF32(0, float32(v))
+		}
+	})
+
+	sink := stream.NewSink("F5-pcm-out", mp3codec.N)
+	n1 := g.Add(dequant)
+	n2 := g.Add(imdct)
+	n3 := g.Add(ola)
+	n4 := g.Add(condition)
+	n5 := g.Add(sink)
+	if err := g.ChainNodes(src, n1, n2, n3, n4, n5); err != nil {
+		return nil, err
+	}
+
+	ref := append([]float64(nil), pcm...)
+	return &Instance{
+		Name:      "mp3",
+		Metric:    "SNR",
+		Graph:     g,
+		Output:    func() []float64 { return f32TapeToF64(sink.Collected()) },
+		Reference: ref,
+		Quality:   snrQuality,
+	}, nil
+}

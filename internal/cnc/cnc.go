@@ -1,0 +1,206 @@
+// Package cnc demonstrates the paper's §8 claim that CommGuard's principle
+// — linking coarse-grained control flow to communicated data through
+// identifiers, and realigning by padding/discarding — "applies more broadly
+// to other programming models", using a minimal Concurrent-Collections
+// style substrate: steps are prescribed by tags, and item collections
+// associate tags with data ("Concurrent Collections expresses control-flow
+// by tagging produced items of a thread and steps threads with a matching
+// tag").
+//
+// In an error-prone execution a corrupted tag orphans an item (nobody will
+// ever get it) and starves the step that was waiting for the original tag:
+// without protection the step blocks forever — a catastrophic control
+// error. The TagGuard plays the Alignment Manager's role: a guarded Get
+// that times out pads the step with an arbitrary value (converting the
+// catastrophic error into a data error), and stale orphans are discarded
+// once the computation's tag frontier has passed them (the realignment
+// analogue). The collection thereby stays self-stabilizing: bounded state,
+// guaranteed progress.
+package cnc
+
+import (
+	"sync"
+	"time"
+)
+
+// Tag identifies one step instance and the items it produces/consumes.
+type Tag uint32
+
+// Stats counts guard interventions.
+type Stats struct {
+	Puts             uint64
+	Gets             uint64
+	PaddedGets       uint64
+	DiscardedOrphans uint64
+}
+
+// ItemCollection is a tag-indexed single-assignment data store with an
+// optional CommGuard-style guard.
+type ItemCollection struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items map[Tag]uint32
+
+	// guard configuration
+	guarded bool
+	timeout time.Duration
+	pad     uint32
+	// frontier is the highest tag Get has completed; items tagged below
+	// the frontier, or implausibly far above it (beyond the window), are
+	// orphans and are discarded when the frontier advances (lazy
+	// realignment, keeping state bounded).
+	frontier Tag
+	window   Tag
+	started  bool
+
+	closed bool
+	stats  Stats
+}
+
+// NewItemCollection creates an unguarded collection: Get blocks until the
+// exact tag is Put (a missing tag blocks forever — the unprotected
+// baseline).
+func NewItemCollection() *ItemCollection {
+	c := &ItemCollection{items: map[Tag]uint32{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// NewGuardedItemCollection creates a collection protected by a TagGuard:
+// Get pads after the timeout, and orphaned items behind the consumption
+// frontier are discarded.
+func NewGuardedItemCollection(timeout time.Duration, pad uint32) *ItemCollection {
+	c := NewItemCollection()
+	c.guarded = true
+	c.timeout = timeout
+	c.pad = pad
+	c.window = 1024
+	return c
+}
+
+// Put associates value with tag. Single assignment: the first Put wins
+// (re-puts of a corrupted duplicate tag are data errors, not panics).
+func (c *ItemCollection) Put(tag Tag, value uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Puts++
+	if _, exists := c.items[tag]; !exists {
+		c.items[tag] = value
+	}
+	c.cond.Broadcast()
+}
+
+// Get retrieves and removes the item with the given tag, blocking until it
+// is Put. For a guarded collection, Get gives up after the timeout and
+// returns the pad value (ok=false); it also advances the consumption
+// frontier and discards any orphaned items strictly behind it.
+func (c *ItemCollection) Get(tag Tag) (uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Gets++
+
+	var deadline time.Time
+	if c.guarded && c.timeout > 0 {
+		deadline = time.Now().Add(c.timeout)
+	}
+	for {
+		if v, ok := c.items[tag]; ok {
+			delete(c.items, tag)
+			c.advanceFrontierLocked(tag)
+			return v, true
+		}
+		if c.closed {
+			break
+		}
+		if c.guarded {
+			if c.timeout <= 0 || !time.Now().Before(deadline) {
+				break
+			}
+			t := time.AfterFunc(c.timeout, c.cond.Broadcast)
+			c.cond.Wait()
+			t.Stop()
+			continue
+		}
+		c.cond.Wait()
+	}
+	if !c.guarded {
+		return 0, false
+	}
+	c.stats.PaddedGets++
+	c.advanceFrontierLocked(tag)
+	return c.pad, false
+}
+
+// advanceFrontierLocked records that consumption has reached tag and
+// discards items stranded behind the frontier (their consumers have moved
+// on; keeping them would leak state forever — the paper's requirement that
+// error effects be ephemeral).
+func (c *ItemCollection) advanceFrontierLocked(tag Tag) {
+	if !c.guarded {
+		return
+	}
+	if !c.started || tag > c.frontier {
+		c.frontier = tag
+		c.started = true
+	}
+	for t := range c.items {
+		if t < c.frontier || (c.window > 0 && t > c.frontier+c.window) {
+			delete(c.items, t)
+			c.stats.DiscardedOrphans++
+		}
+	}
+}
+
+// Close unblocks all pending Gets (end of computation).
+func (c *ItemCollection) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Len reports the number of stored items (orphans included).
+func (c *ItemCollection) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats returns a snapshot of the collection's counters.
+func (c *ItemCollection) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Step is one CnC step: invoked once per prescribed tag, reading inputs
+// from one collection and writing its result to another.
+type Step func(tag Tag, input uint32) uint32
+
+// RunPipeline executes a two-stage tagged pipeline: the producer step runs
+// for tags 0..n-1 putting into the collection (with corruptTag optionally
+// corrupting the tag a value is filed under — the §8 error model), and the
+// consumer step gets tag-matched inputs. It returns the consumer outputs
+// in tag order.
+func RunPipeline(n int, items *ItemCollection, produce Step, corruptTag func(Tag) Tag, consume Step) []uint32 {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for t := Tag(0); t < Tag(n); t++ {
+			v := produce(t, uint32(t))
+			filedUnder := t
+			if corruptTag != nil {
+				filedUnder = corruptTag(t)
+			}
+			items.Put(filedUnder, v)
+		}
+	}()
+	out := make([]uint32, n)
+	for t := Tag(0); t < Tag(n); t++ {
+		v, _ := items.Get(t)
+		out[t] = consume(t, v)
+	}
+	<-done
+	items.Close()
+	return out
+}

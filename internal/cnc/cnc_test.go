@@ -1,0 +1,144 @@
+package cnc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func double(_ Tag, v uint32) uint32 { return v * 2 }
+func ident(_ Tag, v uint32) uint32  { return v }
+
+func TestCleanPipelineExact(t *testing.T) {
+	items := NewGuardedItemCollection(200*time.Millisecond, 0xFFFF)
+	out := RunPipeline(64, items, double, nil, ident)
+	for i, v := range out {
+		if v != uint32(i)*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+	st := items.Stats()
+	if st.PaddedGets != 0 || st.DiscardedOrphans != 0 {
+		t.Errorf("clean run padded/discarded: %+v", st)
+	}
+	if items.Len() != 0 {
+		t.Errorf("%d items leaked", items.Len())
+	}
+}
+
+// A corrupted tag orphans its item. The guarded collection pads the
+// starving consumer (data error) and discards the orphan (bounded state);
+// all other tags are unaffected — the ephemeral-effects requirement.
+func TestGuardConvertsTagCorruptionToDataError(t *testing.T) {
+	items := NewGuardedItemCollection(30*time.Millisecond, 0xDEAD)
+	corrupt := func(t Tag) Tag {
+		if t == 20 {
+			return t ^ 0x8000 // bit-flipped tag: far future, never consumed
+		}
+		return t
+	}
+	out := RunPipeline(64, items, double, corrupt, ident)
+	bad := 0
+	for i, v := range out {
+		want := uint32(i) * 2
+		if i == 20 {
+			want = 0xDEAD
+		}
+		if v != want {
+			bad++
+			t.Errorf("out[%d] = %#x, want %#x", i, v, want)
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d tags affected; corruption of one tag must stay confined", bad)
+	}
+	st := items.Stats()
+	if st.PaddedGets != 1 {
+		t.Errorf("PaddedGets = %d, want 1", st.PaddedGets)
+	}
+}
+
+// The unguarded baseline: a Get for a never-put tag blocks until Close —
+// the catastrophic control error the guard removes. We bound the test with
+// a watchdog goroutine.
+func TestUnguardedGetBlocksForever(t *testing.T) {
+	items := NewItemCollection()
+	got := make(chan bool, 1)
+	go func() {
+		_, ok := items.Get(7)
+		got <- ok
+	}()
+	select {
+	case <-got:
+		t.Fatal("Get returned without a Put")
+	case <-time.After(50 * time.Millisecond):
+		// Expected: still blocked.
+	}
+	items.Close()
+	select {
+	case ok := <-got:
+		if ok {
+			t.Error("closed Get claimed success")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get did not unblock on Close")
+	}
+}
+
+func TestSingleAssignmentFirstPutWins(t *testing.T) {
+	items := NewGuardedItemCollection(50*time.Millisecond, 0)
+	items.Put(3, 111)
+	items.Put(3, 222) // duplicate (e.g. corrupted duplicate tag)
+	v, ok := items.Get(3)
+	if !ok || v != 111 {
+		t.Errorf("Get = %d,%v, want first put 111", v, ok)
+	}
+}
+
+// Orphans behind the consumption frontier (and implausibly far ahead of
+// it) are discarded, keeping state bounded — self-stabilization.
+func TestOrphanDiscardBoundsState(t *testing.T) {
+	items := NewGuardedItemCollection(5*time.Millisecond, 0)
+	items.Put(0, 1)
+	items.Get(0) // frontier = 0
+	items.Put(5, 2)
+	items.Get(5)          // frontier = 5
+	items.Put(2, 99)      // stale replay behind the frontier: orphan
+	items.Put(90000, 100) // bit-flipped far-future tag: orphan
+	items.Put(6, 3)
+	items.Get(6) // frontier advance collects both orphans
+	if items.Len() != 0 {
+		t.Errorf("%d orphans retained; guard must discard stale items", items.Len())
+	}
+	if got := items.Stats().DiscardedOrphans; got != 2 {
+		t.Errorf("DiscardedOrphans = %d, want 2", got)
+	}
+}
+
+// Under randomized past-tag corruption of a long run, state stays bounded
+// and every uncorrupted tag is unaffected.
+func TestRandomCorruptionStaysBounded(t *testing.T) {
+	items := NewGuardedItemCollection(5*time.Millisecond, 0)
+	rng := rand.New(rand.NewSource(1))
+	corrupt := func(t Tag) Tag {
+		if t > 8 && rng.Intn(4) == 0 {
+			return t - Tag(1+rng.Intn(3)) // files under a nearby tag
+		}
+		return t
+	}
+	RunPipeline(256, items, double, corrupt, ident)
+	if items.Len() > 8 {
+		t.Errorf("%d orphans retained; guard must discard stale items", items.Len())
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	items := NewGuardedItemCollection(10*time.Millisecond, 0)
+	items.Put(0, 5)
+	items.Get(0)
+	items.Get(1) // pads
+	st := items.Stats()
+	if st.Puts != 1 || st.Gets != 2 || st.PaddedGets != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,74 @@
+// Package bitio provides MSB-first bit-level readers and writers shared by
+// the codec substrates.
+package bitio
+
+import "io"
+
+// Writer packs MSB-first bits into a byte slice.
+type Writer struct {
+	out  []byte
+	acc  uint32
+	nacc uint
+}
+
+// WriteBits appends the low n bits of bits, most significant first.
+func (w *Writer) WriteBits(bits uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.acc = w.acc<<1 | (bits>>uint(i))&1
+		w.nacc++
+		if w.nacc == 8 {
+			w.out = append(w.out, byte(w.acc))
+			w.acc, w.nacc = 0, 0
+		}
+	}
+}
+
+// Flush pads the final partial byte with 1-bits (the JPEG convention) and
+// returns the accumulated bytes.
+func (w *Writer) Flush() []byte {
+	for w.nacc != 0 {
+		w.WriteBits(1, 1)
+	}
+	return w.out
+}
+
+// Bytes returns the bytes written so far (complete bytes only).
+func (w *Writer) Bytes() []byte { return w.out }
+
+// Reader consumes MSB-first bits from a byte slice.
+type Reader struct {
+	in   []byte
+	pos  int
+	acc  uint32
+	nacc uint
+}
+
+// NewReader wraps a byte slice.
+func NewReader(in []byte) *Reader { return &Reader{in: in} }
+
+// ReadBit returns the next bit, or io.ErrUnexpectedEOF past the end.
+func (r *Reader) ReadBit() (uint32, error) {
+	if r.nacc == 0 {
+		if r.pos >= len(r.in) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		r.acc = uint32(r.in[r.pos])
+		r.pos++
+		r.nacc = 8
+	}
+	r.nacc--
+	return (r.acc >> r.nacc) & 1, nil
+}
+
+// ReadBits returns the next n bits MSB-first.
+func (r *Reader) ReadBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}

@@ -1,0 +1,81 @@
+package bitio
+
+import (
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := &Writer{}
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 5)
+	r := NewReader(w.Flush())
+	if v, err := r.ReadBits(3); err != nil || v != 0b101 {
+		t.Fatalf("got %b, %v", v, err)
+	}
+	if v, err := r.ReadBits(8); err != nil || v != 0xFF {
+		t.Fatalf("got %x, %v", v, err)
+	}
+	if v, err := r.ReadBits(5); err != nil || v != 0 {
+		t.Fatalf("got %b, %v", v, err)
+	}
+}
+
+func TestFlushPadsWithOnes(t *testing.T) {
+	w := &Writer{}
+	w.WriteBits(0, 1)
+	out := w.Flush()
+	if len(out) != 1 || out[0] != 0x7F {
+		t.Errorf("flush output = %x, want 7f (0 then seven 1s)", out)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xAA})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != io.ErrUnexpectedEOF {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestBytesPartial(t *testing.T) {
+	w := &Writer{}
+	w.WriteBits(0xFFFF, 16)
+	w.WriteBits(1, 1)
+	if len(w.Bytes()) != 2 {
+		t.Errorf("Bytes() = %d bytes, want 2 (partial byte pending)", len(w.Bytes()))
+	}
+}
+
+// Property: any sequence of (value, width) fields round-trips.
+func TestQuickFieldRoundTrip(t *testing.T) {
+	f := func(vals []uint32, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		w := &Writer{}
+		var fields [][2]uint32
+		for i := 0; i < n; i++ {
+			width := uint32(widths[i]%32) + 1
+			v := vals[i] & (1<<width - 1)
+			w.WriteBits(v, int(width))
+			fields = append(fields, [2]uint32{v, width})
+		}
+		r := NewReader(w.Flush())
+		for _, f := range fields {
+			got, err := r.ReadBits(int(f[1]))
+			if err != nil || got != f[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

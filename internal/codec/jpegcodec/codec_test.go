@@ -1,0 +1,289 @@
+package jpegcodec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"commguard/internal/codec/bitio"
+	"commguard/internal/metrics"
+)
+
+func TestImageAccessors(t *testing.T) {
+	img := NewImage(16, 8)
+	img.Set(3, 2, 10, 20, 30)
+	r, g, b := img.At(3, 2)
+	if r != 10 || g != 20 || b != 30 {
+		t.Errorf("At = %d,%d,%d", r, g, b)
+	}
+	if err := img.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageValidate(t *testing.T) {
+	if err := (&Image{W: 0, H: 8}).Validate(); err == nil {
+		t.Error("empty image accepted")
+	}
+	if err := (&Image{W: 12, H: 8, Pix: make([]uint8, 3*12*8)}).Validate(); err == nil {
+		t.Error("non-multiple-of-8 width accepted")
+	}
+	if err := (&Image{W: 8, H: 8, Pix: make([]uint8, 5)}).Validate(); err == nil {
+		t.Error("short pixel buffer accepted")
+	}
+}
+
+func TestColorConversionRoundTrip(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		y, cb, cr := RGBToYCbCr(r, g, b)
+		r2, g2, b2 := YCbCrToRGB(y, cb, cr)
+		// The transform pair is near-inverse; rounding keeps error <= 1.
+		return absDiff(r, r2) <= 1 && absDiff(g, g2) <= 1 && absDiff(b, b2) <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func absDiff(a, b uint8) int {
+	d := int(a) - int(b)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func TestQuantTablesQualityOrdering(t *testing.T) {
+	l50, _ := QuantTables(50)
+	l90, _ := QuantTables(90)
+	l10, _ := QuantTables(10)
+	for i := range l50 {
+		if l90[i] > l50[i] {
+			t.Fatalf("quality 90 coarser than 50 at %d", i)
+		}
+		if l10[i] < l50[i] {
+			t.Fatalf("quality 10 finer than 50 at %d", i)
+		}
+	}
+	lq, cq := QuantTables(-5) // clamps to 1
+	if lq[0] < 1 || cq[0] < 1 {
+		t.Error("clamped tables invalid")
+	}
+}
+
+func TestZigZagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, v := range ZigZag {
+		if v < 0 || v > 63 || seen[v] {
+			t.Fatalf("ZigZag not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+	// Spot-check the standard order.
+	if ZigZag[0] != 0 || ZigZag[1] != 1 || ZigZag[2] != 8 || ZigZag[63] != 63 {
+		t.Error("ZigZag prefix/suffix wrong")
+	}
+}
+
+func TestHuffmanRoundTripAllSpecs(t *testing.T) {
+	for _, spec := range []huffSpec{dcLumaSpec, dcChromaSpec, acLumaSpec, acChromaSpec} {
+		enc := newHuffEncoder(spec)
+		dec := newHuffDecoder(spec)
+		bw := &bitio.Writer{}
+		for _, sym := range spec.values {
+			bw.WriteBits(enc.code[sym], int(enc.size[sym]))
+		}
+		br := bitio.NewReader(bw.Flush())
+		for _, want := range spec.values {
+			got, err := dec.decode(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("decoded %#x, want %#x", got, want)
+			}
+		}
+	}
+}
+
+func TestMagnitudeCodingRoundTrip(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, 2, -2, 127, -127, 255, -255, 1023, -1024, 2047} {
+		s := bitSize(v)
+		got := decodeMagnitude(encodeMagnitude(v, s), s)
+		if got != v {
+			t.Fatalf("magnitude round trip %d -> %d (size %d)", v, got, s)
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	img := TestImage(16, 16)
+	if _, err := Encode(img, 0); err == nil {
+		t.Error("quality 0 accepted")
+	}
+	if _, err := Encode(&Image{W: 3, H: 3, Pix: make([]uint8, 27)}, 75); err == nil {
+		t.Error("bad dimensions accepted")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCoeffs([]byte{1, 2, 3}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := DecodeCoeffs(make([]byte, 32)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+// The headline codec test: encode + decode achieves a sensible lossy PSNR
+// on the synthetic test image (the paper's error-free jpeg baseline is
+// 35.6 dB on its photo).
+func TestEncodeDecodeQuality(t *testing.T) {
+	img := TestImage(64, 64)
+	data, err := Encode(img, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= len(img.Pix) {
+		t.Errorf("no compression: %d bytes for %d pixels bytes", len(data), len(img.Pix))
+	}
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr := metrics.PSNR(img.Pix, dec.Pix)
+	if psnr < 28 {
+		t.Errorf("PSNR = %.2f dB, want >= 28 (quality 75)", psnr)
+	}
+	if psnr > 60 {
+		t.Errorf("PSNR = %.2f dB suspiciously lossless", psnr)
+	}
+}
+
+func TestHigherQualityGivesHigherPSNR(t *testing.T) {
+	img := TestImage(64, 64)
+	psnrAt := func(q int) float64 {
+		data, err := Encode(img, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.PSNR(img.Pix, dec.Pix)
+	}
+	if p90, p30 := psnrAt(90), psnrAt(30); p90 <= p30 {
+		t.Errorf("PSNR(q90)=%.2f <= PSNR(q30)=%.2f", p90, p30)
+	}
+}
+
+// The staged pipeline (DequantizeBlock/ReconstructBlock/MCUToRGB/PlaceMCU)
+// must agree bit-exactly with the monolithic decoder — this is what lets
+// the stream-graph decode be validated.
+func TestStagedDecodeMatchesReference(t *testing.T) {
+	img := TestImage(48, 32)
+	data, err := Encode(img, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := DecodeCoeffs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := DecodeFromCoeffs(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Pix {
+		if ref.Pix[i] != staged.Pix[i] {
+			t.Fatalf("staged decode differs at byte %d", i)
+		}
+	}
+}
+
+func TestDecodeFromCoeffsValidatesLength(t *testing.T) {
+	cs := &CoeffStream{W: 16, H: 16, Quality: 75, Coeffs: make([]int32, 10)}
+	if _, err := DecodeFromCoeffs(cs); err == nil {
+		t.Error("short coefficient tape accepted")
+	}
+}
+
+// Property: random small images survive encode/decode with bounded error
+// (quantization error only, never structural corruption).
+func TestQuickEncodeDecodeBoundedError(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		img := NewImage(16, 16)
+		// Smooth random image (DCT-friendly): random low-frequency field.
+		for y := 0; y < 16; y++ {
+			for x := 0; x < 16; x++ {
+				v := uint8(128 + 60*rng.NormFloat64()/4)
+				img.Set(x, y, v, v/2+40, 255-v)
+			}
+		}
+		data, err := Encode(img, 85)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return metrics.PSNR(img.Pix, dec.Pix) > 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTestImageDeterministic(t *testing.T) {
+	a := TestImage(32, 32)
+	b := TestImage(32, 32)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("TestImage not deterministic")
+		}
+	}
+	// It should have real structure (not constant).
+	min, max := a.Pix[0], a.Pix[0]
+	for _, p := range a.Pix {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if max-min < 100 {
+		t.Errorf("test image has little dynamic range: %d..%d", min, max)
+	}
+}
+
+func BenchmarkEncode64(b *testing.B) {
+	img := TestImage(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(img, 75); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode64(b *testing.B) {
+	img := TestImage(64, 64)
+	data, err := Encode(img, 75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

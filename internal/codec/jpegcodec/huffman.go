@@ -1,0 +1,115 @@
+package jpegcodec
+
+import (
+	"fmt"
+
+	"commguard/internal/codec/bitio"
+)
+
+// huffEncoder maps symbol -> (code, length) built canonically from a
+// huffSpec, exactly as JPEG's DHT segment defines codes.
+type huffEncoder struct {
+	code [256]uint32
+	size [256]uint8
+}
+
+func newHuffEncoder(spec huffSpec) *huffEncoder {
+	e := &huffEncoder{}
+	code := uint32(0)
+	k := 0
+	for length := 1; length <= 16; length++ {
+		for i := 0; i < spec.counts[length-1]; i++ {
+			sym := spec.values[k]
+			e.code[sym] = code
+			e.size[sym] = uint8(length)
+			code++
+			k++
+		}
+		code <<= 1
+	}
+	return e
+}
+
+// huffDecoder decodes canonical codes bit by bit using the standard
+// min/max-code per length method.
+type huffDecoder struct {
+	minCode [17]int32
+	maxCode [17]int32 // -1 when no codes of this length
+	valPtr  [17]int
+	values  []uint8
+}
+
+func newHuffDecoder(spec huffSpec) *huffDecoder {
+	d := &huffDecoder{values: spec.values}
+	code := int32(0)
+	k := 0
+	for length := 1; length <= 16; length++ {
+		if spec.counts[length-1] == 0 {
+			d.maxCode[length] = -1
+			code <<= 1
+			continue
+		}
+		d.valPtr[length] = k
+		d.minCode[length] = code
+		code += int32(spec.counts[length-1])
+		k += spec.counts[length-1]
+		d.maxCode[length] = code - 1
+		code <<= 1
+	}
+	return d
+}
+
+// decode reads one symbol from the bit reader.
+func (d *huffDecoder) decode(br *bitio.Reader) (uint8, error) {
+	code := int32(0)
+	for length := 1; length <= 16; length++ {
+		bit, err := br.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | int32(bit)
+		if d.maxCode[length] >= 0 && code <= d.maxCode[length] {
+			idx := d.valPtr[length] + int(code-d.minCode[length])
+			if idx >= len(d.values) {
+				return 0, fmt.Errorf("jpegcodec: huffman index out of range")
+			}
+			return d.values[idx], nil
+		}
+	}
+	return 0, fmt.Errorf("jpegcodec: invalid huffman code")
+}
+
+// bitSize returns the JPEG size category of v (number of bits needed for
+// the magnitude encoding).
+func bitSize(v int32) int {
+	if v < 0 {
+		v = -v
+	}
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// encodeMagnitude returns the JPEG magnitude bits of v in size bits
+// (one's-complement style for negatives).
+func encodeMagnitude(v int32, size int) uint32 {
+	if v >= 0 {
+		return uint32(v)
+	}
+	return uint32(v + (1 << uint(size)) - 1)
+}
+
+// decodeMagnitude inverts encodeMagnitude.
+func decodeMagnitude(bits uint32, size int) int32 {
+	if size == 0 {
+		return 0
+	}
+	v := int32(bits)
+	if v < int32(1)<<(uint(size)-1) {
+		return v - (int32(1) << uint(size)) + 1
+	}
+	return v
+}

@@ -1,0 +1,111 @@
+// Package jpegcodec implements a from-scratch baseline-DCT JPEG-style
+// codec: YCbCr color conversion, 8x8 block DCT, quantization with the
+// standard JPEG (Annex K) tables, zig-zag ordering, and DC/AC Huffman
+// entropy coding with the standard table definitions. It provides both a
+// monolithic reference decode path and the per-stage functions the jpeg
+// benchmark's stream filters call, so the streaming decode can be verified
+// bit-exact against the reference.
+//
+// The container is a minimal private framing (dimensions + quality), not
+// the full JFIF marker syntax; the paper's experiments only need the codec
+// path, not interchange-format compatibility.
+package jpegcodec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Image is an 8-bit RGB image with interleaved pixels.
+type Image struct {
+	W, H int
+	// Pix holds R,G,B bytes per pixel, row-major; len = 3*W*H.
+	Pix []uint8
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint8, 3*w*h)}
+}
+
+// At returns the RGB triple at (x, y).
+func (m *Image) At(x, y int) (r, g, b uint8) {
+	i := 3 * (y*m.W + x)
+	return m.Pix[i], m.Pix[i+1], m.Pix[i+2]
+}
+
+// Set writes the RGB triple at (x, y).
+func (m *Image) Set(x, y int, r, g, b uint8) {
+	i := 3 * (y*m.W + x)
+	m.Pix[i], m.Pix[i+1], m.Pix[i+2] = r, g, b
+}
+
+// Validate checks dimensions against block constraints.
+func (m *Image) Validate() error {
+	if m.W <= 0 || m.H <= 0 {
+		return fmt.Errorf("jpegcodec: empty image %dx%d", m.W, m.H)
+	}
+	if m.W%8 != 0 || m.H%8 != 0 {
+		return fmt.Errorf("jpegcodec: dimensions %dx%d not multiples of 8", m.W, m.H)
+	}
+	if len(m.Pix) != 3*m.W*m.H {
+		return fmt.Errorf("jpegcodec: pixel buffer length %d, want %d", len(m.Pix), 3*m.W*m.H)
+	}
+	return nil
+}
+
+// TestImage synthesizes a deterministic photographic-style test image:
+// smooth radial gradients, a few soft "petals" and mild texture, so that
+// DCT compression is meaningful and PSNR degradations are visible. It
+// stands in for the paper's flower photograph (DESIGN.md substitution 5).
+func TestImage(w, h int) *Image {
+	img := NewImage(w, h)
+	cx, cy := float64(w)/2, float64(h)/2
+	maxR := math.Hypot(cx, cy)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx, dy := float64(x)-cx, float64(y)-cy
+			r := math.Hypot(dx, dy) / maxR
+			theta := math.Atan2(dy, dx)
+			// Petal pattern plus radial falloff plus gentle texture.
+			petal := 0.5 + 0.5*math.Cos(6*theta+8*r)
+			base := 1 - r
+			tex := 0.06 * math.Sin(0.9*float64(x)) * math.Cos(1.1*float64(y))
+			rv := clamp255(255 * (0.25 + 0.75*petal*base + tex))
+			gv := clamp255(255 * (0.20 + 0.55*base*(1-0.5*petal) + tex))
+			bv := clamp255(255 * (0.30 + 0.45*(1-base) + 0.25*petal*base))
+			img.Set(x, y, rv, gv, bv)
+		}
+	}
+	return img
+}
+
+func clamp255(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// RGBToYCbCr converts one pixel to the JPEG YCbCr space (level-shifted to
+// signed values centered at 0 for Y-128-style DCT input).
+func RGBToYCbCr(r, g, b uint8) (y, cb, cr float64) {
+	rf, gf, bf := float64(r), float64(g), float64(b)
+	y = 0.299*rf + 0.587*gf + 0.114*bf
+	cb = -0.168736*rf - 0.331264*gf + 0.5*bf + 128
+	cr = 0.5*rf - 0.418688*gf - 0.081312*bf + 128
+	return
+}
+
+// YCbCrToRGB converts one pixel back to RGB with clamping.
+func YCbCrToRGB(y, cb, cr float64) (r, g, b uint8) {
+	cb -= 128
+	cr -= 128
+	r = clamp255(y + 1.402*cr)
+	g = clamp255(y - 0.344136*cb - 0.714136*cr)
+	b = clamp255(y + 1.772*cb)
+	return
+}

@@ -1,0 +1,207 @@
+package mp3codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"commguard/internal/codec/bitio"
+)
+
+// Bands is the number of scale-factor bands; each spans BandWidth MDCT
+// coefficients.
+const Bands = 32
+
+// BandWidth is the number of coefficients per band.
+const BandWidth = N / Bands
+
+// bitAlloc is the static per-band quantizer resolution in bits, front-
+// loaded toward low frequencies like Layer II's allocation tables.
+var bitAlloc = [Bands]int{
+	3, 3, 3, 3, 2, 2, 2, 2,
+	2, 2, 2, 2, 2, 2, 2, 2,
+	2, 2, 2, 2, 1, 1, 1, 1,
+	1, 1, 1, 1, 1, 1, 1, 1,
+}
+
+// ItemsPerFrame is the tape footprint of one frame on the coefficient
+// stream: Bands scale-factor items followed by N quantized coefficients.
+const ItemsPerFrame = Bands + N
+
+// scalefactor quantization: index 0..63 maps exponentially over ~6 dB steps
+// like the Layer I/II scale-factor table.
+const sfLevels = 64
+
+func sfValue(idx int) float64 {
+	return math.Pow(2, float64(idx)/4.0-8)
+}
+
+func sfIndex(maxAbs float64) int {
+	if maxAbs <= 0 {
+		return 0
+	}
+	idx := int(math.Ceil((math.Log2(maxAbs) + 8) * 4))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= sfLevels {
+		idx = sfLevels - 1
+	}
+	return idx
+}
+
+// CoeffStream is the entropy-decoded form of a compressed signal: per
+// frame, Bands scale-factor indices then N quantized coefficient codes.
+// It is the tape the mp3 benchmark's source filter feeds into the graph.
+type CoeffStream struct {
+	Frames int
+	// Items holds Frames*ItemsPerFrame values: scale-factor indices are
+	// stored as-is; coefficient codes are the unsigned quantizer levels.
+	Items []int32
+}
+
+const magic = 0x434D5033 // "CMP3"
+
+// Encode compresses a mono PCM signal in [-1, 1]. The length must be a
+// multiple of FrameSamples.
+func Encode(pcm []float64) ([]byte, error) {
+	if err := validateLength(len(pcm)); err != nil {
+		return nil, err
+	}
+	frames := len(pcm) / FrameSamples
+	bw := &bitio.Writer{}
+	var buf [2 * N]float64
+	var coeffs [N]float64
+	for f := 0; f < frames; f++ {
+		// Frame f windows samples [f*hop, f*hop+2N), zero-padded past the
+		// end; with overlap-add this aligns decoded frame f with original
+		// samples [f*hop, (f+1)*hop).
+		for n := 0; n < 2*N; n++ {
+			idx := f*FrameSamples + n
+			if idx < len(pcm) {
+				buf[n] = pcm[idx]
+			} else {
+				buf[n] = 0
+			}
+		}
+		MDCT(&buf, &coeffs)
+		for b := 0; b < Bands; b++ {
+			maxAbs := 0.0
+			for i := b * BandWidth; i < (b+1)*BandWidth; i++ {
+				if a := math.Abs(coeffs[i]); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			sf := sfIndex(maxAbs)
+			bw.WriteBits(uint32(sf), 6)
+			bits := bitAlloc[b]
+			levels := int32(1) << uint(bits)
+			scale := sfValue(sf)
+			for i := b * BandWidth; i < (b+1)*BandWidth; i++ {
+				// Midrise quantizer over [-scale, scale].
+				q := int32(math.Floor((coeffs[i]/scale + 1) / 2 * float64(levels)))
+				if q < 0 {
+					q = 0
+				}
+				if q >= levels {
+					q = levels - 1
+				}
+				bw.WriteBits(uint32(q), bits)
+			}
+		}
+	}
+	header := make([]byte, 8)
+	binary.BigEndian.PutUint32(header[0:], magic)
+	binary.BigEndian.PutUint32(header[4:], uint32(frames))
+	return append(header, bw.Flush()...), nil
+}
+
+// DecodeCoeffs parses a compressed stream to its quantized tape.
+func DecodeCoeffs(data []byte) (*CoeffStream, error) {
+	if len(data) < 8 || binary.BigEndian.Uint32(data) != magic {
+		return nil, fmt.Errorf("mp3codec: bad header")
+	}
+	frames := int(binary.BigEndian.Uint32(data[4:]))
+	if frames <= 0 || frames > 1<<20 {
+		return nil, fmt.Errorf("mp3codec: bad frame count %d", frames)
+	}
+	cs := &CoeffStream{Frames: frames, Items: make([]int32, 0, frames*ItemsPerFrame)}
+	br := bitio.NewReader(data[8:])
+	for f := 0; f < frames; f++ {
+		var sfs [Bands]int32
+		var codes [N]int32
+		for b := 0; b < Bands; b++ {
+			sf, err := br.ReadBits(6)
+			if err != nil {
+				return nil, fmt.Errorf("mp3codec: frame %d band %d: %w", f, b, err)
+			}
+			sfs[b] = int32(sf)
+			for i := b * BandWidth; i < (b+1)*BandWidth; i++ {
+				q, err := br.ReadBits(bitAlloc[b])
+				if err != nil {
+					return nil, fmt.Errorf("mp3codec: frame %d coeff %d: %w", f, i, err)
+				}
+				codes[i] = int32(q)
+			}
+		}
+		cs.Items = append(cs.Items, sfs[:]...)
+		cs.Items = append(cs.Items, codes[:]...)
+	}
+	return cs, nil
+}
+
+// DequantizeFrame expands one frame's tape items (Bands scale factors then
+// N codes) into MDCT coefficients (the decoder's F1 stage).
+func DequantizeFrame(items []int32, out *[N]float64) {
+	for b := 0; b < Bands; b++ {
+		sf := int(items[b])
+		if sf < 0 {
+			sf = 0
+		}
+		if sf >= sfLevels {
+			sf = sfLevels - 1
+		}
+		scale := sfValue(sf)
+		bits := bitAlloc[b]
+		levels := int32(1) << uint(bits)
+		for i := b * BandWidth; i < (b+1)*BandWidth; i++ {
+			q := items[Bands+i]
+			if q < 0 {
+				q = 0
+			}
+			if q >= levels {
+				q = levels - 1
+			}
+			// Midrise reconstruction level.
+			out[i] = ((float64(q)+0.5)/float64(levels)*2 - 1) * scale
+		}
+	}
+}
+
+// Decode is the monolithic reference decoder.
+func Decode(data []byte) ([]float64, error) {
+	cs, err := DecodeCoeffs(data)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFromCoeffs(cs)
+}
+
+// DecodeFromCoeffs reconstructs PCM from a quantized tape.
+func DecodeFromCoeffs(cs *CoeffStream) ([]float64, error) {
+	if len(cs.Items) != cs.Frames*ItemsPerFrame {
+		return nil, fmt.Errorf("mp3codec: tape length %d, want %d", len(cs.Items), cs.Frames*ItemsPerFrame)
+	}
+	pcm := make([]float64, 0, cs.Frames*FrameSamples)
+	var coeffs [N]float64
+	var widened [2 * N]float64
+	var tail [N]float64
+	var out [N]float64
+	for f := 0; f < cs.Frames; f++ {
+		DequantizeFrame(cs.Items[f*ItemsPerFrame:(f+1)*ItemsPerFrame], &coeffs)
+		IMDCT(&coeffs, &widened)
+		OverlapAdd(&tail, &widened, &out)
+		pcm = append(pcm, out[:]...)
+	}
+	return pcm, nil
+}

@@ -1,0 +1,280 @@
+package commguard
+
+import (
+	"commguard/internal/ecc"
+	"commguard/internal/queue"
+)
+
+// AMState enumerates the Alignment Manager's FSM states (Table 1).
+type AMState int
+
+const (
+	// RcvCmp: receiving and computing on items for the active frame
+	// computation (the normal consuming state).
+	RcvCmp AMState = iota
+	// ExpHdr: the thread's control flow just rolled over to a new frame
+	// computation and the next unit from the queue must be its header.
+	ExpHdr
+	// DiscFr: discarding whole frames from the queue (AE_FE) until the
+	// header matching the active frame computation appears.
+	DiscFr
+	// Disc: discarding items and frames from the queue (AE_IE, AE_FE)
+	// after stale data appeared mid-frame, until a future header appears.
+	Disc
+	// Pdg: padding the thread for lost data (AE_IL, AE_FL): pops are
+	// answered with the pad value until the thread's frame computation
+	// catches up with the pending header.
+	Pdg
+)
+
+func (s AMState) String() string {
+	switch s {
+	case RcvCmp:
+		return "RcvCmp"
+	case ExpHdr:
+		return "ExpHdr"
+	case DiscFr:
+		return "DiscFr"
+	case Disc:
+		return "Disc"
+	case Pdg:
+		return "Pdg"
+	}
+	return "invalid"
+}
+
+// AMStats records the Alignment Manager's realignment activity. Padded and
+// discarded item counts are the data-loss numerators of Fig. 8; realignment
+// events annotate outputs like Fig. 7.
+type AMStats struct {
+	// ItemsDelivered counts regular items handed to the thread.
+	ItemsDelivered uint64
+	// PaddedItems counts pops answered with the pad value.
+	PaddedItems uint64
+	// DiscardedItems counts units (items and stale headers) consumed from
+	// the queue and dropped during realignment.
+	DiscardedItems uint64
+	// TimeoutPads counts pops padded because the Queue Manager timed out.
+	TimeoutPads uint64
+	// Realignments counts transitions back into RcvCmp after an erroneous
+	// state (each corresponds to one pad/discard arrow of Fig. 7).
+	Realignments uint64
+	// UncorrectableHeaders counts headers whose ECC flagged double errors;
+	// they are dropped like items.
+	UncorrectableHeaders uint64
+	// StateEntries[s] counts entries into state s.
+	StateEntries [5]uint64
+}
+
+// DataLossItems returns the realignment data loss in items (padded +
+// discarded), the quantity Fig. 8 reports as a ratio to accepted data.
+func (s AMStats) DataLossItems() uint64 { return s.PaddedItems + s.DiscardedItems }
+
+// AlignmentManager is the consumer-side CommGuard module (§4.2). It
+// subscribes to the consumer core's frame-progress events and mediates
+// every pop the thread issues on its queue.
+type AlignmentManager struct {
+	q      *queue.Queue
+	pad    uint32
+	domain frameDomain
+
+	state      AMState
+	activeFC   uint32
+	started    bool
+	pendingHdr uint32 // header that Pdg waits for
+	eocSeen    bool   // producer signalled end of computation
+
+	// maxSpin bounds the internal pop-discard loop of a single thread pop
+	// (defensive; realignment normally completes within one frame).
+	maxSpin int
+
+	ops   OpCounters
+	stats AMStats
+}
+
+// NewAlignmentManager creates the AM for one incoming queue with the
+// application-wide frame definition (domain scale 1). pad is the value
+// substituted for lost data ("padding items fills data frames with
+// arbitrary values", §1; zero is the natural choice and what Table 2's
+// "FSM in Pdg responds to the request with a 0" prescribes).
+func NewAlignmentManager(q *queue.Queue, pad uint32) *AlignmentManager {
+	return NewAlignmentManagerScaled(q, pad, 1)
+}
+
+// NewAlignmentManagerScaled creates an AM whose edge belongs to a frame
+// domain covering scale frame computations per frame (§5.4); it must match
+// the producer side's scale.
+func NewAlignmentManagerScaled(q *queue.Queue, pad uint32, scale int) *AlignmentManager {
+	return &AlignmentManager{q: q, pad: pad, domain: newFrameDomain(scale), state: RcvCmp, maxSpin: 1 << 20}
+}
+
+// State exposes the current FSM state (for tests and diagnostics).
+func (am *AlignmentManager) State() AMState { return am.state }
+
+// ActiveFC returns the consumer-side frame counter the AM tracks.
+func (am *AlignmentManager) ActiveFC() uint32 { return am.activeFC }
+
+func (am *AlignmentManager) setState(s AMState) {
+	// Returning to normal delivery from an *erroneous* state is one
+	// realignment event (ExpHdr -> RcvCmp is the ordinary frame rollover).
+	if s == RcvCmp && (am.state == Disc || am.state == DiscFr || am.state == Pdg) {
+		am.stats.Realignments++
+	}
+	am.state = s
+	am.stats.StateEntries[s]++
+}
+
+// NewFrameComputation implements ppu.FrameListener: the consumer thread
+// started a new frame computation (Table 1 events "New frame computation
+// started" and "New frame computation matched header"). The edge's frame
+// domain — the AM's redundant active-fc (§5.4) — decides whether a new
+// domain frame starts here.
+func (am *AlignmentManager) NewFrameComputation(uint32) {
+	fc, startedFrame := am.domain.advance()
+	if !startedFrame {
+		return
+	}
+	am.ops.FSMCounter++
+	am.activeFC = fc
+	if !am.started {
+		am.started = true
+		am.setState(ExpHdr)
+		return
+	}
+	switch am.state {
+	case RcvCmp:
+		am.setState(ExpHdr)
+	case Pdg:
+		if !am.eocSeen && fc >= am.pendingHdr {
+			am.setState(RcvCmp)
+		}
+	default:
+		// Disc/DiscFr/ExpHdr: Table 1 defines no transition; the scan for
+		// the (now updated) active frame continues.
+	}
+}
+
+// EndOfComputation implements ppu.FrameListener on the consumer core; the
+// consumer's own completion needs no AM action.
+func (am *AlignmentManager) EndOfComputation() {}
+
+// Pop mediates one pop instruction of the consumer thread (Table 2): the
+// FSM is checked, the Queue Manager is invoked unless the FSM pads, and
+// discarding continues until the FSM settles ("while FSM not DONE").
+func (am *AlignmentManager) Pop() uint32 {
+	am.ops.FSMCounter++ // FSM-check for the pop event
+	for spin := 0; spin < am.maxSpin; spin++ {
+		if am.state == Pdg {
+			am.stats.PaddedItems++
+			return am.pad
+		}
+		u, ok := am.q.Pop()
+		if !ok {
+			// Queue Manager timeout or closed-and-drained queue: answer
+			// the pop with the pad value; the FSM state is unchanged so
+			// realignment resumes if data reappears.
+			am.stats.TimeoutPads++
+			am.stats.PaddedItems++
+			return am.pad
+		}
+		am.ops.HeaderBit++ // is-header check on every unit
+		if !u.IsHeader() {
+			if am.deliverItem() {
+				am.stats.ItemsDelivered++
+				return u.Payload()
+			}
+			am.stats.DiscardedItems++
+			continue
+		}
+		am.ops.ECC++ // check-ECC for header
+		id, res := u.HeaderID()
+		if res == ecc.Uncorrectable {
+			// A destroyed header is just a garbage unit: drop it.
+			am.stats.UncorrectableHeaders++
+			am.stats.DiscardedItems++
+			continue
+		}
+		am.ops.FSMCounter++ // FSM-check/update on the header event
+		am.onHeader(id)
+	}
+	// The spin bound only trips under pathological schedules; treat as
+	// padding so the thread keeps its guaranteed progress.
+	am.stats.PaddedItems++
+	return am.pad
+}
+
+// deliverItem decides what a regular item does in the current state:
+// deliver (true) or discard (false), per Table 1.
+func (am *AlignmentManager) deliverItem() bool {
+	switch am.state {
+	case RcvCmp:
+		return true
+	case ExpHdr:
+		// "Received item or past header -> DiscFr": the expected header is
+		// missing, so the queue is behind by at least part of a frame.
+		am.setState(DiscFr)
+		return false
+	default: // DiscFr, Disc
+		return false
+	}
+}
+
+// onHeader applies Table 1's header transitions. id has been ECC-checked.
+func (am *AlignmentManager) onHeader(id uint32) {
+	if id == queue.EOCHeaderID {
+		// Producer finished: everything the thread still pops is padding.
+		am.eocSeen = true
+		am.setState(Pdg)
+		return
+	}
+	switch am.state {
+	case RcvCmp:
+		if am.isFuture(id) {
+			// Items were lost; the queue is already at a future frame.
+			am.pendingHdr = id
+			am.setState(Pdg)
+		} else {
+			// A past (or duplicate-current) header mid-frame: stale data
+			// follows; discard items and frames until the stream passes
+			// the active frame.
+			am.setState(Disc)
+		}
+	case ExpHdr:
+		switch {
+		case id == am.activeFC:
+			am.setState(RcvCmp)
+		case am.isFuture(id):
+			am.pendingHdr = id
+			am.setState(Pdg)
+		default:
+			am.setState(DiscFr)
+		}
+	case DiscFr:
+		switch {
+		case id == am.activeFC:
+			am.setState(RcvCmp)
+		case am.isFuture(id):
+			am.pendingHdr = id
+			am.setState(Pdg)
+		default:
+			am.stats.DiscardedItems++ // stale header dropped with its frame
+		}
+	case Disc:
+		if am.isFuture(id) {
+			am.pendingHdr = id
+			am.setState(Pdg)
+		} else {
+			am.stats.DiscardedItems++
+		}
+	}
+}
+
+// isFuture reports whether header id is ahead of the active frame
+// computation.
+func (am *AlignmentManager) isFuture(id uint32) bool { return id > am.activeFC }
+
+// Ops returns the suboperation counters.
+func (am *AlignmentManager) Ops() OpCounters { return am.ops }
+
+// Stats returns the realignment counters.
+func (am *AlignmentManager) Stats() AMStats { return am.stats }

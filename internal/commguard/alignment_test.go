@@ -1,0 +1,425 @@
+package commguard
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"commguard/internal/ecc"
+	"commguard/internal/queue"
+)
+
+func amQueue(t *testing.T) *queue.Queue {
+	t.Helper()
+	return queue.MustNew(0, queue.Config{
+		WorkingSets: 4, WorkingSetUnits: 64,
+		ProtectPointers: true, Timeout: 20 * time.Millisecond,
+	})
+}
+
+// load pushes units and makes them visible to the consumer.
+func load(q *queue.Queue, units ...queue.Unit) {
+	for _, u := range units {
+		q.Push(u)
+	}
+	q.Flush()
+}
+
+func TestAMStateString(t *testing.T) {
+	names := map[AMState]string{RcvCmp: "RcvCmp", ExpHdr: "ExpHdr", DiscFr: "DiscFr", Disc: "Disc", Pdg: "Pdg"}
+	for s, n := range names {
+		if s.String() != n {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), n)
+		}
+	}
+	if AMState(99).String() != "invalid" {
+		t.Error("unknown state should stringify as invalid")
+	}
+}
+
+// Aligned stream: header 0, items, header 1, items... must be delivered
+// exactly, ending each frame in RcvCmp.
+func TestAlignedStreamDeliversAllItems(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 0)
+	load(q,
+		queue.HeaderUnit(0), queue.DataUnit(10), queue.DataUnit(11),
+		queue.HeaderUnit(1), queue.DataUnit(20), queue.DataUnit(21),
+	)
+	for frame := uint32(0); frame < 2; frame++ {
+		am.NewFrameComputation(frame)
+		if am.State() != ExpHdr {
+			t.Fatalf("frame %d: state after new-fc = %v, want ExpHdr", frame, am.State())
+		}
+		for i := uint32(0); i < 2; i++ {
+			want := (frame+1)*10 + i
+			if got := am.Pop(); got != want {
+				t.Fatalf("frame %d item %d: got %d, want %d", frame, i, got, want)
+			}
+			if am.State() != RcvCmp {
+				t.Fatalf("frame %d: state mid-frame = %v, want RcvCmp", frame, am.State())
+			}
+		}
+	}
+	st := am.Stats()
+	if st.ItemsDelivered != 4 || st.DataLossItems() != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// Table 1, RcvCmp row: "Received future header -> Pdg". The rest of the
+// current frame is padded; delivery resumes when the thread's frame
+// computation matches the pending header.
+func TestRcvCmpFutureHeaderPads(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 0xAB)
+	load(q,
+		queue.HeaderUnit(0), queue.DataUnit(1),
+		// Items of frame 0 lost; frame 2's header arrives early (frames
+		// 1's header and data also lost).
+		queue.HeaderUnit(2), queue.DataUnit(100), queue.DataUnit(101),
+	)
+	am.NewFrameComputation(0)
+	if got := am.Pop(); got != 1 {
+		t.Fatalf("first item = %d", got)
+	}
+	// Next pop hits header 2 (future) -> Pdg, pop answered with pad.
+	if got := am.Pop(); got != 0xAB {
+		t.Fatalf("expected pad, got %d", got)
+	}
+	if am.State() != Pdg {
+		t.Fatalf("state = %v, want Pdg", am.State())
+	}
+	am.NewFrameComputation(1)
+	if am.State() != Pdg {
+		t.Fatal("frame 1 must still pad (pending header is 2)")
+	}
+	if got := am.Pop(); got != 0xAB {
+		t.Fatalf("frame 1 pop = %d, want pad", got)
+	}
+	am.NewFrameComputation(2)
+	if am.State() != RcvCmp {
+		t.Fatalf("state = %v, want RcvCmp (frame matched header)", am.State())
+	}
+	if got := am.Pop(); got != 100 {
+		t.Fatalf("frame 2 first item = %d, want 100", got)
+	}
+	if am.Stats().Realignments == 0 {
+		t.Error("realignment not recorded")
+	}
+}
+
+// Table 1, RcvCmp row: "Received past header -> Disc", then Disc row:
+// "Received future header -> Pdg".
+func TestRcvCmpPastHeaderDiscards(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 0)
+	load(q,
+		queue.HeaderUnit(0), queue.DataUnit(1), queue.DataUnit(2),
+		queue.HeaderUnit(1), queue.DataUnit(10),
+		// Stale replay of frame 0 (e.g. repeated firing upstream):
+		queue.HeaderUnit(0), queue.DataUnit(90), queue.DataUnit(91),
+		// Then the stream jumps ahead to frame 2:
+		queue.HeaderUnit(2), queue.DataUnit(20),
+	)
+	am.NewFrameComputation(0)
+	am.Pop() // 1
+	am.Pop() // 2
+	am.NewFrameComputation(1)
+	if got := am.Pop(); got != 10 {
+		t.Fatalf("frame 1 item = %d", got)
+	}
+	// Next pop: header 0 = past -> Disc; scan discards 90, 91 until
+	// header 2 (future) -> Pdg; the pop is answered with pad.
+	if got := am.Pop(); got != 0 {
+		t.Fatalf("expected pad after stale header, got %d", got)
+	}
+	if am.State() != Pdg {
+		t.Fatalf("state = %v, want Pdg", am.State())
+	}
+	st := am.Stats()
+	if st.DiscardedItems < 2 {
+		t.Errorf("discarded = %d, want >= 2 (items 90, 91)", st.DiscardedItems)
+	}
+	am.NewFrameComputation(2)
+	if got := am.Pop(); got != 20 {
+		t.Fatalf("frame 2 item = %d, want 20", got)
+	}
+}
+
+// Table 1, ExpHdr row: "Received item or past header -> DiscFr", then
+// DiscFr row: "Received correct header -> RcvCmp".
+func TestExpHdrExtraItemsDiscardedUntilCorrectHeader(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 0)
+	load(q,
+		queue.HeaderUnit(0), queue.DataUnit(1),
+		queue.DataUnit(2), queue.DataUnit(3), // extra items overflowing frame 0 (AE_IE)
+		queue.HeaderUnit(1), queue.DataUnit(10),
+	)
+	am.NewFrameComputation(0)
+	if got := am.Pop(); got != 1 {
+		t.Fatalf("frame 0 item = %d", got)
+	}
+	am.NewFrameComputation(1)
+	// ExpHdr sees item 2 -> DiscFr; discards 2 and 3; header 1 correct ->
+	// RcvCmp; delivers 10.
+	if got := am.Pop(); got != 10 {
+		t.Fatalf("frame 1 item = %d, want 10", got)
+	}
+	st := am.Stats()
+	if st.DiscardedItems != 2 {
+		t.Errorf("discarded = %d, want 2", st.DiscardedItems)
+	}
+	if st.StateEntries[DiscFr] == 0 {
+		t.Error("DiscFr never entered")
+	}
+}
+
+// Table 1, ExpHdr row: "Received past header -> DiscFr"; stale headers are
+// dropped with their frames while scanning.
+func TestExpHdrPastHeaderDiscardsFrames(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 0)
+	load(q,
+		queue.HeaderUnit(0), queue.DataUnit(1),
+		queue.HeaderUnit(0), queue.DataUnit(90), // duplicated frame 0 (AE_FE)
+		queue.HeaderUnit(1), queue.DataUnit(10),
+	)
+	am.NewFrameComputation(0)
+	am.Pop() // 1
+	am.NewFrameComputation(1)
+	if got := am.Pop(); got != 10 {
+		t.Fatalf("frame 1 item = %d, want 10", got)
+	}
+	if am.Stats().DiscardedItems == 0 {
+		t.Error("stale frame not discarded")
+	}
+}
+
+// Table 1, ExpHdr row: "Received future header -> Pdg".
+func TestExpHdrFutureHeaderPads(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 7)
+	load(q,
+		queue.HeaderUnit(0), queue.DataUnit(1),
+		queue.HeaderUnit(3), queue.DataUnit(30), // frames 1 and 2 lost entirely (AE_FL)
+	)
+	am.NewFrameComputation(0)
+	am.Pop()
+	am.NewFrameComputation(1)
+	if got := am.Pop(); got != 7 {
+		t.Fatalf("expected pad, got %d", got)
+	}
+	if am.State() != Pdg {
+		t.Fatalf("state = %v", am.State())
+	}
+	am.NewFrameComputation(2)
+	if got := am.Pop(); got != 7 {
+		t.Fatalf("frame 2 must pad, got %d", got)
+	}
+	am.NewFrameComputation(3)
+	if got := am.Pop(); got != 30 {
+		t.Fatalf("frame 3 item = %d, want 30", got)
+	}
+}
+
+// An empty queue (producer stalled) pads via the QM timeout but leaves the
+// FSM state unchanged so delivery can resume.
+func TestTimeoutPadsWithoutStateChange(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 5)
+	load(q, queue.HeaderUnit(0), queue.DataUnit(1))
+	am.NewFrameComputation(0)
+	am.Pop()
+	if got := am.Pop(); got != 5 {
+		t.Fatalf("expected timeout pad, got %d", got)
+	}
+	if am.State() != RcvCmp {
+		t.Fatalf("state after timeout = %v, want RcvCmp", am.State())
+	}
+	if am.Stats().TimeoutPads != 1 {
+		t.Errorf("TimeoutPads = %d", am.Stats().TimeoutPads)
+	}
+	// Data arrives late: the next pop delivers it.
+	load(q, queue.DataUnit(2))
+	if got := am.Pop(); got != 2 {
+		t.Fatalf("late item = %d, want 2", got)
+	}
+}
+
+// The end-of-computation header sends the AM to Pdg permanently.
+func TestEOCHeaderPadsForever(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 9)
+	load(q,
+		queue.HeaderUnit(0), queue.DataUnit(1),
+		queue.HeaderUnit(queue.EOCHeaderID),
+	)
+	am.NewFrameComputation(0)
+	am.Pop()
+	if got := am.Pop(); got != 9 {
+		t.Fatalf("expected pad after EOC, got %d", got)
+	}
+	am.NewFrameComputation(1)
+	if am.State() != Pdg {
+		t.Fatal("new frame after EOC must stay Pdg")
+	}
+	if got := am.Pop(); got != 9 {
+		t.Fatalf("pop after EOC = %d, want pad", got)
+	}
+}
+
+// Headers with uncorrectable ECC damage are dropped like garbage items.
+func TestUncorrectableHeaderDropped(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 0)
+	h := queue.HeaderUnit(1)
+	// Flip two codeword bits -> uncorrectable.
+	h ^= 1<<3 | 1<<9
+	load(q, queue.HeaderUnit(0), queue.DataUnit(4), h, queue.DataUnit(5))
+	am.NewFrameComputation(0)
+	if got := am.Pop(); got != 4 {
+		t.Fatalf("item = %d", got)
+	}
+	// The broken header is skipped; 5 is delivered as frame-0 data.
+	if got := am.Pop(); got != 5 {
+		t.Fatalf("after broken header got %d, want 5", got)
+	}
+	st := am.Stats()
+	if st.UncorrectableHeaders != 1 {
+		t.Errorf("UncorrectableHeaders = %d", st.UncorrectableHeaders)
+	}
+}
+
+// A single-bit error on a header is corrected by ECC and the header still
+// aligns the stream.
+func TestCorrectableHeaderStillAligns(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 0)
+	h := queue.HeaderUnit(1) ^ (1 << 12)
+	if _, res := h.HeaderID(); res != ecc.Corrected {
+		t.Fatal("test setup: header flip not correctable")
+	}
+	load(q, queue.HeaderUnit(0), queue.DataUnit(4), h, queue.DataUnit(6))
+	am.NewFrameComputation(0)
+	am.Pop()
+	am.NewFrameComputation(1)
+	if got := am.Pop(); got != 6 {
+		t.Fatalf("frame 1 item = %d, want 6", got)
+	}
+}
+
+// Self-stabilization property (§9): whatever garbage precedes it, a clean
+// frame boundary restores exact delivery for the following frame.
+func TestSelfStabilizationAfterGarbageBurst(t *testing.T) {
+	cases := [][]queue.Unit{
+		// Extra items.
+		{queue.HeaderUnit(0), queue.DataUnit(1), queue.DataUnit(2), queue.DataUnit(3)},
+		// Lost items (frame 0 short).
+		{queue.HeaderUnit(0)},
+		// Duplicate frame 0 header mid-frame.
+		{queue.HeaderUnit(0), queue.DataUnit(1), queue.HeaderUnit(0), queue.DataUnit(2)},
+		// Nothing at all for frame 0 (pure timeout padding).
+		{},
+	}
+	for ci, garbage := range cases {
+		q := amQueue(t)
+		am := NewAlignmentManager(q, 0)
+		units := append(append([]queue.Unit{}, garbage...),
+			queue.HeaderUnit(1), queue.DataUnit(100), queue.DataUnit(101))
+		load(q, units...)
+		am.NewFrameComputation(0)
+		am.Pop()
+		am.Pop() // frame 0: two pops of whatever
+		am.NewFrameComputation(1)
+		if got := am.Pop(); got != 100 {
+			t.Errorf("case %d: frame 1 first item = %d, want 100", ci, got)
+			continue
+		}
+		if got := am.Pop(); got != 101 {
+			t.Errorf("case %d: frame 1 second item = %d, want 101", ci, got)
+		}
+	}
+}
+
+func TestOpCountersAccumulate(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 0)
+	load(q, queue.HeaderUnit(0), queue.DataUnit(1))
+	am.NewFrameComputation(0)
+	am.Pop()
+	ops := am.Ops()
+	if ops.FSMCounter == 0 || ops.HeaderBit == 0 || ops.ECC == 0 {
+		t.Errorf("ops = %+v, want all categories nonzero", ops)
+	}
+	var sum OpCounters
+	sum.Add(ops)
+	sum.Add(ops)
+	if sum.Total() != 2*ops.Total() {
+		t.Error("OpCounters.Add/Total mismatch")
+	}
+}
+
+// Property (self-stabilization, §9): for ANY random prefix of garbage
+// units — items, stale headers, future headers, even corrupted headers —
+// once the stream carries a clean future frame and the thread's control
+// flow reaches it, delivery is exact from that frame on.
+func TestQuickSelfStabilizationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := queue.MustNew(0, queue.Config{
+			WorkingSets: 4, WorkingSetUnits: 256,
+			ProtectPointers: true, Timeout: 20 * time.Millisecond,
+		})
+		am := NewAlignmentManager(q, 0xEE)
+
+		// Garbage prefix: up to 40 random units claiming to belong to
+		// frames 0..3.
+		nGarbage := rng.Intn(40)
+		for i := 0; i < nGarbage; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				q.Push(queue.DataUnit(rng.Uint32()))
+			case 1:
+				q.Push(queue.HeaderUnit(uint32(rng.Intn(4))))
+			default:
+				h := queue.HeaderUnit(uint32(rng.Intn(4)))
+				// Sometimes corrupt the header codeword (1-2 bit flips).
+				for k := 0; k <= rng.Intn(2); k++ {
+					h ^= 1 << uint(rng.Intn(39))
+				}
+				q.Push(h)
+			}
+		}
+		// Clean tail: frames 4 and 5, two items each.
+		q.Push(queue.HeaderUnit(4))
+		q.Push(queue.DataUnit(400))
+		q.Push(queue.DataUnit(401))
+		q.Push(queue.HeaderUnit(5))
+		q.Push(queue.DataUnit(500))
+		q.Push(queue.DataUnit(501))
+		q.Flush()
+
+		// The thread consumes frames 0..3 (garbage region, anything may
+		// come back), then frames 4 and 5 must be exact.
+		for fc := uint32(0); fc < 4; fc++ {
+			am.NewFrameComputation(fc)
+			am.Pop()
+			am.Pop()
+		}
+		am.NewFrameComputation(4)
+		if am.Pop() != 400 || am.Pop() != 401 {
+			return false
+		}
+		am.NewFrameComputation(5)
+		if am.Pop() != 500 || am.Pop() != 501 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

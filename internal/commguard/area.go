@@ -1,0 +1,75 @@
+package commguard
+
+import "commguard/internal/stream"
+
+// Hardware area estimation (§5.5). CommGuard's modules need reliable
+// on-core storage for:
+//
+//   - two counters and their limits (active-fc plus the saturating
+//     frame-scale counter), one word each;
+//   - per incoming queue: 3 bits of FSM state plus one word each for the
+//     pending header, the queue ID, the local buffer pointer and its
+//     speculative copy in the QIT (Table 1, Fig. 6, §5.3 option ii).
+//
+// The paper's worst case (4 queues per thread) comes to
+// 4×4B + 4×(3 bits + 4×4B) ≈ 82 bytes, "completely cached on core".
+
+// AreaBits is a per-core reliable-storage estimate, in bits.
+type AreaBits struct {
+	Node string
+	// Counters is the storage for active-fc, the saturating counter and
+	// their limits.
+	Counters int
+	// PerQueue is the storage for the node's incoming-queue QIT entries.
+	PerQueue int
+}
+
+// Total returns the node's reliable storage in bits.
+func (a AreaBits) Total() int { return a.Counters + a.PerQueue }
+
+// TotalBytes rounds the estimate up to bytes.
+func (a AreaBits) TotalBytes() int { return (a.Total() + 7) / 8 }
+
+const (
+	wordBits = 32
+	// fsmStateBits encodes the 5-state AM FSM (3 bits, Table 1).
+	fsmStateBits = 3
+	// countersWords is active-fc, frame-scale counter, and their limits.
+	countersWords = 4
+	// perQueueWords is header, queue ID, local buffer pointer and its
+	// speculative copy (Fig. 4's QIT entry with §5.3's option ii).
+	perQueueWords = 4
+)
+
+// EstimateNodeArea computes the reliable storage one node's CommGuard
+// modules need, from its actual incoming-queue count.
+func EstimateNodeArea(n *stream.Node) AreaBits {
+	return AreaBits{
+		Node:     n.Name(),
+		Counters: countersWords * wordBits,
+		PerQueue: len(n.In) * (fsmStateBits + perQueueWords*wordBits),
+	}
+}
+
+// EstimateQueuesArea reproduces the paper's closed-form estimate for a
+// core with the given number of incoming queues.
+func EstimateQueuesArea(queues int) AreaBits {
+	return AreaBits{
+		Counters: countersWords * wordBits,
+		PerQueue: queues * (fsmStateBits + perQueueWords*wordBits),
+	}
+}
+
+// AreaEstimate sums the per-node estimates for a whole graph and returns
+// them along with the worst single core (the number that must fit in one
+// core's reliable storage).
+func AreaEstimate(g *stream.Graph) (perNode []AreaBits, worstBytes int) {
+	for _, n := range g.Nodes {
+		a := EstimateNodeArea(n)
+		perNode = append(perNode, a)
+		if b := a.TotalBytes(); b > worstBytes {
+			worstBytes = b
+		}
+	}
+	return perNode, worstBytes
+}

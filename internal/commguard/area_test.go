@@ -1,0 +1,77 @@
+package commguard
+
+import (
+	"testing"
+
+	"commguard/internal/stream"
+)
+
+// The paper's §5.5 estimate: 4 queues per core come to about 82 bytes of
+// reliable storage (4x4B counters + 4x(3 bits + 4 words)).
+func TestAreaMatchesPaperEstimate(t *testing.T) {
+	a := EstimateQueuesArea(4)
+	bytes := a.TotalBytes()
+	if bytes < 80 || bytes > 84 {
+		t.Errorf("4-queue area = %d bytes, paper estimates ~82", bytes)
+	}
+}
+
+func TestAreaScalesWithQueues(t *testing.T) {
+	a0 := EstimateQueuesArea(0)
+	if a0.PerQueue != 0 || a0.Counters == 0 {
+		t.Errorf("zero-queue area = %+v", a0)
+	}
+	a1 := EstimateQueuesArea(1)
+	a2 := EstimateQueuesArea(2)
+	if a2.PerQueue != 2*a1.PerQueue {
+		t.Error("per-queue area not linear")
+	}
+	if a1.Total() != a1.Counters+a1.PerQueue {
+		t.Error("Total mismatch")
+	}
+}
+
+func TestAreaEstimateOverGraph(t *testing.T) {
+	g := stream.NewGraph()
+	src := g.Add(stream.NewSource("src", 3, nil))
+	split := g.Add(stream.NewRoundRobinSplitter("split", 1, 1, 1))
+	join := g.Add(stream.NewRoundRobinJoiner("join", 1, 1, 1))
+	sink := g.Add(stream.NewSink("sink", 3))
+	if err := g.Connect(src, 0, split, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SplitJoin(split, join,
+		[]stream.Filter{stream.NewIdentity("a", 1)},
+		[]stream.Filter{stream.NewIdentity("b", 1)},
+		[]stream.Filter{stream.NewIdentity("c", 1)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(join, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	perNode, worst := AreaEstimate(g)
+	if len(perNode) != len(g.Nodes) {
+		t.Fatalf("%d estimates for %d nodes", len(perNode), len(g.Nodes))
+	}
+	// The joiner has the most incoming queues (3) and so the largest area.
+	var joinArea, srcArea AreaBits
+	for _, a := range perNode {
+		switch a.Node {
+		case "join#2":
+			joinArea = a
+		case "src#0":
+			srcArea = a
+		}
+	}
+	if joinArea.Total() <= srcArea.Total() {
+		t.Errorf("joiner area %d should exceed source area %d", joinArea.Total(), srcArea.Total())
+	}
+	if worst != joinArea.TotalBytes() {
+		t.Errorf("worst = %d, want joiner's %d", worst, joinArea.TotalBytes())
+	}
+	// Every core must stay tiny — well under a kilobyte.
+	if worst > 128 {
+		t.Errorf("worst-core reliable storage = %d bytes, implausibly large", worst)
+	}
+}

@@ -1,0 +1,49 @@
+// Package commguard implements the paper's contribution (§4): small,
+// fully-reliable hardware modules that maintain semantic alignment between
+// the control flow of communicating threads and the data streamed between
+// them, on top of error-prone PPU cores.
+//
+// Per producer-consumer queue the package provides:
+//
+//   - a Header Inserter (HI, §4.1) on the producer core, which marks the
+//     start of every frame computation by inserting an ECC-protected frame
+//     header (carrying the producer's active-fc) into the outgoing queue,
+//     and a special end-of-computation header when the thread's outermost
+//     scope exits;
+//   - an Alignment Manager (AM, §4.2) on the consumer core, a five-state
+//     FSM (Table 1) that checks incoming headers against the consumer's
+//     own active-fc and, upon misalignment, discards extra items/frames or
+//     pads missing ones until every producer frame boundary coincides with
+//     a consumer frame-computation boundary again;
+//   - the Queue Manager role (§4.3) is provided by the underlying
+//     queue.Queue with ProtectPointers enabled: ECC-protected shared
+//     working-set pointers, item/header separation and blocking timeouts.
+//
+// The modules convert potentially catastrophic alignment errors into
+// bounded data errors: discarded items are lost, padded items are
+// arbitrary values, and either effect ends at the next frame boundary.
+package commguard
+
+// OpCounters tallies CommGuard hardware suboperations (Tables 2–3) in the
+// three categories reported by Fig. 14.
+type OpCounters struct {
+	// FSMCounter counts 5-state FSM checks/updates and active-fc counter
+	// reads/increments ("FSM/Counter" in Fig. 14).
+	FSMCounter uint64
+	// ECC counts single-word ECC set/check operations for headers ("ECC").
+	// Shared-pointer ECC traffic is accounted by the Queue Manager
+	// (queue.Stats.PointerECCOps) and merged by the reporting layer.
+	ECC uint64
+	// HeaderBit counts header-tag-bit sets/checks ("Header Bit").
+	HeaderBit uint64
+}
+
+// Total returns the sum across categories.
+func (o OpCounters) Total() uint64 { return o.FSMCounter + o.ECC + o.HeaderBit }
+
+// Add accumulates other into o.
+func (o *OpCounters) Add(other OpCounters) {
+	o.FSMCounter += other.FSMCounter
+	o.ECC += other.ECC
+	o.HeaderBit += other.HeaderBit
+}

@@ -1,0 +1,40 @@
+package commguard
+
+// Frame domains (§5.4): the base design uses one application-wide frame
+// definition — every steady-state iteration is one frame on every edge.
+// The paper notes CommGuard "can also support varying frame definitions
+// across an application. This requires a redundant active-fc counter per
+// frame domain."
+//
+// A frameDomain is exactly that redundant counter: it consumes the raw
+// frame-computation events of its core and exposes a down-scaled domain
+// frame counter. Both endpoints of an edge must use the same scale (they
+// see the same number of steady-iteration events, so their domain counters
+// agree), but different edges may use different scales — e.g. tiny frames
+// on a low-rate control edge and large frames on a bulk-data edge.
+type frameDomain struct {
+	scale int
+	raw   uint32
+	fc    uint32
+	began bool
+}
+
+func newFrameDomain(scale int) frameDomain {
+	if scale < 1 {
+		scale = 1
+	}
+	return frameDomain{scale: scale}
+}
+
+// advance consumes one raw frame-computation event. It returns the domain
+// frame ID and whether a new domain frame started at this event.
+func (d *frameDomain) advance() (uint32, bool) {
+	idx := d.raw
+	d.raw++
+	if idx%uint32(d.scale) != 0 {
+		return d.fc, false
+	}
+	d.fc = idx / uint32(d.scale)
+	d.began = true
+	return d.fc, true
+}

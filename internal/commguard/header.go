@@ -1,0 +1,75 @@
+package commguard
+
+import "commguard/internal/queue"
+
+// HeaderInserter is the producer-side CommGuard module (§4.1). It
+// subscribes to the producer core's frame-progress events (ppu.FrameListener)
+// and inserts an alignment marker into its outgoing queue at the start of
+// every frame computation. The thread itself is oblivious to the insertions.
+type HeaderInserter struct {
+	q      *queue.Queue
+	domain frameDomain
+	ops    OpCounters
+	stats  HIStats
+}
+
+// HIStats records the Header Inserter's activity.
+type HIStats struct {
+	// HeadersInserted counts regular frame headers pushed.
+	HeadersInserted uint64
+	// EOCInserted counts end-of-computation headers pushed (one per run).
+	EOCInserted uint64
+}
+
+// NewHeaderInserter creates the HI for one outgoing queue with the
+// application-wide frame definition (domain scale 1).
+func NewHeaderInserter(q *queue.Queue) *HeaderInserter {
+	return NewHeaderInserterScaled(q, 1)
+}
+
+// NewHeaderInserterScaled creates an HI whose edge belongs to a frame
+// domain covering scale frame computations per frame (§5.4). The consumer
+// side of the edge must use the same scale.
+func NewHeaderInserterScaled(q *queue.Queue, scale int) *HeaderInserter {
+	return &HeaderInserter{q: q, domain: newFrameDomain(scale)}
+}
+
+// NewFrameComputation implements ppu.FrameListener: the producer rolled
+// over to a new frame computation. The edge's frame domain decides whether
+// this starts a new domain frame; if so, a header carrying the domain
+// frame ID is inserted into the stream.
+func (hi *HeaderInserter) NewFrameComputation(uint32) {
+	// The domain counter is the HI's redundant active-fc (§5.4); the
+	// core-provided value is not needed because the domain counts the
+	// same reliable events.
+	id, started := hi.domain.advance()
+	if !started {
+		return
+	}
+	// prepare-header: read-then-increment active-fc, set header bit
+	// (Table 3); compute-ECC for the header word.
+	hi.ops.FSMCounter++
+	hi.ops.HeaderBit++
+	hi.ops.ECC++
+	hi.q.Push(queue.HeaderUnit(id))
+	hi.stats.HeadersInserted++
+}
+
+// EndOfComputation implements ppu.FrameListener: the thread's outermost
+// global scope exited, so the special end-of-computation frame ID is
+// inserted (§4.1) and the queue is flushed so trailing data reaches the
+// consumer.
+func (hi *HeaderInserter) EndOfComputation() {
+	hi.ops.FSMCounter++
+	hi.ops.HeaderBit++
+	hi.ops.ECC++
+	hi.q.Push(queue.HeaderUnit(queue.EOCHeaderID))
+	hi.stats.EOCInserted++
+	hi.q.Flush()
+}
+
+// Ops returns the suboperation counters.
+func (hi *HeaderInserter) Ops() OpCounters { return hi.ops }
+
+// Stats returns the insertion counters.
+func (hi *HeaderInserter) Stats() HIStats { return hi.stats }

@@ -1,0 +1,161 @@
+// Package ecc implements a (39,32) Hamming single-error-correcting,
+// double-error-detecting (SEC-DED) code over 32-bit words.
+//
+// CommGuard uses word-sized ECC in two places: frame headers inserted by the
+// Header Inserter are end-to-end protected, and the Queue Manager protects
+// the shared head/tail working-set pointers it exchanges with other cores
+// (paper §4.1, §5.1). The code here is the classic extended Hamming code:
+// six parity bits cover positions addressed by powers of two, plus one
+// overall parity bit for double-error detection.
+package ecc
+
+// Codeword is a 39-bit SEC-DED codeword stored in the low bits of a uint64.
+type Codeword uint64
+
+// Layout of a Codeword (least significant bits first):
+//
+//	bits  0..31  data word
+//	bits 32..37  Hamming parity bits p1,p2,p4,p8,p16,p32
+//	bit  38      overall parity (SEC-DED extension)
+const (
+	dataBits    = 32
+	hammingBits = 6
+	// TotalBits is the number of meaningful bits in a Codeword.
+	TotalBits = dataBits + hammingBits + 1 // 39
+)
+
+// CheckResult classifies the outcome of decoding a Codeword.
+type CheckResult int
+
+const (
+	// OK means the codeword carried no detectable error.
+	OK CheckResult = iota
+	// Corrected means a single-bit error was detected and corrected.
+	Corrected
+	// Uncorrectable means a double-bit (or worse) error was detected.
+	Uncorrectable
+)
+
+func (r CheckResult) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	}
+	return "invalid"
+}
+
+// hammingPosition maps logical bit index (0-based within the 38-bit
+// Hamming codeword, data+parity interleaved in the textbook layout) is not
+// materialized; instead we use the standard trick of computing parity over
+// data bits whose (position+1) has a given bit set, where data bit i is
+// assigned Hamming position dataPos[i].
+//
+// Positions 1..38 in Hamming numbering; powers of two are parity positions.
+// Data bits occupy the remaining positions in increasing order.
+var dataPos = func() [dataBits]uint {
+	var pos [dataBits]uint
+	p := uint(1)
+	i := 0
+	for i < dataBits {
+		// skip parity positions (powers of two)
+		if p&(p-1) != 0 {
+			pos[i] = p
+			i++
+		}
+		p++
+	}
+	return pos
+}()
+
+// parityMask[j] is a mask over the 32 data bits covered by parity bit 2^j.
+var parityMask = func() [hammingBits]uint32 {
+	var masks [hammingBits]uint32
+	for i := 0; i < dataBits; i++ {
+		for j := 0; j < hammingBits; j++ {
+			if dataPos[i]&(1<<uint(j)) != 0 {
+				masks[j] |= 1 << uint(i)
+			}
+		}
+	}
+	return masks
+}()
+
+func parity32(x uint32) uint64 {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return uint64(x & 1)
+}
+
+// Encode computes the SEC-DED codeword for a 32-bit data word.
+func Encode(data uint32) Codeword {
+	cw := Codeword(data)
+	var syndromeBits uint64
+	for j := 0; j < hammingBits; j++ {
+		syndromeBits |= parity32(data&parityMask[j]) << uint(j)
+	}
+	cw |= Codeword(syndromeBits) << dataBits
+	// Overall parity covers data and Hamming parity bits.
+	overall := parity32(data) ^ parity32(uint32(syndromeBits))
+	cw |= Codeword(overall) << (dataBits + hammingBits)
+	return cw
+}
+
+// Decode checks cw, correcting a single-bit error if present. It returns
+// the (possibly corrected) data word and the classification of what it saw.
+func Decode(cw Codeword) (uint32, CheckResult) {
+	data := uint32(cw)
+	storedParity := uint32(cw>>dataBits) & ((1 << hammingBits) - 1)
+	storedOverall := uint64(cw>>(dataBits+hammingBits)) & 1
+
+	var syndrome uint
+	for j := 0; j < hammingBits; j++ {
+		p := parity32(data & parityMask[j])
+		if p != uint64(storedParity>>uint(j))&1 {
+			syndrome |= 1 << uint(j)
+		}
+	}
+	overall := parity32(data) ^ parity32(storedParity) ^ storedOverall
+
+	switch {
+	case syndrome == 0 && overall == 0:
+		return data, OK
+	case overall == 1:
+		// Single-bit error somewhere; locate and correct it.
+		if syndrome == 0 {
+			// The overall parity bit itself flipped; data is intact.
+			return data, Corrected
+		}
+		// Syndrome names the Hamming position of the flipped bit.
+		if syndrome&(syndrome-1) == 0 {
+			// A parity position flipped; data is intact.
+			return data, Corrected
+		}
+		for i := 0; i < dataBits; i++ {
+			if dataPos[i] == syndrome {
+				return data ^ (1 << uint(i)), Corrected
+			}
+		}
+		// Syndrome points outside the codeword: treat as uncorrectable.
+		return data, Uncorrectable
+	default:
+		// syndrome != 0 but overall parity matches: double-bit error.
+		return data, Uncorrectable
+	}
+}
+
+// FlipBit returns cw with bit i (0 <= i < TotalBits) inverted. It is used
+// by fault injectors to model storage/transmission errors on protected
+// words.
+func FlipBit(cw Codeword, i int) Codeword {
+	if i < 0 || i >= TotalBits {
+		return cw
+	}
+	return cw ^ (1 << uint(i))
+}

@@ -1,0 +1,302 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7). Each FigureN function sweeps the same parameters the
+// paper reports (MTBE per core, frame-size scaling, seeds), prints the
+// figure's rows/series as a text table, and returns the structured data.
+// EXPERIMENTS.md records how the regenerated shapes compare with the
+// published ones.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"commguard/internal/apps"
+	"commguard/internal/metrics"
+	"commguard/internal/sim"
+)
+
+// Options controls sweep width. The zero value is not valid; use
+// DefaultOptions or QuickOptions.
+type Options struct {
+	// Seeds per (MTBE, scale) point; the paper uses 5.
+	Seeds int
+	// MTBEs is the per-core mean-time-between-errors axis, in modeled
+	// instructions (the paper sweeps 64k..8192k).
+	MTBEs []float64
+	// FrameScales is the frame-size axis (paper: 1, 2, 4, 8).
+	FrameScales []int
+	// Quick shrinks workloads for fast test/bench runs.
+	Quick bool
+	// Fig3MTBE is the error rate of the motivating comparison; the paper
+	// uses 1M instructions. Quick profiles lower it so the miniature
+	// workloads still see errors.
+	Fig3MTBE float64
+	// Parallel runs sweep points concurrently (each point is itself a
+	// multi-goroutine simulation, so modest parallelism suffices).
+	Parallel int
+	// Out receives the rendered tables; nil discards them.
+	Out io.Writer
+}
+
+// DefaultOptions mirrors the paper's sweep.
+func DefaultOptions() Options {
+	return Options{
+		Seeds:       5,
+		MTBEs:       []float64{64e3, 128e3, 256e3, 512e3, 1024e3, 2048e3, 4096e3, 8192e3},
+		FrameScales: []int{1, 2, 4, 8},
+		Parallel:    4,
+		Fig3MTBE:    1e6,
+	}
+}
+
+// QuickOptions is a reduced sweep for tests and CI.
+func QuickOptions() Options {
+	return Options{
+		Seeds:       2,
+		MTBEs:       []float64{64e3, 512e3, 4096e3},
+		FrameScales: []int{1, 4},
+		Quick:       true,
+		Parallel:    2,
+		Fig3MTBE:    96e3,
+	}
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+func (o Options) parallel() int {
+	if o.Parallel < 1 {
+		return 1
+	}
+	return o.Parallel
+}
+
+// builders returns the benchmark set sized for the option profile.
+func (o Options) builders() []apps.Builder {
+	if !o.Quick {
+		return apps.All()
+	}
+	return []apps.Builder{
+		{Name: "audiobeamformer", New: func() (*apps.Instance, error) {
+			return apps.NewBeamformer(apps.BeamformerConfig{Channels: 4, Samples: 1024, Delay: 3})
+		}},
+		{Name: "channelvocoder", New: func() (*apps.Instance, error) {
+			return apps.NewVocoder(apps.VocoderConfig{Bands: 3, Samples: 1024})
+		}},
+		{Name: "complex-fir", New: func() (*apps.Instance, error) {
+			return apps.NewComplexFIR(apps.ComplexFIRConfig{Samples: 1024, Stages: 4, Taps: 8})
+		}},
+		{Name: "fft", New: func() (*apps.Instance, error) {
+			return apps.NewFFT(apps.FFTConfig{Points: 64, Blocks: 16})
+		}},
+		{Name: "jpeg", New: func() (*apps.Instance, error) {
+			return apps.NewJPEG(apps.JPEGConfig{W: 128, H: 32, Quality: 75})
+		}},
+		{Name: "mp3", New: func() (*apps.Instance, error) {
+			return apps.NewMP3(apps.MP3Config{Frames: 12})
+		}},
+	}
+}
+
+func (o Options) builder(name string) (apps.Builder, error) {
+	for _, b := range o.builders() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return apps.Builder{}, fmt.Errorf("experiments: unknown benchmark %q", name)
+}
+
+// referenceCache computes each benchmark's scoring reference once: the
+// built-in media ground truth where available, otherwise the error-free
+// run output.
+type referenceCache struct {
+	mu   sync.Mutex
+	refs map[string][]float64
+}
+
+func newReferenceCache() *referenceCache {
+	return &referenceCache{refs: map[string][]float64{}}
+}
+
+func (rc *referenceCache) get(b apps.Builder) ([]float64, error) {
+	rc.mu.Lock()
+	if ref, ok := rc.refs[b.Name]; ok {
+		rc.mu.Unlock()
+		return ref, nil
+	}
+	rc.mu.Unlock()
+
+	inst, err := b.New()
+	if err != nil {
+		return nil, err
+	}
+	var ref []float64
+	if inst.Reference != nil {
+		ref = inst.Reference
+	} else {
+		res, err := sim.Run(inst, sim.Config{Protection: sim.ErrorFree}, nil)
+		if err != nil {
+			return nil, err
+		}
+		ref = res.Output
+	}
+	rc.mu.Lock()
+	rc.refs[b.Name] = ref
+	rc.mu.Unlock()
+	return ref, nil
+}
+
+// errorFreeQuality scores an error-free run against the reference: the
+// codec baseline for jpeg/mp3, +Inf for self-referenced benchmarks.
+func (rc *referenceCache) errorFreeQuality(b apps.Builder) (float64, error) {
+	inst, err := b.New()
+	if err != nil {
+		return 0, err
+	}
+	ref, err := rc.get(b)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(inst, sim.Config{Protection: sim.ErrorFree}, ref)
+	if err != nil {
+		return 0, err
+	}
+	return res.Quality, nil
+}
+
+// QualityPoint is one swept point of a quality figure.
+type QualityPoint struct {
+	MTBE       float64
+	FrameScale int
+	Quality    metrics.Summary
+	// LossRatio summarizes Fig. 8's padded+discarded ratio at this point.
+	LossRatio metrics.Summary
+}
+
+// QualitySeries is one benchmark's curve.
+type QualitySeries struct {
+	App    string
+	Metric string
+	// ErrorFreeDB is the error-free baseline (Inf for self-referenced
+	// benchmarks, finite codec baselines for jpeg/mp3).
+	ErrorFreeDB float64
+	Points      []QualityPoint
+}
+
+// sweepQuality runs one benchmark across MTBEs x scales x seeds under
+// CommGuard protection and summarizes quality and loss per point.
+func sweepQuality(o Options, b apps.Builder, scales []int) (*QualitySeries, error) {
+	rc := newReferenceCache()
+	ref, err := rc.get(b)
+	if err != nil {
+		return nil, err
+	}
+	efQ, err := rc.errorFreeQuality(b)
+	if err != nil {
+		return nil, err
+	}
+	series := &QualitySeries{App: b.Name, ErrorFreeDB: efQ}
+
+	type job struct {
+		mtbe  float64
+		scale int
+		seed  int64
+	}
+	type outcome struct {
+		job
+		quality float64
+		loss    float64
+		metric  string
+		err     error
+	}
+	var jobs []job
+	for _, scale := range scales {
+		for _, mtbe := range o.MTBEs {
+			for s := 0; s < o.Seeds; s++ {
+				jobs = append(jobs, job{mtbe: mtbe, scale: scale, seed: int64(1000*s) + 7})
+			}
+		}
+	}
+	results := make([]outcome, len(jobs))
+	sem := make(chan struct{}, o.parallel())
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			inst, err := b.New()
+			if err != nil {
+				results[i] = outcome{job: j, err: err}
+				return
+			}
+			res, err := sim.Run(inst, sim.Config{
+				Protection: sim.CommGuard,
+				MTBE:       j.mtbe,
+				Seed:       j.seed,
+				FrameScale: j.scale,
+			}, ref)
+			if err != nil {
+				results[i] = outcome{job: j, err: err}
+				return
+			}
+			results[i] = outcome{job: j, quality: res.Quality, loss: res.DataLossRatio(), metric: res.Metric}
+		}(i, j)
+	}
+	wg.Wait()
+
+	byPoint := map[[2]int][]outcome{}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		series.Metric = r.metric
+		key := [2]int{int(r.mtbe), r.scale}
+		byPoint[key] = append(byPoint[key], r)
+	}
+	for _, scale := range scales {
+		for _, mtbe := range o.MTBEs {
+			rs := byPoint[[2]int{int(mtbe), scale}]
+			var qs, ls []float64
+			for _, r := range rs {
+				qs = append(qs, r.quality)
+				ls = append(ls, r.loss)
+			}
+			infCap := efQ
+			if math.IsInf(infCap, 1) {
+				infCap = 160 // plot ceiling for identical outputs
+			}
+			series.Points = append(series.Points, QualityPoint{
+				MTBE:       mtbe,
+				FrameScale: scale,
+				Quality:    metrics.Summarize(qs, infCap),
+				LossRatio:  metrics.Summarize(ls, 1),
+			})
+		}
+	}
+	sort.SliceStable(series.Points, func(i, j int) bool {
+		if series.Points[i].FrameScale != series.Points[j].FrameScale {
+			return series.Points[i].FrameScale < series.Points[j].FrameScale
+		}
+		return series.Points[i].MTBE < series.Points[j].MTBE
+	})
+	return series, nil
+}
+
+func fmtMTBE(m float64) string { return fmt.Sprintf("%gk", m/1000) }
+
+func fmtDB(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1f", v)
+}

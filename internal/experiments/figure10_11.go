@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"commguard/internal/viz"
+)
+
+// Figure10 reproduces the media-quality curves: jpeg PSNR (10a) and mp3
+// SNR (10b) vs MTBE, across frame-size scales {1,2,4,8}, mean and standard
+// deviation over seeds. The paper's shape: quality climbs with MTBE toward
+// the error-free lossy baseline (35.6 dB PSNR / 9.4 dB SNR there); larger
+// frames realign less often, trading overhead for per-event damage.
+func Figure10(o Options) ([]*QualitySeries, error) {
+	return qualityFigure(o, "Figure 10: jpeg PSNR and mp3 SNR vs MTBE and frame size (CommGuard)",
+		[]string{"jpeg", "mp3"}, o.FrameScales)
+}
+
+// Figure11 reproduces the remaining benchmarks' quality curves: SNR of
+// error-prone runs against error-free runs (error-free SNR is infinity).
+// complex-fir also sweeps frame sizes (Fig. 11c).
+func Figure11(o Options) ([]*QualitySeries, error) {
+	out, err := qualityFigure(o, "Figure 11: SNR vs MTBE for the non-media benchmarks (CommGuard)",
+		[]string{"audiobeamformer", "channelvocoder", "fft"}, []int{1})
+	if err != nil {
+		return nil, err
+	}
+	cf, err := qualityFigure(o, "Figure 11c: complex-fir SNR vs MTBE across frame sizes",
+		[]string{"complex-fir"}, o.FrameScales)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, cf...), nil
+}
+
+func qualityFigure(o Options, title string, names []string, scales []int) ([]*QualitySeries, error) {
+	w := o.out()
+	fmt.Fprintln(w, title)
+	var all []*QualitySeries
+	for _, name := range names {
+		b, err := o.builder(name)
+		if err != nil {
+			return nil, err
+		}
+		series, err := sweepQuality(o, b, scales)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, series)
+		fmt.Fprintf(w, "%s (%s, error-free %s dB)\n", series.App, series.Metric, fmtDB(series.ErrorFreeDB))
+		header := fmt.Sprintf("  %-8s", "scale")
+		for _, m := range o.MTBEs {
+			header += fmt.Sprintf(" %12s", fmtMTBE(m))
+		}
+		fmt.Fprintln(w, header)
+		for _, scale := range scales {
+			row := fmt.Sprintf("  x%-7d", scale)
+			var means []float64
+			for _, p := range series.Points {
+				if p.FrameScale != scale {
+					continue
+				}
+				row += fmt.Sprintf(" %6.1f±%-5.1f", p.Quality.Mean, p.Quality.StdDev)
+				means = append(means, p.Quality.Mean)
+			}
+			fmt.Fprintf(w, "%s  %s\n", row, viz.Sparkline(means))
+		}
+	}
+	return all, nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"commguard/internal/metrics"
+	"commguard/internal/sim"
+)
+
+// Fig12Row is one benchmark's header memory-event overhead.
+type Fig12Row struct {
+	App string
+	// LoadRatio and StoreRatio are header loads/stores over all processor
+	// loads/stores (Fig. 12's two bars).
+	LoadRatio  float64
+	StoreRatio float64
+}
+
+// Figure12 reproduces the memory-overhead figure: the extra loads and
+// stores caused by CommGuard's in-band headers, relative to all processor
+// memory events, measured on error-free runs. The paper's shape: gmean
+// under 0.2%, worst case audiobeamformer (one header per data item on its
+// per-sample frames) still under 1%.
+func Figure12(o Options) ([]Fig12Row, error) {
+	w := o.out()
+	fmt.Fprintln(w, "Figure 12: header loads/stores as a share of all loads/stores (error-free, CommGuard)")
+	fmt.Fprintf(w, "%-16s %10s %10s\n", "benchmark", "loads", "stores")
+	var rows []Fig12Row
+	var loadRs, storeRs []float64
+	for _, b := range o.builders() {
+		inst, err := b.New()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard}, nil)
+		if err != nil {
+			return nil, err
+		}
+		var coreLoads, coreStores uint64
+		for _, c := range res.Run.Cores {
+			coreLoads += c.Loads
+			coreStores += c.Stores
+		}
+		qt := res.Run.QueueTotals()
+		row := Fig12Row{
+			App:        b.Name,
+			LoadRatio:  ratio(qt.HeaderLoads, coreLoads+qt.HeaderLoads),
+			StoreRatio: ratio(qt.HeaderStores, coreStores+qt.HeaderStores),
+		}
+		rows = append(rows, row)
+		loadRs = append(loadRs, row.LoadRatio)
+		storeRs = append(storeRs, row.StoreRatio)
+		fmt.Fprintf(w, "%-16s %9.3f%% %9.3f%%\n", row.App, 100*row.LoadRatio, 100*row.StoreRatio)
+	}
+	g := Fig12Row{App: "GMean", LoadRatio: metrics.GeoMean(loadRs), StoreRatio: metrics.GeoMean(storeRs)}
+	rows = append(rows, g)
+	fmt.Fprintf(w, "%-16s %9.3f%% %9.3f%%\n", g.App, 100*g.LoadRatio, 100*g.StoreRatio)
+	return rows, nil
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Fig14Row is one benchmark's CommGuard suboperation activity relative to
+// committed processor instructions, split into the figure's categories.
+type Fig14Row struct {
+	App        string
+	FSMCounter float64
+	ECC        float64
+	HeaderBit  float64
+	Total      float64
+}
+
+// Figure14 reproduces the suboperation figure: CommGuard hardware
+// operations (FSM/counter updates, header ECC, header-bit checks, plus the
+// QM's shared-pointer ECC traffic) normalized to committed instructions,
+// on error-free runs. The paper's shape: gmean ~2%, worst case
+// audiobeamformer ~4.9%, header-bit checks the most frequent category.
+func Figure14(o Options) ([]Fig14Row, error) {
+	w := o.out()
+	fmt.Fprintln(w, "Figure 14: CommGuard suboperations per committed instruction (error-free)")
+	fmt.Fprintf(w, "%-16s %12s %8s %12s %8s\n", "benchmark", "FSM/counter", "ECC", "header-bit", "total")
+	var rows []Fig14Row
+	var totals []float64
+	for _, b := range o.builders() {
+		inst, err := b.New()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard}, nil)
+		if err != nil {
+			return nil, err
+		}
+		instr := res.Run.TotalInstructions()
+		qt := res.Run.QueueTotals()
+		ops := res.Guard.Ops
+		row := Fig14Row{
+			App:        b.Name,
+			FSMCounter: ratio(ops.FSMCounter, instr),
+			ECC:        ratio(ops.ECC+qt.PointerECCOps, instr),
+			HeaderBit:  ratio(ops.HeaderBit, instr),
+		}
+		row.Total = row.FSMCounter + row.ECC + row.HeaderBit
+		rows = append(rows, row)
+		totals = append(totals, row.Total)
+		fmt.Fprintf(w, "%-16s %11.3f%% %7.3f%% %11.3f%% %7.3f%%\n",
+			row.App, 100*row.FSMCounter, 100*row.ECC, 100*row.HeaderBit, 100*row.Total)
+	}
+	g := Fig14Row{App: "GMean", Total: metrics.GeoMean(totals)}
+	rows = append(rows, g)
+	fmt.Fprintf(w, "%-16s %42s %7.3f%%\n", g.App, "", 100*g.Total)
+	return rows, nil
+}

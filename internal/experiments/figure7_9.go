@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"commguard/internal/sim"
+)
+
+// Fig7Result is one annotated jpeg run with CommGuard: the paper's example
+// at MTBE 512k showed 16 pad/discard operations with PSNR 20.2 dB.
+type Fig7Result struct {
+	MTBE         float64
+	PSNR         float64
+	Pads         uint64
+	Discards     uint64
+	Realignments uint64
+}
+
+// Figure7 reproduces the example jpeg run of Fig. 7: one CommGuard decode
+// at MTBE 512k with realignment activity counted (the pad/discard arrows
+// of the paper's annotated output).
+func Figure7(o Options) (*Fig7Result, error) {
+	b, err := o.builder("jpeg")
+	if err != nil {
+		return nil, err
+	}
+	rc := newReferenceCache()
+	ref, err := rc.get(b)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := b.New()
+	if err != nil {
+		return nil, err
+	}
+	const mtbe = 512e3
+	res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard, MTBE: mtbe, Seed: 2015}, ref)
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig7Result{MTBE: mtbe, PSNR: res.Quality}
+	if res.Guard != nil {
+		r.Pads = res.Guard.AM.PaddedItems
+		r.Discards = res.Guard.AM.DiscardedItems
+		r.Realignments = res.Guard.AM.Realignments
+	}
+	w := o.out()
+	fmt.Fprintf(w, "Figure 7: example jpeg run with CommGuard (MTBE %s/core)\n", fmtMTBE(mtbe))
+	fmt.Fprintf(w, "PSNR %.1f dB, %d padded items, %d discarded items, %d realignment events\n",
+		r.PSNR, r.Pads, r.Discards, r.Realignments)
+	return r, nil
+}
+
+// Fig9Point is one jpeg visual-quality sample of Fig. 9.
+type Fig9Point struct {
+	MTBE float64
+	PSNR float64
+}
+
+// Figure9 reproduces Fig. 9: jpeg output PSNR at the paper's four example
+// MTBEs (128k, 512k, 2048k, 8192k), quality rising toward the error-free
+// baseline as errors thin out.
+func Figure9(o Options) ([]Fig9Point, error) {
+	b, err := o.builder("jpeg")
+	if err != nil {
+		return nil, err
+	}
+	rc := newReferenceCache()
+	ref, err := rc.get(b)
+	if err != nil {
+		return nil, err
+	}
+	w := o.out()
+	fmt.Fprintln(w, "Figure 9: jpeg PSNR at example MTBEs (CommGuard)")
+	fmt.Fprintf(w, "%-12s %12s\n", "MTBE", "PSNR (dB)")
+	var points []Fig9Point
+	for _, mtbe := range []float64{128e3, 512e3, 2048e3, 8192e3} {
+		inst, err := b.New()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard, MTBE: mtbe, Seed: 99}, ref)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, Fig9Point{MTBE: mtbe, PSNR: res.Quality})
+		fmt.Fprintf(w, "%-12s %12s\n", fmtMTBE(mtbe), fmtDB(res.Quality))
+	}
+	return points, nil
+}

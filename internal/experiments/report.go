@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV writes each regenerated figure's data as a CSV file under dir,
+// one file per figure, so the results can be replotted with any tool.
+func WriteCSV(dir string, all *AllResults) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, header []string, rows [][]string) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		if err := w.WriteAll(rows); err != nil {
+			return err
+		}
+		w.Flush()
+		return w.Error()
+	}
+
+	if all.Fig3 != nil {
+		var rows [][]string
+		for _, r := range all.Fig3 {
+			rows = append(rows, []string{r.Protection.String(), f(r.MeanPSNR), strconv.FormatBool(r.Completed)})
+		}
+		if err := write("figure3.csv", []string{"protection", "psnr_db", "completed"}, rows); err != nil {
+			return err
+		}
+	}
+	if all.Fig7 != nil {
+		rows := [][]string{{f(all.Fig7.MTBE), f(all.Fig7.PSNR),
+			strconv.FormatUint(all.Fig7.Pads, 10), strconv.FormatUint(all.Fig7.Discards, 10),
+			strconv.FormatUint(all.Fig7.Realignments, 10)}}
+		if err := write("figure7.csv", []string{"mtbe", "psnr_db", "padded_items", "discarded_items", "realignments"}, rows); err != nil {
+			return err
+		}
+	}
+	if err := writeSeriesCSV(write, "figure8.csv", all.Fig8, true); err != nil {
+		return err
+	}
+	if all.Fig9 != nil {
+		var rows [][]string
+		for _, p := range all.Fig9 {
+			rows = append(rows, []string{f(p.MTBE), f(p.PSNR)})
+		}
+		if err := write("figure9.csv", []string{"mtbe", "psnr_db"}, rows); err != nil {
+			return err
+		}
+	}
+	if err := writeSeriesCSV(write, "figure10.csv", all.Fig10, false); err != nil {
+		return err
+	}
+	if err := writeSeriesCSV(write, "figure11.csv", all.Fig11, false); err != nil {
+		return err
+	}
+	if all.Fig12 != nil {
+		var rows [][]string
+		for _, r := range all.Fig12 {
+			rows = append(rows, []string{r.App, f(r.LoadRatio), f(r.StoreRatio)})
+		}
+		if err := write("figure12.csv", []string{"benchmark", "header_load_ratio", "header_store_ratio"}, rows); err != nil {
+			return err
+		}
+	}
+	if all.Fig13 != nil {
+		var rows [][]string
+		for _, r := range all.Fig13 {
+			rows = append(rows, []string{r.App, strconv.Itoa(r.FrameScale), f(r.OverheadPct)})
+		}
+		if err := write("figure13.csv", []string{"benchmark", "frame_scale", "overhead_pct"}, rows); err != nil {
+			return err
+		}
+	}
+	if all.Fig14 != nil {
+		var rows [][]string
+		for _, r := range all.Fig14 {
+			rows = append(rows, []string{r.App, f(r.FSMCounter), f(r.ECC), f(r.HeaderBit), f(r.Total)})
+		}
+		if err := write("figure14.csv", []string{"benchmark", "fsm_counter", "ecc", "header_bit", "total"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeriesCSV(write func(string, []string, [][]string) error, name string, series []*QualitySeries, loss bool) error {
+	if series == nil {
+		return nil
+	}
+	header := []string{"benchmark", "metric", "error_free_db", "mtbe", "frame_scale", "mean", "stddev"}
+	if loss {
+		header = append(header, "loss_ratio_mean")
+	}
+	var rows [][]string
+	for _, s := range series {
+		for _, p := range s.Points {
+			row := []string{s.App, s.Metric, f(s.ErrorFreeDB), f(p.MTBE),
+				strconv.Itoa(p.FrameScale), f(p.Quality.Mean), f(p.Quality.StdDev)}
+			if loss {
+				row = append(row, f(p.LossRatio.Mean))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return write(name, header, rows)
+}
+
+// f formats a float for CSV, mapping infinities to the string "inf".
+func f(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// WriteMarkdown renders the regenerated figures as a Markdown report.
+func WriteMarkdown(w io.Writer, all *AllResults) error {
+	p := func(format string, args ...interface{}) {
+		fmt.Fprintf(w, format, args...)
+	}
+	p("# CommGuard regenerated results\n\n")
+	if all.Fig3 != nil {
+		p("## Figure 3 — protection configurations (jpeg)\n\n")
+		p("| configuration | PSNR (dB) |\n|---|---|\n")
+		for _, r := range all.Fig3 {
+			p("| %s | %.1f |\n", r.Protection, r.MeanPSNR)
+		}
+		p("\n")
+	}
+	if all.Fig7 != nil {
+		p("## Figure 7 — example jpeg run\n\nPSNR %.1f dB at MTBE %s; %d padded, %d discarded items, %d realignments.\n\n",
+			all.Fig7.PSNR, fmtMTBE(all.Fig7.MTBE), all.Fig7.Pads, all.Fig7.Discards, all.Fig7.Realignments)
+	}
+	writeSeriesMD(p, "Figure 8 — data-loss ratio vs MTBE", all.Fig8, true)
+	if all.Fig9 != nil {
+		p("## Figure 9 — jpeg PSNR ladder\n\n| MTBE | PSNR (dB) |\n|---|---|\n")
+		for _, pt := range all.Fig9 {
+			p("| %s | %.1f |\n", fmtMTBE(pt.MTBE), pt.PSNR)
+		}
+		p("\n")
+	}
+	writeSeriesMD(p, "Figure 10 — media quality vs MTBE and frame size", all.Fig10, false)
+	writeSeriesMD(p, "Figure 11 — stream quality vs MTBE", all.Fig11, false)
+	if all.Fig12 != nil {
+		p("## Figure 12 — header memory-event share\n\n| benchmark | loads | stores |\n|---|---|---|\n")
+		for _, r := range all.Fig12 {
+			p("| %s | %.3f%% | %.3f%% |\n", r.App, 100*r.LoadRatio, 100*r.StoreRatio)
+		}
+		p("\n")
+	}
+	if all.Fig13 != nil {
+		p("## Figure 13 — execution-time overhead\n\n| benchmark | scale | overhead |\n|---|---|---|\n")
+		for _, r := range all.Fig13 {
+			p("| %s | x%d | %.1f%% |\n", r.App, r.FrameScale, r.OverheadPct)
+		}
+		p("\n")
+	}
+	if all.Fig14 != nil {
+		p("## Figure 14 — CommGuard suboperations per instruction\n\n| benchmark | FSM/counter | ECC | header-bit | total |\n|---|---|---|---|---|\n")
+		for _, r := range all.Fig14 {
+			p("| %s | %.3f%% | %.3f%% | %.3f%% | %.3f%% |\n",
+				r.App, 100*r.FSMCounter, 100*r.ECC, 100*r.HeaderBit, 100*r.Total)
+		}
+		p("\n")
+	}
+	return nil
+}
+
+func writeSeriesMD(p func(string, ...interface{}), title string, series []*QualitySeries, loss bool) {
+	if series == nil {
+		return
+	}
+	p("## %s\n\n", title)
+	p("| benchmark | scale | MTBE | mean | stddev |%s\n", mdLossHeader(loss))
+	p("|---|---|---|---|---|%s\n", mdLossRule(loss))
+	for _, s := range series {
+		for _, pt := range s.Points {
+			extra := ""
+			if loss {
+				extra = fmt.Sprintf(" %.3g |", pt.LossRatio.Mean)
+			}
+			p("| %s | x%d | %s | %s | %.2f |%s\n",
+				s.App, pt.FrameScale, fmtMTBE(pt.MTBE), fmtDB(pt.Quality.Mean), pt.Quality.StdDev, extra)
+		}
+	}
+	p("\n")
+}
+
+func mdLossHeader(loss bool) string {
+	if loss {
+		return " loss |"
+	}
+	return ""
+}
+
+func mdLossRule(loss bool) string {
+	if loss {
+		return "---|"
+	}
+	return ""
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import "fmt"
+
+// AllResults bundles every regenerated figure.
+type AllResults struct {
+	Fig3  []Fig3Row
+	Fig7  *Fig7Result
+	Fig8  []*QualitySeries
+	Fig9  []Fig9Point
+	Fig10 []*QualitySeries
+	Fig11 []*QualitySeries
+	Fig12 []Fig12Row
+	Fig13 []Fig13Row
+	Fig14 []Fig14Row
+}
+
+// RunAll regenerates every figure in paper order, writing tables to
+// o.Out as it goes.
+func RunAll(o Options) (*AllResults, error) {
+	all := &AllResults{}
+	w := o.out()
+	step := func(name string, f func() error) error {
+		fmt.Fprintf(w, "\n=== %s ===\n", name)
+		return f()
+	}
+	var err error
+	if err = step("Figure 3", func() error { all.Fig3, err = Figure3(o); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure 7", func() error { all.Fig7, err = Figure7(o); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure 8", func() error { all.Fig8, err = Figure8(o); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure 9", func() error { all.Fig9, err = Figure9(o); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure 10", func() error { all.Fig10, err = Figure10(o); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure 11", func() error { all.Fig11, err = Figure11(o); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure 12", func() error { all.Fig12, err = Figure12(o); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure 13", func() error { all.Fig13, err = Figure13(o, 3); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure 14", func() error { all.Fig14, err = Figure14(o); return err }); err != nil {
+		return nil, err
+	}
+	return all, nil
+}

@@ -1,0 +1,218 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		None: "none", DataBitflip: "data-bitflip", ControlTrip: "control-trip",
+		ControlFrame: "control-frame", AddrSlip: "addr-slip", QueuePtr: "queue-ptr",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if Class(99).String() != "invalid" {
+		t.Error("unknown class should stringify as invalid")
+	}
+}
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel(false).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultModel(true).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidateRejectsBadWeights(t *testing.T) {
+	var m Model
+	if err := m.Validate(); err == nil {
+		t.Error("all-zero weights must be invalid")
+	}
+	m = DefaultModel(false)
+	m.Weights[DataBitflip] = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative weight must be invalid")
+	}
+	m = DefaultModel(false)
+	m.Weights[DataBitflip] = math.NaN()
+	if err := m.Validate(); err == nil {
+		t.Error("NaN weight must be invalid")
+	}
+}
+
+func TestSampleRespectsWeights(t *testing.T) {
+	m := Model{}
+	m.Weights[ControlTrip] = 1
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if c := m.Sample(r); c != ControlTrip {
+			t.Fatalf("sample %d: got %v, want ControlTrip", i, c)
+		}
+	}
+}
+
+func TestQueueProtectionRedirectsQueuePtr(t *testing.T) {
+	m := Model{QueueProtected: true}
+	m.Weights[QueuePtr] = 1
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if c := m.Sample(r); c != DataBitflip {
+			t.Fatalf("sample %d: got %v, want DataBitflip (redirected)", i, c)
+		}
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	m := DefaultModel(false)
+	r := rand.New(rand.NewSource(42))
+	var counts Counts
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(r)]++
+	}
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	for c := DataBitflip; c <= QueuePtr; c++ {
+		want := m.Weights[c] / total
+		got := float64(counts[c]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("class %v: frequency %.4f, want %.4f±0.01", c, got, want)
+		}
+	}
+}
+
+func TestInjectorDisabled(t *testing.T) {
+	inj := NewInjector(0, 1, DefaultModel(false))
+	for i := 0; i < 1000; i++ {
+		if fired := inj.Advance(1000000); fired != nil {
+			t.Fatal("disabled injector fired an error")
+		}
+	}
+	if inj.Counts().Total() != 0 {
+		t.Error("disabled injector recorded errors")
+	}
+}
+
+// The observed error rate must match the configured MTBE.
+func TestInjectorRateMatchesMTBE(t *testing.T) {
+	const mtbe = 10000.0
+	const steps = 2000000
+	inj := NewInjector(mtbe, 7, DefaultModel(false))
+	errors := 0
+	for i := 0; i < steps/100; i++ {
+		errors += len(inj.Advance(100))
+	}
+	want := float64(steps) / mtbe
+	got := float64(errors)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("observed %v errors over %d instructions, want ~%v", got, steps, want)
+	}
+	if inj.Instructions() != steps {
+		t.Errorf("Instructions() = %d, want %d", inj.Instructions(), steps)
+	}
+	if inj.Counts().Total() != uint64(errors) {
+		t.Errorf("Counts().Total() = %d, want %d", inj.Counts().Total(), errors)
+	}
+}
+
+// Advancing in differently sized steps with the same seed fires the same
+// number of errors (scheduling depends on instruction counts, not call
+// pattern).
+func TestInjectorStepSizeInvariance(t *testing.T) {
+	count := func(step int) int {
+		inj := NewInjector(5000, 99, DefaultModel(false))
+		n := 0
+		for done := 0; done < 1000000; done += step {
+			n += len(inj.Advance(step))
+		}
+		return n
+	}
+	a, b := count(1000), count(10)
+	// The error *times* are identical; only boundary effects at the very
+	// end could differ, and the window is an exact multiple of both steps.
+	if a != b {
+		t.Errorf("step 1000 fired %d errors, step 10 fired %d", a, b)
+	}
+}
+
+func TestInjectorDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []Class {
+		inj := NewInjector(2000, seed, DefaultModel(false))
+		var all []Class
+		for i := 0; i < 100; i++ {
+			all = append(all, inj.Advance(1000)...)
+		}
+		return all
+	}
+	a, b := run(5), run(5)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different error counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different class at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(6)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical error streams")
+	}
+}
+
+func TestAdvanceNonPositive(t *testing.T) {
+	inj := NewInjector(100, 1, DefaultModel(false))
+	if inj.Advance(0) != nil || inj.Advance(-5) != nil {
+		t.Error("non-positive advance must be a no-op")
+	}
+}
+
+func TestCoreSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for core := 0; core < 10; core++ {
+		s := CoreSeed(1234, core)
+		if seen[s] {
+			t.Fatalf("duplicate core seed for core %d", core)
+		}
+		seen[s] = true
+	}
+	if CoreSeed(1, 0) == CoreSeed(2, 0) {
+		t.Error("different run seeds gave the same core seed")
+	}
+}
+
+func TestQuickCoreSeedDeterministic(t *testing.T) {
+	f := func(seed int64, core uint8) bool {
+		c := int(core % 32)
+		return CoreSeed(seed, c) == CoreSeed(seed, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdvance(b *testing.B) {
+	inj := NewInjector(1e6, 1, DefaultModel(true))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Advance(100)
+	}
+}

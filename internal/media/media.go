@@ -1,0 +1,172 @@
+// Package media provides the minimal interchange formats the examples and
+// tools use to make simulation outputs inspectable: binary PPM (P6) for
+// images and 16-bit PCM WAV for audio. Both are written from scratch (the
+// repository is stdlib-only and image/png would be overkill for raw dumps).
+package media
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"commguard/internal/codec/jpegcodec"
+)
+
+// WritePPM writes an RGB image as binary PPM (P6).
+func WritePPM(w io.Writer, img *jpegcodec.Image) error {
+	if err := img.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", img.W, img.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(img.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePPMFile writes an image to a file path.
+func WritePPMFile(path string, img *jpegcodec.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WritePPM(f, img)
+}
+
+// ReadPPM parses a binary PPM (P6) image.
+func ReadPPM(r io.Reader) (*jpegcodec.Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("media: reading PPM magic: %w", err)
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("media: not a P6 PPM (magic %q)", magic)
+	}
+	var w, h, maxVal int
+	if _, err := fmt.Fscan(br, &w, &h, &maxVal); err != nil {
+		return nil, fmt.Errorf("media: reading PPM header: %w", err)
+	}
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("media: bad PPM dimensions %dx%d", w, h)
+	}
+	if maxVal != 255 {
+		return nil, fmt.Errorf("media: unsupported PPM maxval %d", maxVal)
+	}
+	// Exactly one whitespace byte separates the header from pixel data.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, err
+	}
+	img := &jpegcodec.Image{W: w, H: h, Pix: make([]uint8, 3*w*h)}
+	if _, err := io.ReadFull(br, img.Pix); err != nil {
+		return nil, fmt.Errorf("media: reading PPM pixels: %w", err)
+	}
+	return img, nil
+}
+
+// ReadPPMFile reads a PPM image from a file path.
+func ReadPPMFile(path string) (*jpegcodec.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPPM(f)
+}
+
+// PixelsToImage packs a float64 pixel stream (R,G,B interleaved, values
+// 0..255, short streams zero-padded) into an image.
+func PixelsToImage(pix []float64, w, h int) *jpegcodec.Image {
+	img := jpegcodec.NewImage(w, h)
+	for i := 0; i < len(img.Pix); i++ {
+		v := 0.0
+		if i < len(pix) {
+			v = pix[i]
+		}
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		img.Pix[i] = uint8(v)
+	}
+	return img
+}
+
+// WriteWAV writes mono float samples in [-1, 1] as a 16-bit PCM WAV file.
+func WriteWAV(w io.Writer, samples []float64, sampleRate int) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("media: bad sample rate %d", sampleRate)
+	}
+	dataLen := 2 * len(samples)
+	bw := bufio.NewWriter(w)
+	write := func(v interface{}) {
+		_ = binary.Write(bw, binary.LittleEndian, v)
+	}
+	bw.WriteString("RIFF")
+	write(uint32(36 + dataLen))
+	bw.WriteString("WAVE")
+	bw.WriteString("fmt ")
+	write(uint32(16))
+	write(uint16(1)) // PCM
+	write(uint16(1)) // mono
+	write(uint32(sampleRate))
+	write(uint32(sampleRate * 2)) // byte rate
+	write(uint16(2))              // block align
+	write(uint16(16))             // bits per sample
+	bw.WriteString("data")
+	write(uint32(dataLen))
+	for _, s := range samples {
+		if s > 1 {
+			s = 1
+		}
+		if s < -1 {
+			s = -1
+		}
+		write(int16(s * 32767))
+	}
+	return bw.Flush()
+}
+
+// WriteWAVFile writes samples to a WAV file path.
+func WriteWAVFile(path string, samples []float64, sampleRate int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteWAV(f, samples, sampleRate)
+}
+
+// ReadWAV parses a mono 16-bit PCM WAV produced by WriteWAV back into
+// float samples.
+func ReadWAV(r io.Reader) ([]float64, int, error) {
+	var header [44]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, 0, fmt.Errorf("media: reading WAV header: %w", err)
+	}
+	if string(header[0:4]) != "RIFF" || string(header[8:12]) != "WAVE" {
+		return nil, 0, fmt.Errorf("media: not a WAV file")
+	}
+	if binary.LittleEndian.Uint16(header[20:]) != 1 || binary.LittleEndian.Uint16(header[22:]) != 1 {
+		return nil, 0, fmt.Errorf("media: only mono PCM supported")
+	}
+	rate := int(binary.LittleEndian.Uint32(header[24:]))
+	dataLen := int(binary.LittleEndian.Uint32(header[40:]))
+	raw := make([]byte, dataLen)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, 0, fmt.Errorf("media: reading WAV data: %w", err)
+	}
+	samples := make([]float64, dataLen/2)
+	for i := range samples {
+		samples[i] = float64(int16(binary.LittleEndian.Uint16(raw[2*i:]))) / 32767
+	}
+	return samples, rate, nil
+}

@@ -1,0 +1,146 @@
+package media
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"commguard/internal/codec/jpegcodec"
+)
+
+func TestPPMRoundTrip(t *testing.T) {
+	img := jpegcodec.TestImage(32, 16)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != img.W || got.H != img.H {
+		t.Fatalf("dimensions %dx%d, want %dx%d", got.W, got.H, img.W, img.H)
+	}
+	for i := range img.Pix {
+		if got.Pix[i] != img.Pix[i] {
+			t.Fatalf("pixel byte %d differs", i)
+		}
+	}
+}
+
+func TestPPMRejectsGarbage(t *testing.T) {
+	if _, err := ReadPPM(strings.NewReader("P5\n1 1\n255\nx")); err == nil {
+		t.Error("P5 accepted")
+	}
+	if _, err := ReadPPM(strings.NewReader("P6\n0 4\n255\n")); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := ReadPPM(strings.NewReader("P6\n4 4\n65535\n")); err == nil {
+		t.Error("16-bit maxval accepted")
+	}
+	if _, err := ReadPPM(strings.NewReader("P6\n4 4\n255\nshort")); err == nil {
+		t.Error("truncated pixels accepted")
+	}
+}
+
+func TestWritePPMValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, &jpegcodec.Image{W: 3, H: 3}); err == nil {
+		t.Error("invalid image accepted")
+	}
+}
+
+func TestPixelsToImage(t *testing.T) {
+	img := PixelsToImage([]float64{300, -5, 128}, 8, 8)
+	if img.Pix[0] != 255 || img.Pix[1] != 0 || img.Pix[2] != 128 {
+		t.Errorf("clamping wrong: %v", img.Pix[:3])
+	}
+	if img.Pix[10] != 0 {
+		t.Error("short stream not zero-padded")
+	}
+}
+
+func TestWAVRoundTrip(t *testing.T) {
+	in := make([]float64, 512)
+	for i := range in {
+		in[i] = 0.8 * math.Sin(2*math.Pi*float64(i)/64)
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, in, 44100); err != nil {
+		t.Fatal(err)
+	}
+	out, rate, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 44100 || len(out) != len(in) {
+		t.Fatalf("rate=%d len=%d", rate, len(out))
+	}
+	for i := range in {
+		if math.Abs(out[i]-in[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %v vs %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestWAVClampsOverRange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{5, -5}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] < 0.99 || out[1] > -0.99 {
+		t.Errorf("clamping failed: %v", out)
+	}
+}
+
+func TestWAVValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, nil, 0); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	if _, _, err := ReadWAV(strings.NewReader("not a wav")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	img := jpegcodec.TestImage(16, 8)
+	ppm := filepath.Join(dir, "x.ppm")
+	if err := WritePPMFile(ppm, img); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPPMFile(ppm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != 16 || back.H != 8 {
+		t.Errorf("round trip dims %dx%d", back.W, back.H)
+	}
+	wav := filepath.Join(dir, "x.wav")
+	if err := WriteWAVFile(wav, []float64{0, 0.5, -0.5}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(wav)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, rate, err := ReadWAV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8000 || len(samples) != 3 {
+		t.Errorf("wav round trip: rate %d, %d samples", rate, len(samples))
+	}
+	if _, err := ReadPPMFile(filepath.Join(dir, "missing.ppm")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSNRIdentical(t *testing.T) {
+	x := []float64{1, 2, 3, -4}
+	if !math.IsInf(SNR(x, x), 1) {
+		t.Error("identical signals must give +Inf SNR")
+	}
+}
+
+func TestSNRZeroReference(t *testing.T) {
+	if !math.IsNaN(SNR([]float64{0, 0}, []float64{1, 2})) {
+		t.Error("all-zero reference must give NaN")
+	}
+}
+
+func TestSNRKnownValue(t *testing.T) {
+	// Signal power 100, noise power 1 -> 20 dB.
+	ref := []float64{10}
+	test := []float64{9}
+	if got := SNR(ref, test); math.Abs(got-20) > 1e-9 {
+		t.Errorf("SNR = %v, want 20", got)
+	}
+}
+
+func TestSNRTruncatedTestPenalized(t *testing.T) {
+	ref := []float64{1, 1, 1, 1}
+	full := SNR(ref, []float64{1, 1, 1, 0})
+	trunc := SNR(ref, []float64{1, 1, 1})
+	if full != trunc {
+		t.Errorf("missing tail should count as zero-fill noise: %v vs %v", full, trunc)
+	}
+}
+
+func TestSNR32MatchesSNR(t *testing.T) {
+	ref := []float32{1, 2, 3}
+	test := []float32{1, 2, 2}
+	if got, want := SNR32(ref, test), SNR([]float64{1, 2, 3}, []float64{1, 2, 2}); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SNR32 = %v, want %v", got, want)
+	}
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	img := []uint8{0, 128, 255}
+	if !math.IsInf(PSNR(img, img), 1) {
+		t.Error("identical images must give +Inf PSNR")
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	// MSE of 1 -> 10*log10(65025) ≈ 48.13 dB.
+	ref := []uint8{100, 100}
+	test := []uint8{101, 99}
+	want := 10 * math.Log10(255*255)
+	if got := PSNR(ref, test); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestPSNREmpty(t *testing.T) {
+	if !math.IsNaN(PSNR(nil, nil)) {
+		t.Error("empty reference must give NaN")
+	}
+}
+
+func TestPSNRNeverImprovesWithCorruption(t *testing.T) {
+	f := func(pix []uint8, idx uint16, delta uint8) bool {
+		if len(pix) == 0 || delta == 0 {
+			return true
+		}
+		corrupted := append([]uint8(nil), pix...)
+		i := int(idx) % len(pix)
+		corrupted[i] += delta
+		if corrupted[i] == pix[i] {
+			return true
+		}
+		return PSNR(pix, corrupted) < math.Inf(1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataLossRatio(t *testing.T) {
+	if got := DataLossRatio(0, 100); got != 0 {
+		t.Errorf("ratio = %v", got)
+	}
+	if got := DataLossRatio(2, 1000); got != 0.002 {
+		t.Errorf("ratio = %v", got)
+	}
+	if got := DataLossRatio(0, 0); got != 0 {
+		t.Errorf("0/0 ratio = %v", got)
+	}
+	if !math.IsInf(DataLossRatio(5, 0), 1) {
+		t.Error("loss with nothing accepted must be +Inf")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5}, 100)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarizeClampsInfinity(t *testing.T) {
+	s := Summarize([]float64{math.Inf(1), 30}, 40)
+	if s.Mean != 35 {
+		t.Errorf("mean = %v, want 35 (inf clamped to 40)", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil, 1); s.N != 0 {
+		t.Errorf("summary of empty = %+v", s)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("geomean = %v, want 10", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("geomean of non-positive = %v, want 0", got)
+	}
+}
+
+// Property: SNR decreases (or stays equal) as noise grows.
+func TestQuickSNRMonotonicInNoise(t *testing.T) {
+	f := func(seedVals []float64) bool {
+		if len(seedVals) < 4 {
+			return true
+		}
+		ref := make([]float64, len(seedVals))
+		for i, v := range seedVals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			ref[i] = math.Mod(v, 100)
+		}
+		small := make([]float64, len(ref))
+		big := make([]float64, len(ref))
+		for i := range ref {
+			small[i] = ref[i] + 0.1
+			big[i] = ref[i] + 10
+		}
+		return SNR(ref, small) >= SNR(ref, big)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,506 @@
+package queue
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"commguard/internal/ecc"
+)
+
+// Config describes the geometry and protection level of one queue.
+type Config struct {
+	// WorkingSets is the number of sub-regions the queue memory is divided
+	// into (the paper uses 8 over a 320KB region).
+	WorkingSets int
+	// WorkingSetUnits is the number of word-sized units per working set.
+	WorkingSetUnits int
+	// ProtectPointers enables ECC protection of the shared working-set
+	// head/tail pointers (the reliable queue of §4.3). Without it, the
+	// queue models the plain software queue whose management state is
+	// corruptible (queue-management errors, §3).
+	ProtectPointers bool
+	// Timeout bounds blocking push/pop operations, as required by §5.1:
+	// "the QM needs timeout mechanisms to avoid indefinite blocking. A
+	// timeout may cause incorrect data to be transmitted". Zero means
+	// block indefinitely.
+	Timeout time.Duration
+}
+
+// DefaultConfig mirrors the paper's queue structure with geometry scaled to
+// our workload sizes (the paper's 320KB/8 regions are sized for minutes of
+// media; our streams are seconds).
+func DefaultConfig() Config {
+	return Config{
+		WorkingSets:     8,
+		WorkingSetUnits: 256,
+		ProtectPointers: true,
+		Timeout:         200 * time.Millisecond,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.WorkingSets < 2 {
+		return fmt.Errorf("queue: need at least 2 working sets, got %d", c.WorkingSets)
+	}
+	if c.WorkingSetUnits < 1 {
+		return fmt.Errorf("queue: working set must hold at least 1 unit, got %d", c.WorkingSetUnits)
+	}
+	return nil
+}
+
+// Stats counts the memory events and protection activity of one queue.
+// Item and header loads/stores feed the memory-overhead analysis of
+// Fig. 12; pointer ECC operations feed the suboperation accounting of
+// Table 3 ("QM-get-new-workset: 10 check/compute-ECC operations").
+type Stats struct {
+	ItemStores   uint64
+	ItemLoads    uint64
+	HeaderStores uint64
+	HeaderLoads  uint64
+	// PointerECCOps counts single-word ECC set/check operations performed
+	// for shared working-set pointer exchanges.
+	PointerECCOps uint64
+	// CorrectedPointerErrors counts shared-pointer corruptions repaired by
+	// ECC (only possible when ProtectPointers is set).
+	CorrectedPointerErrors uint64
+	// PushTimeouts and PopTimeouts count blocking operations that gave up.
+	PushTimeouts uint64
+	PopTimeouts  uint64
+	// ForcedOverwrites counts pushes that proceeded after a timeout,
+	// overwriting data the consumer had not drained.
+	ForcedOverwrites uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.ItemStores += other.ItemStores
+	s.ItemLoads += other.ItemLoads
+	s.HeaderStores += other.HeaderStores
+	s.HeaderLoads += other.HeaderLoads
+	s.PointerECCOps += other.PointerECCOps
+	s.CorrectedPointerErrors += other.CorrectedPointerErrors
+	s.PushTimeouts += other.PushTimeouts
+	s.PopTimeouts += other.PopTimeouts
+	s.ForcedOverwrites += other.ForcedOverwrites
+}
+
+// sharedCounter is a free-running counter that is either stored raw
+// (corruptible) or as an ECC codeword (single-bit corruptions repaired on
+// access). It models the shared working-set pointers of Fig. 6.
+type sharedCounter struct {
+	protected bool
+	raw       uint32
+	cw        ecc.Codeword
+}
+
+func newSharedCounter(protected bool) sharedCounter {
+	return sharedCounter{protected: protected, cw: ecc.Encode(0)}
+}
+
+// load reads the counter, correcting single-bit errors when protected.
+// It returns the value and the number of corrected errors (0 or 1).
+func (c *sharedCounter) load() (uint32, uint64) {
+	if !c.protected {
+		return c.raw, 0
+	}
+	v, res := ecc.Decode(c.cw)
+	if res == ecc.Corrected {
+		c.cw = ecc.Encode(v) // scrub
+		return v, 1
+	}
+	return v, 0
+}
+
+func (c *sharedCounter) store(v uint32) {
+	if !c.protected {
+		c.raw = v
+		return
+	}
+	c.cw = ecc.Encode(v)
+}
+
+// corrupt flips one random bit of the stored representation. For protected
+// counters the flip lands in the codeword (and will be repaired); for raw
+// counters it lands in the value.
+func (c *sharedCounter) corrupt(r *rand.Rand) {
+	if !c.protected {
+		c.raw ^= 1 << uint(r.Intn(32))
+		return
+	}
+	c.cw = ecc.FlipBit(c.cw, r.Intn(ecc.TotalBits))
+}
+
+// Queue is a single-producer single-consumer working-set queue.
+//
+// Producer side: fills the current working set through a local tail offset;
+// when the working set is full it is published by advancing the shared
+// "filled" pointer (one QM-get-new-workset exchange). Consumer side drains
+// published working sets through a local head offset and returns them by
+// advancing the shared "drained" pointer. Per-item operations never touch
+// the shared pointers, exactly as in the paper ("a 320KB memory region
+// divided to 8 sub-regions to avoid per-item access to the head/tail
+// pointers").
+type Queue struct {
+	id  int
+	cfg Config
+
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+
+	buf   []Unit
+	wsLen []uint32 // published length of each working set slot
+
+	// Shared working-set pointers (free-running counts of working sets
+	// published and drained).
+	filled  sharedCounter
+	drained sharedCounter
+
+	// Producer-local state (reliable: lives in CommGuard's QIT when
+	// CommGuard is present; register-resident otherwise and corrupted via
+	// the control-flow manifestation path, not here).
+	prodOffset uint32
+	prodWS     uint32 // working set currently being filled (== filled view)
+
+	// Consumer-local state.
+	consOffset uint32
+	consWS     uint32 // working set currently being drained (== drained view)
+
+	closed      bool
+	nonBlocking bool
+	stats       Stats
+
+	// Cached views of the other side's shared pointer. Per-item operations
+	// compare against the cached view and only perform a shared (ECC)
+	// pointer access when the view is exhausted, preserving the paper's
+	// "avoid per-item access to the head/tail pointers" design (Fig. 6).
+	cachedDrained uint32 // producer's view of the consumer's progress
+	cachedFilled  uint32 // consumer's view of the producer's progress
+
+	// Starvation backoff: each consecutive timeout halves the next
+	// blocking budget (down to a floor), so a persistently corrupted or
+	// starved queue degrades to fast garbage delivery instead of
+	// serializing full timeouts per item, while a transiently slow peer
+	// still gets real waiting time.
+	popStreak  uint32
+	pushStreak uint32
+}
+
+// backoffFloor is the minimum blocking budget under repeated starvation.
+const backoffFloor = 50 * time.Microsecond
+
+// budget halves the timeout per consecutive starvation event.
+func budget(timeout time.Duration, streak uint32) time.Duration {
+	if timeout <= 0 {
+		return 0 // block forever; never degrade
+	}
+	if streak > 12 {
+		streak = 12
+	}
+	d := timeout >> streak
+	if d < backoffFloor {
+		d = backoffFloor
+	}
+	return d
+}
+
+// New creates a queue with the given identifier (the QID used by CommGuard's
+// Queue Information Table) and configuration.
+func New(id int, cfg Config) (*Queue, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	q := &Queue{
+		id:      id,
+		cfg:     cfg,
+		buf:     make([]Unit, cfg.WorkingSets*cfg.WorkingSetUnits),
+		wsLen:   make([]uint32, cfg.WorkingSets),
+		filled:  newSharedCounter(cfg.ProtectPointers),
+		drained: newSharedCounter(cfg.ProtectPointers),
+	}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(id int, cfg Config) *Queue {
+	q, err := New(id, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ID returns the queue identifier.
+func (q *Queue) ID() int { return q.id }
+
+// Capacity returns the total units the queue's region holds.
+func (q *Queue) Capacity() int { return q.cfg.WorkingSets * q.cfg.WorkingSetUnits }
+
+// SetNonBlocking makes Pop fail immediately on an empty queue and Push
+// overwrite immediately on a full one, instead of waiting for the peer.
+// Sequential (statically scheduled) execution uses this: the peer runs on
+// the same goroutine, so blocking could never be satisfied.
+func (q *Queue) SetNonBlocking(v bool) {
+	q.mu.Lock()
+	q.nonBlocking = v
+	q.mu.Unlock()
+}
+
+// waitTimeout waits on cond until the caller's predicate may have changed,
+// or until d elapses. It returns false on timeout. The caller holds q.mu.
+func waitTimeout(cond *sync.Cond, d time.Duration) {
+	if d <= 0 {
+		cond.Wait()
+		return
+	}
+	t := time.AfterFunc(d, func() { cond.Broadcast() })
+	cond.Wait()
+	// A timer wake-up is indistinguishable from a real one; the caller
+	// re-checks its predicate and tracks its own deadline.
+	t.Stop()
+}
+
+// Push appends one unit, blocking while the queue is full. If the blocking
+// exceeds the configured timeout the push proceeds anyway, overwriting
+// undrained data (§5.1: a timeout may cause incorrect data to be
+// transmitted but frame checking still realigns at frame boundaries).
+func (q *Queue) Push(u Unit) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	// A free working set is only needed when starting one; mid-set pushes
+	// touch no shared state.
+	if q.prodOffset == 0 && q.nonBlocking {
+		if !q.canFillLocked() {
+			q.stats.PushTimeouts++
+			q.stats.ForcedOverwrites++
+		}
+	} else if q.prodOffset == 0 {
+		wait := budget(q.cfg.Timeout, q.pushStreak)
+		deadline := time.Time{}
+		if q.cfg.Timeout > 0 {
+			deadline = time.Now().Add(wait)
+		}
+		for !q.canFillLocked() {
+			if q.cfg.Timeout > 0 && !time.Now().Before(deadline) {
+				q.stats.PushTimeouts++
+				q.stats.ForcedOverwrites++
+				q.pushStreak++
+				break // proceed, overwriting undrained data
+			}
+			waitTimeout(q.notFull, wait)
+		}
+	}
+
+	k := uint32(q.cfg.WorkingSets)
+	s := uint32(q.cfg.WorkingSetUnits)
+	slot := (q.prodWS%k)*s + q.prodOffset%s
+	q.buf[slot] = u
+	if u.IsHeader() {
+		q.stats.HeaderStores++
+	} else {
+		q.stats.ItemStores++
+	}
+	q.prodOffset++
+	if q.prodOffset >= s {
+		q.publishLocked(s)
+	}
+}
+
+// canFillLocked reports whether the producer may start filling its next
+// working set. The cached consumer-progress view is refreshed (one shared
+// ECC pointer access) only when it says the ring is full.
+func (q *Queue) canFillLocked() bool {
+	if q.prodWS-q.cachedDrained < uint32(q.cfg.WorkingSets) {
+		q.pushStreak = 0
+		return true
+	}
+	d, c := q.drained.load()
+	q.stats.CorrectedPointerErrors += c
+	q.stats.PointerECCOps += 2
+	q.cachedDrained = d
+	if q.prodWS-d < uint32(q.cfg.WorkingSets) {
+		q.pushStreak = 0
+		return true
+	}
+	return false
+}
+
+// publishLocked hands the current working set to the consumer. This is the
+// QM-get-new-workset exchange; per Table 3 it costs 10 single-word ECC
+// set/check operations for the shared pointer access.
+func (q *Queue) publishLocked(n uint32) {
+	k := uint32(q.cfg.WorkingSets)
+	q.wsLen[q.prodWS%k] = n
+	f, c := q.filled.load()
+	q.stats.CorrectedPointerErrors += c
+	q.filled.store(f + 1)
+	q.stats.PointerECCOps += 10
+	q.prodWS = f + 1
+	q.prodOffset = 0
+	q.notEmpty.Broadcast()
+}
+
+// Flush publishes a partially filled working set. The producer calls it
+// when its thread's computation ends so trailing items (and the
+// end-of-computation header) reach the consumer.
+func (q *Queue) Flush() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.prodOffset > 0 {
+		q.publishLocked(q.prodOffset)
+	}
+}
+
+// Close marks the producer side finished. Blocked and future pops fail
+// fast once all published data is drained.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+}
+
+// Pop removes the next unit, blocking while the queue is empty. ok is
+// false if the queue timed out or was closed and fully drained; the caller
+// (the Alignment Manager, or a bare thread pop) decides what to substitute.
+func (q *Queue) Pop() (u Unit, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	if q.nonBlocking {
+		if !q.canDrainLocked() {
+			q.stats.PopTimeouts++
+			return 0, false
+		}
+	}
+	wait := budget(q.cfg.Timeout, q.popStreak)
+	deadline := time.Time{}
+	if q.cfg.Timeout > 0 {
+		deadline = time.Now().Add(wait)
+	}
+	for !q.canDrainLocked() {
+		if q.closed {
+			return 0, false
+		}
+		if q.cfg.Timeout > 0 && !time.Now().Before(deadline) {
+			q.stats.PopTimeouts++
+			q.popStreak++
+			return 0, false
+		}
+		waitTimeout(q.notEmpty, wait)
+	}
+
+	k := uint32(q.cfg.WorkingSets)
+	s := uint32(q.cfg.WorkingSetUnits)
+	slot := (q.consWS%k)*s + q.consOffset%s
+	u = q.buf[slot]
+	if u.IsHeader() {
+		q.stats.HeaderLoads++
+	} else {
+		q.stats.ItemLoads++
+	}
+	q.consOffset++
+	if q.consOffset >= q.wsLen[q.consWS%k] {
+		q.returnWSLocked()
+	}
+	return u, true
+}
+
+// canDrainLocked reports whether the consumer's current working set has
+// been published. The cached producer-progress view is refreshed (one
+// shared ECC pointer access) only when it is exhausted.
+func (q *Queue) canDrainLocked() bool {
+	if int32(q.cachedFilled-q.consWS) > 0 {
+		q.popStreak = 0
+		return true
+	}
+	f, c := q.filled.load()
+	q.stats.CorrectedPointerErrors += c
+	q.stats.PointerECCOps++
+	q.cachedFilled = f
+	// Comparison is on free-running counters; after a raw-pointer
+	// corruption these can disagree wildly — the consumer may see a huge
+	// backlog (and read garbage from unwritten slots) or see nothing at
+	// all (and time out). That is exactly the failure mode of Fig. 3b;
+	// the timeout path bounds the damage.
+	if int32(f-q.consWS) > 0 {
+		q.popStreak = 0
+		return true
+	}
+	return false
+}
+
+// returnWSLocked returns the drained working set to the producer.
+func (q *Queue) returnWSLocked() {
+	d, c := q.drained.load()
+	q.stats.CorrectedPointerErrors += c
+	q.drained.store(d + 1)
+	q.stats.PointerECCOps += 10
+	q.consWS++
+	q.consOffset = 0
+	q.notFull.Broadcast()
+}
+
+// Len reports the number of published, undrained units (approximate under
+// corruption). Intended for tests and diagnostics.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	f, _ := q.filled.load()
+	n := 0
+	k := uint32(q.cfg.WorkingSets)
+	for ws := q.consWS; int32(f-ws) > 0 && ws-q.consWS < uint32(q.cfg.WorkingSets); ws++ {
+		l := q.wsLen[ws%k]
+		if ws == q.consWS {
+			if l >= q.consOffset {
+				n += int(l - q.consOffset)
+			}
+		} else {
+			n += int(l)
+		}
+	}
+	return n
+}
+
+// CorruptPointer flips one random bit in one of the shared working-set
+// pointers, modeling a queue-management error (§3, QME). With protected
+// pointers the flip is repaired on the next access; with the raw software
+// queue it corrupts the producer/consumer handshake.
+func (q *Queue) CorruptPointer(r *rand.Rand) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if r.Intn(2) == 0 {
+		q.filled.corrupt(r)
+	} else {
+		q.drained.corrupt(r)
+	}
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// CorruptLocalOffset flips a bit in a local (per-core, register-resident)
+// queue offset. Only meaningful for the unprotected software queue: when
+// CommGuard's QM is present these offsets live in the reliable QIT.
+func (q *Queue) CorruptLocalOffset(r *rand.Rand) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	bit := uint(r.Intn(16)) // offsets are small; flip a low bit
+	if r.Intn(2) == 0 {
+		q.prodOffset ^= 1 << bit
+	} else {
+		q.consOffset ^= 1 << bit
+	}
+}
+
+// Stats returns a snapshot of the queue's event counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}

@@ -1,0 +1,187 @@
+package queue
+
+import (
+	"testing"
+	"time"
+)
+
+func specQueue(t *testing.T) *Queue {
+	t.Helper()
+	return MustNew(0, Config{WorkingSets: 4, WorkingSetUnits: 4, ProtectPointers: true, Timeout: 20 * time.Millisecond})
+}
+
+func TestSpecValidation(t *testing.T) {
+	q := specQueue(t)
+	if _, err := NewSpecProducer(q, 0); err == nil {
+		t.Error("zero-depth producer accepted")
+	}
+	if _, err := NewSpecConsumer(q, -1); err == nil {
+		t.Error("negative-depth consumer accepted")
+	}
+}
+
+// Speculative pushes are invisible until commit.
+func TestSpecPushInvisibleUntilCommit(t *testing.T) {
+	q := specQueue(t)
+	p, err := NewSpecProducer(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Push(DataUnit(1))
+	p.Push(DataUnit(2))
+	if p.InFlight() != 2 {
+		t.Errorf("InFlight = %d", p.InFlight())
+	}
+	if q.Len() != 0 {
+		t.Error("speculative pushes leaked into the queue")
+	}
+	p.CommitAll()
+	q.Flush()
+	if got := q.Len(); got != 2 {
+		t.Errorf("after commit Len = %d, want 2", got)
+	}
+	u, ok := q.Pop()
+	if !ok || u.Payload() != 1 {
+		t.Errorf("first committed item = %v,%v", u, ok)
+	}
+}
+
+// A squashed branch's pushes never become visible.
+func TestSpecPushAbort(t *testing.T) {
+	q := specQueue(t)
+	p, _ := NewSpecProducer(q, 8)
+	p.Push(DataUnit(1))
+	p.Push(DataUnit(2)) // wrong path
+	p.Push(DataUnit(3)) // wrong path
+	p.Abort(2)
+	p.CommitAll()
+	q.Flush()
+	q.Close()
+	u, ok := q.Pop()
+	if !ok || u.Payload() != 1 {
+		t.Fatalf("committed item = %v,%v, want 1", u, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("squashed pushes became visible")
+	}
+}
+
+// A full window stalls by retiring the oldest entry first (order kept).
+func TestSpecPushWindowOverflow(t *testing.T) {
+	q := specQueue(t)
+	p, _ := NewSpecProducer(q, 2)
+	p.Push(DataUnit(1))
+	p.Push(DataUnit(2))
+	p.Push(DataUnit(3)) // overflow: 1 commits
+	if p.InFlight() != 2 {
+		t.Errorf("InFlight = %d, want 2", p.InFlight())
+	}
+	p.CommitAll()
+	q.Flush()
+	for want := uint32(1); want <= 3; want++ {
+		u, ok := q.Pop()
+		if !ok || u.Payload() != want {
+			t.Fatalf("pop = %v,%v, want %d", u, ok, want)
+		}
+	}
+}
+
+// Speculative pops read ahead without consuming; abort rewinds completely.
+func TestSpecPopAbortRewinds(t *testing.T) {
+	q := specQueue(t)
+	for i := 1; i <= 6; i++ {
+		q.Push(DataUnit(uint32(i)))
+	}
+	q.Flush()
+	c, err := NewSpecConsumer(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := uint32(1); want <= 3; want++ {
+		u, ok := c.Pop()
+		if !ok || u.Payload() != want {
+			t.Fatalf("spec pop = %v,%v, want %d", u, ok, want)
+		}
+	}
+	c.Abort()
+	// The visible queue is untouched: a real pop sees item 1.
+	u, ok := q.Pop()
+	if !ok || u.Payload() != 1 {
+		t.Fatalf("after abort, real pop = %v,%v, want 1", u, ok)
+	}
+}
+
+// Commit makes exactly the retired pops visible.
+func TestSpecPopCommitOldest(t *testing.T) {
+	q := specQueue(t)
+	for i := 1; i <= 6; i++ {
+		q.Push(DataUnit(uint32(i)))
+	}
+	q.Flush()
+	c, _ := NewSpecConsumer(q, 8)
+	c.Pop()
+	c.Pop()
+	c.Pop()
+	c.CommitOldest(2)
+	if c.InFlight() != 1 {
+		t.Errorf("InFlight = %d, want 1", c.InFlight())
+	}
+	c.Abort()
+	u, ok := q.Pop()
+	if !ok || u.Payload() != 3 {
+		t.Fatalf("real pop after committing 2 = %v,%v, want 3", u, ok)
+	}
+}
+
+// Speculative pops never block: unpublished data fails fast.
+func TestSpecPopNeverBlocks(t *testing.T) {
+	q := specQueue(t)
+	q.Push(DataUnit(1)) // unpublished (working set not full, no flush)
+	c, _ := NewSpecConsumer(q, 8)
+	start := time.Now()
+	if _, ok := c.Pop(); ok {
+		t.Error("speculative pop saw unpublished data")
+	}
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("speculative pop blocked")
+	}
+}
+
+// The window depth bounds in-flight pops.
+func TestSpecPopDepthBound(t *testing.T) {
+	q := specQueue(t)
+	for i := 0; i < 8; i++ {
+		q.Push(DataUnit(uint32(i)))
+	}
+	q.Flush()
+	c, _ := NewSpecConsumer(q, 2)
+	c.Pop()
+	c.Pop()
+	if _, ok := c.Pop(); ok {
+		t.Error("window overflow allowed a third in-flight pop")
+	}
+}
+
+// PeekAt spans working-set boundaries and respects publication.
+func TestPeekAtAcrossWorkingSets(t *testing.T) {
+	q := specQueue(t) // working sets of 4 units
+	for i := 0; i < 10; i++ {
+		q.Push(DataUnit(uint32(100 + i)))
+	}
+	q.Flush() // publishes 2 full sets + 1 partial
+	for k := 0; k < 10; k++ {
+		u, ok := q.PeekAt(k)
+		if !ok || u.Payload() != uint32(100+k) {
+			t.Fatalf("PeekAt(%d) = %v,%v, want %d", k, u, ok, 100+k)
+		}
+	}
+	if _, ok := q.PeekAt(10); ok {
+		t.Error("PeekAt past published data succeeded")
+	}
+	// Consuming one item shifts the peek origin.
+	q.Pop()
+	u, ok := q.PeekAt(0)
+	if !ok || u.Payload() != 101 {
+		t.Errorf("after pop, PeekAt(0) = %v,%v, want 101", u, ok)
+	}
+}

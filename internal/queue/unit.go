@@ -1,0 +1,62 @@
+// Package queue implements the StreamIt cluster-backend communication queue
+// that CommGuard builds on (paper §5.1, Fig. 6): a memory region divided into
+// working-set sub-regions, with per-thread local pointers into the current
+// working set and shared head/tail working-set pointers that are exchanged
+// between producer and consumer cores. The shared pointers can either be
+// left unprotected (the software queue of Fig. 3b, whose corruption causes
+// queue-management errors) or protected with word-sized ECC (the reliable
+// hardware queue of §4.3).
+package queue
+
+import "commguard/internal/ecc"
+
+// Unit is one word-sized data unit in flight on a queue: either a regular
+// 32-bit data item or a frame header. The paper transmits headers in-band
+// with a header tag bit ("is-header" suboperation, Table 3) and end-to-end
+// ECC on the header value.
+//
+// Layout (least significant bits first):
+//
+//	data unit:   bits 0..31 payload, bit 63 = 0
+//	header unit: bits 0..38 ecc.Codeword of the header ID, bit 63 = 1
+type Unit uint64
+
+const headerTag Unit = 1 << 63
+
+// EOCHeaderID is the special frame ID the Header Inserter emits when a
+// thread's outermost scope exits, indicating end of computation (§4.1).
+const EOCHeaderID uint32 = 0xFFFFFFFF
+
+// DataUnit wraps a 32-bit payload as a regular item.
+func DataUnit(v uint32) Unit { return Unit(v) }
+
+// HeaderUnit builds an ECC-protected frame header carrying id.
+func HeaderUnit(id uint32) Unit {
+	return headerTag | Unit(ecc.Encode(id))
+}
+
+// IsHeader reports whether u carries a frame header ("header-bit" check).
+func (u Unit) IsHeader() bool { return u&headerTag != 0 }
+
+// Payload returns the data value of a regular item.
+func (u Unit) Payload() uint32 { return uint32(u) }
+
+// HeaderID decodes and ECC-checks the frame ID of a header unit. The
+// CheckResult reports whether the stored codeword was clean, corrected, or
+// uncorrectable (headers are end-to-end protected, so in practice a flip is
+// corrected; uncorrectable headers are treated by callers as items).
+func (u Unit) HeaderID() (uint32, ecc.CheckResult) {
+	cw := ecc.Codeword(u &^ headerTag)
+	return ecc.Decode(cw)
+}
+
+// WithBitFlipped returns the unit with payload bit i flipped. Only the
+// 32-bit payload of data units is error-prone; headers carry ECC and their
+// protection is accounted separately (paper §6: "Headers are not
+// error-prone because we assume they are end-to-end ECC protected").
+func (u Unit) WithBitFlipped(i int) Unit {
+	if u.IsHeader() || i < 0 || i >= 32 {
+		return u
+	}
+	return u ^ Unit(uint32(1)<<uint(i))
+}

@@ -1,0 +1,149 @@
+// Package rely implements the Rely-style quantitative reliability analysis
+// the paper lays out as future work (§9): "with CommGuard, the reliability
+// analysis can capture that error effects do not propagate across frame
+// boundaries. As a result, Rely's reliability analysis may compute the
+// overall application reliability for streaming data."
+//
+// The analysis exploits exactly the property CommGuard establishes — error
+// effects are confined to the frame they occur in — to compute closed-form
+// per-frame reliability bounds from the steady-state schedule and the
+// error model, without simulating:
+//
+//	P(core c suffers an error during one frame) = 1 - exp(-I_c / MTBE)
+//
+// where I_c is core c's committed instructions per steady-state iteration.
+// Because frames are pipelined (output frame f is computed from frame f of
+// every upstream core), the probability an output frame is clean is the
+// product of per-core frame reliabilities. Without CommGuard no such bound
+// exists: a single alignment error corrupts every later frame, so
+// reliability decays to zero with stream length — the formal content of
+// the paper's claim that "Rely's reliability analysis would capture the
+// misalignments and conclude that the application has virtually zero
+// reliability".
+package rely
+
+import (
+	"fmt"
+	"math"
+
+	"commguard/internal/fault"
+	"commguard/internal/stream"
+)
+
+// CoreReliability is the per-frame reliability of one core.
+type CoreReliability struct {
+	Node string
+	// InstructionsPerFrame is the core's committed instructions per
+	// steady-state iteration (compute + communication).
+	InstructionsPerFrame int
+	// PFrameError is the probability at least one error hits the core
+	// during one frame.
+	PFrameError float64
+}
+
+// Analysis is the closed-form reliability report for one graph and error
+// rate.
+type Analysis struct {
+	MTBE  float64
+	Cores []CoreReliability
+	// PFrameClean is the probability that one output frame is computed
+	// without any error on any core (the frame-level reliability bound
+	// CommGuard makes well-defined).
+	PFrameClean float64
+	// ExpectedCleanFrameRatio is the expected fraction of clean output
+	// frames over a long stream; with CommGuard it equals PFrameClean
+	// (errors are ephemeral), without CommGuard it tends to 0.
+	ExpectedCleanFrameRatio float64
+	// ExpectedLossRatio estimates Fig. 8's padded+discarded data ratio:
+	// the fraction of frames hit by an alignment-class error, times the
+	// expected half-frame lost per realignment.
+	ExpectedLossRatio float64
+	// AlignmentErrorShare is the probability mass of error classes that
+	// cause misalignment (control-flow trip/frame slips).
+	AlignmentErrorShare float64
+}
+
+// Analyze computes the frame-level reliability bounds of a graph at the
+// given per-core MTBE under the given manifestation model.
+func Analyze(g *stream.Graph, mtbe float64, model fault.Model) (*Analysis, error) {
+	if mtbe <= 0 {
+		return nil, fmt.Errorf("rely: MTBE must be positive, got %v", mtbe)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	sched, err := stream.Solve(g)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Analysis{MTBE: mtbe, PFrameClean: 1}
+	for _, n := range g.Nodes {
+		cost := stream.DefaultFiringCost(n.F)
+		comm := 0
+		for _, e := range n.In {
+			comm += e.PopRate()
+		}
+		for _, e := range n.Out {
+			comm += e.PushRate()
+		}
+		instr := sched.Multiplicity[n.ID] * (cost + comm)
+		p := 1 - math.Exp(-float64(instr)/mtbe)
+		a.Cores = append(a.Cores, CoreReliability{
+			Node:                 n.Name(),
+			InstructionsPerFrame: instr,
+			PFrameError:          p,
+		})
+		a.PFrameClean *= 1 - p
+	}
+	a.ExpectedCleanFrameRatio = a.PFrameClean
+
+	// Alignment errors are the control-flow manifestation classes; data
+	// flips and addressing slips corrupt values without moving frame
+	// boundaries.
+	total := 0.0
+	for _, w := range model.Weights {
+		total += w
+	}
+	if total > 0 {
+		a.AlignmentErrorShare = (model.Weights[fault.ControlTrip] + model.Weights[fault.ControlFrame]) / total
+	}
+	// Each alignment error realigns at the next frame boundary, losing on
+	// average half the affected frame on the edge it hit.
+	a.ExpectedLossRatio = (1 - a.PFrameClean) * a.AlignmentErrorShare * 0.5
+	return a, nil
+}
+
+// FramesToReliability returns the expected number of consecutive clean
+// frames before the first corrupted one (the mean error-free run length in
+// frames).
+func (a *Analysis) FramesToReliability() float64 {
+	if a.PFrameClean >= 1 {
+		return math.Inf(1)
+	}
+	return a.PFrameClean / (1 - a.PFrameClean)
+}
+
+// UnguardedCleanRatio is the expected clean-frame fraction over a stream
+// of n frames *without* CommGuard, where the first alignment error
+// permanently shifts the stream: only frames before the first alignment
+// error are clean.
+func (a *Analysis) UnguardedCleanRatio(n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	// Probability a frame introduces a permanent misalignment.
+	pShift := (1 - a.PFrameClean) * a.AlignmentErrorShare
+	if pShift <= 0 {
+		return a.PFrameClean
+	}
+	// Expected clean prefix length of a geometric failure process,
+	// truncated at n, divided by n; frames after the first shift are
+	// corrupted even if locally error-free.
+	q := 1 - pShift
+	expectedPrefix := q * (1 - math.Pow(q, float64(n))) / pShift
+	if expectedPrefix > float64(n) {
+		expectedPrefix = float64(n)
+	}
+	return expectedPrefix / float64(n) * a.PFrameClean
+}

@@ -1,0 +1,186 @@
+package rely
+
+import (
+	"math"
+	"testing"
+
+	"commguard/internal/apps"
+	"commguard/internal/fault"
+	"commguard/internal/sim"
+	"commguard/internal/stream"
+)
+
+func testGraph(t *testing.T) *stream.Graph {
+	t.Helper()
+	g := stream.NewGraph()
+	data := make([]uint32, 4096)
+	if _, err := g.Chain(
+		stream.NewSource("src", 8, data),
+		stream.NewIdentity("a", 8),
+		stream.NewSink("sink", 8),
+	); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Analyze(g, 0, fault.DefaultModel(true)); err == nil {
+		t.Error("zero MTBE accepted")
+	}
+	if _, err := Analyze(g, 1000, fault.Model{}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestAnalyzeBasicProperties(t *testing.T) {
+	g := testGraph(t)
+	a, err := Analyze(g, 100_000, fault.DefaultModel(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cores) != 3 {
+		t.Fatalf("got %d cores", len(a.Cores))
+	}
+	if a.PFrameClean <= 0 || a.PFrameClean >= 1 {
+		t.Errorf("PFrameClean = %v, want in (0,1)", a.PFrameClean)
+	}
+	product := 1.0
+	for _, c := range a.Cores {
+		if c.PFrameError <= 0 || c.PFrameError >= 1 {
+			t.Errorf("%s: PFrameError = %v", c.Node, c.PFrameError)
+		}
+		if c.InstructionsPerFrame <= 0 {
+			t.Errorf("%s: no instructions", c.Node)
+		}
+		product *= 1 - c.PFrameError
+	}
+	if math.Abs(product-a.PFrameClean) > 1e-12 {
+		t.Error("PFrameClean is not the product of per-core reliabilities")
+	}
+	if a.AlignmentErrorShare <= 0 || a.AlignmentErrorShare >= 1 {
+		t.Errorf("AlignmentErrorShare = %v", a.AlignmentErrorShare)
+	}
+	if a.ExpectedLossRatio <= 0 || a.ExpectedLossRatio >= 1 {
+		t.Errorf("ExpectedLossRatio = %v", a.ExpectedLossRatio)
+	}
+}
+
+// Reliability must be monotone in MTBE: rarer errors, cleaner frames.
+func TestReliabilityMonotoneInMTBE(t *testing.T) {
+	g := testGraph(t)
+	prev := -1.0
+	for _, mtbe := range []float64{10e3, 100e3, 1e6, 10e6} {
+		a, err := Analyze(g, mtbe, fault.DefaultModel(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.PFrameClean <= prev {
+			t.Fatalf("PFrameClean not increasing at MTBE %v", mtbe)
+		}
+		prev = a.PFrameClean
+	}
+}
+
+func TestFramesToReliability(t *testing.T) {
+	g := testGraph(t)
+	a, err := Analyze(g, 1e6, fault.DefaultModel(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftr := a.FramesToReliability()
+	want := a.PFrameClean / (1 - a.PFrameClean)
+	if math.Abs(ftr-want) > 1e-9 {
+		t.Errorf("FramesToReliability = %v, want %v", ftr, want)
+	}
+	perfect := &Analysis{PFrameClean: 1}
+	if !math.IsInf(perfect.FramesToReliability(), 1) {
+		t.Error("perfect reliability should give infinite run length")
+	}
+}
+
+// The paper's claim (§9): without CommGuard, reliability collapses with
+// stream length; with CommGuard it is length-independent.
+func TestUnguardedReliabilityCollapses(t *testing.T) {
+	g := testGraph(t)
+	a, err := Analyze(g, 10_000, fault.DefaultModel(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := a.UnguardedCleanRatio(10)
+	long := a.UnguardedCleanRatio(1000)
+	if !(long < short) {
+		t.Errorf("unguarded reliability should fall with length: %v -> %v", short, long)
+	}
+	if !(long < a.ExpectedCleanFrameRatio/2) {
+		t.Errorf("long unguarded ratio %v should be far below guarded %v", long, a.ExpectedCleanFrameRatio)
+	}
+	if a.UnguardedCleanRatio(0) != 1 {
+		t.Error("empty stream should be trivially clean")
+	}
+}
+
+// Validation against simulation: the predicted clean-frame fraction for
+// the mp3 pipeline under CommGuard must agree with the measured fraction
+// of bit-exact output frames within a small factor (the analysis is a
+// bound-style estimate, not an exact model).
+func TestPredictionMatchesSimulation(t *testing.T) {
+	builder, ok := apps.ByName("mp3")
+	if !ok {
+		t.Fatal("mp3 missing")
+	}
+	inst, err := builder.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mtbe = 256e3
+	a, err := Analyze(inst.Graph, mtbe, fault.DefaultModel(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Measure over several seeds.
+	refInst, err := builder.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := sim.Run(refInst, sim.Config{Protection: sim.ErrorFree}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refRes.Output
+
+	const frameLen = 256 // mp3 sink rate per steady iteration
+	totalFrames, cleanFrames := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		runInst, err := builder.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(runInst, sim.Config{Protection: sim.CommGuard, MTBE: mtbe, Seed: seed}, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := res.Output
+		for f := 0; f+frameLen <= len(ref) && f+frameLen <= len(out); f += frameLen {
+			clean := true
+			for i := f; i < f+frameLen; i++ {
+				if float32(out[i]) != float32(ref[i]) {
+					clean = false
+					break
+				}
+			}
+			totalFrames++
+			if clean {
+				cleanFrames++
+			}
+		}
+	}
+	measured := float64(cleanFrames) / float64(totalFrames)
+	predicted := a.ExpectedCleanFrameRatio
+	t.Logf("predicted clean-frame ratio %.3f, measured %.3f", predicted, measured)
+	if measured < predicted/3 || measured > 1-(1-predicted)/6 {
+		t.Errorf("measured %.3f too far from predicted %.3f", measured, predicted)
+	}
+}

@@ -1,0 +1,278 @@
+// Package sim composes the substrates into the paper's experimental
+// platform (§6): a 1-thread-per-core multiprocessor running a benchmark
+// stream graph under one of four protection configurations (Fig. 3):
+//
+//	ErrorFree     — no fault injection (Fig. 3a)
+//	SoftwareQueue — PPU cores, unprotected software queues (Fig. 3b)
+//	ReliableQueue — PPU cores, ECC-protected queues, no CommGuard (Fig. 3c)
+//	CommGuard     — PPU cores, reliable QM + HI/AM alignment (Fig. 3d)
+//
+// and with a per-core error injector at a configurable MTBE, independent
+// RNG per core, exactly as the paper's Simics setup.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"commguard/internal/apps"
+	"commguard/internal/commguard"
+	"commguard/internal/fault"
+	"commguard/internal/queue"
+	"commguard/internal/stream"
+)
+
+// Protection selects the platform configuration.
+type Protection int
+
+const (
+	// ErrorFree disables fault injection entirely (Fig. 3a).
+	ErrorFree Protection = iota
+	// SoftwareQueue runs error-prone cores over plain software queues
+	// whose management state is corruptible (Fig. 3b).
+	SoftwareQueue
+	// ReliableQueue protects queue pointers with ECC but performs no
+	// alignment checking (Fig. 3c).
+	ReliableQueue
+	// CommGuard adds the Header Inserter / Alignment Manager modules on
+	// top of the reliable Queue Manager (Fig. 3d).
+	CommGuard
+)
+
+func (p Protection) String() string {
+	switch p {
+	case ErrorFree:
+		return "error-free"
+	case SoftwareQueue:
+		return "software-queue"
+	case ReliableQueue:
+		return "reliable-queue"
+	case CommGuard:
+		return "commguard"
+	}
+	return "invalid"
+}
+
+// Config parameterizes one run.
+type Config struct {
+	Protection Protection
+	// MTBE is the per-core mean time between errors, in modeled committed
+	// instructions (the x-axis of Figs. 8-11). Ignored for ErrorFree.
+	MTBE float64
+	// Seed drives every per-core RNG (the paper runs 5 seeds per point).
+	Seed int64
+	// FrameScale enlarges frames by this factor (1, 2, 4, 8 in the paper).
+	FrameScale int
+	// Queue overrides the queue geometry; zero value uses defaults tuned
+	// per protection level.
+	Queue queue.Config
+	// Model overrides the fault manifestation weights (nil = defaults).
+	Model *fault.Model
+	// Trace records every applied error manifestation in Result.Errors.
+	Trace bool
+	// Sequential executes the graph on a single goroutine following the
+	// static schedule: error-prone runs become bit-reproducible (the
+	// concurrent engine's realignment details depend on goroutine
+	// interleaving). Queues are sized up automatically to hold one frame.
+	Sequential bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	App        string
+	Protection Protection
+	MTBE       float64
+	Seed       int64
+	FrameScale int
+
+	// Quality is the paper's metric for this benchmark (PSNR for jpeg,
+	// SNR otherwise), in dB, against the appropriate reference.
+	Quality float64
+	Metric  string
+	// Output is the collected, sanitized output tape.
+	Output []float64
+	// Reference is what Quality was scored against (the media ground truth
+	// or the error-free run output); nil if no reference was available.
+	Reference []float64
+
+	// Errors is the applied-error timeline (only populated with
+	// Config.Trace), ordered per core by instruction count.
+	Errors []stream.ErrorEvent
+	// Run carries the engine statistics (instructions, memory events,
+	// firing slips, per-edge queue stats).
+	Run *stream.RunStats
+	// Guard carries CommGuard module statistics (nil unless Protection ==
+	// CommGuard).
+	Guard *commguard.Stats
+}
+
+// DataLossRatio returns Fig. 8's measure for a CommGuard run: padded +
+// discarded items over items delivered to threads.
+func (r *Result) DataLossRatio() float64 {
+	if r.Guard == nil {
+		return 0
+	}
+	if r.Guard.AM.ItemsDelivered == 0 {
+		return 0
+	}
+	return float64(r.Guard.AM.DataLossItems()) / float64(r.Guard.AM.ItemsDelivered)
+}
+
+// queueConfig picks the queue geometry for a protection level.
+func (c Config) queueConfig() queue.Config {
+	q := c.Queue
+	if q.WorkingSets == 0 {
+		q = queue.DefaultConfig()
+		// Blocking bounds: generous when error-free (blocking is real
+		// back-pressure), tight when errors can starve a consumer.
+		if c.Protection == ErrorFree || c.MTBE <= 0 {
+			q.Timeout = 5 * time.Second
+		} else {
+			q.Timeout = 100 * time.Millisecond
+		}
+	}
+	q.ProtectPointers = c.Protection != SoftwareQueue
+	return q
+}
+
+// Run executes one benchmark instance under the configuration. The
+// instance must be freshly built (single use). For benchmarks without a
+// built-in reference, reference may carry the error-free output to score
+// against; pass nil to skip quality evaluation (Quality = NaN handled by
+// caller).
+func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) {
+	if cfg.FrameScale < 1 {
+		cfg.FrameScale = 1
+	}
+	qcfg := cfg.queueConfig()
+	if cfg.Sequential {
+		// Sequential hand-off publishes a whole frame per edge per
+		// iteration; size the working sets to hold the largest frame.
+		sched, err := stream.Solve(inst.Graph)
+		if err != nil {
+			return nil, err
+		}
+		maxItems := 0
+		for _, n := range sched.EdgeItems {
+			if n > maxItems {
+				maxItems = n
+			}
+		}
+		need := (maxItems+2)/qcfg.WorkingSets + 1
+		if qcfg.WorkingSetUnits < need {
+			qcfg.WorkingSetUnits = need
+		}
+	}
+
+	var transport stream.Transport
+	var guard *commguard.Transport
+	switch cfg.Protection {
+	case CommGuard:
+		guard = commguard.NewTransport(qcfg)
+		transport = guard
+	case ErrorFree, SoftwareQueue, ReliableQueue:
+		transport = &stream.PlainTransport{Queue: qcfg}
+	default:
+		return nil, fmt.Errorf("sim: unknown protection %d", cfg.Protection)
+	}
+
+	engCfg := stream.EngineConfig{
+		Transport:  transport,
+		FrameScale: cfg.FrameScale,
+	}
+	var traceMu sync.Mutex
+	var traced []stream.ErrorEvent
+	if cfg.Trace {
+		engCfg.OnError = func(ev stream.ErrorEvent) {
+			traceMu.Lock()
+			traced = append(traced, ev)
+			traceMu.Unlock()
+		}
+	}
+	if cfg.Protection != ErrorFree && cfg.MTBE > 0 {
+		model := fault.DefaultModel(cfg.Protection != SoftwareQueue)
+		if cfg.Model != nil {
+			model = *cfg.Model
+			model.QueueProtected = cfg.Protection != SoftwareQueue
+		}
+		if err := model.Validate(); err != nil {
+			return nil, err
+		}
+		mtbe, seed := cfg.MTBE, cfg.Seed
+		engCfg.NewInjector = func(core int) *fault.Injector {
+			return fault.NewInjector(mtbe, fault.CoreSeed(seed, core), model)
+		}
+	}
+
+	eng, err := stream.NewEngine(inst.Graph, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	var runStats *stream.RunStats
+	if cfg.Sequential {
+		runStats, err = eng.RunSequential()
+	} else {
+		runStats, err = eng.Run()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	sort.SliceStable(traced, func(i, j int) bool {
+		if traced[i].Core != traced[j].Core {
+			return traced[i].Core < traced[j].Core
+		}
+		return traced[i].Instructions < traced[j].Instructions
+	})
+	res := &Result{
+		App:        inst.Name,
+		Protection: cfg.Protection,
+		MTBE:       cfg.MTBE,
+		Seed:       cfg.Seed,
+		FrameScale: cfg.FrameScale,
+		Metric:     inst.Metric,
+		Output:     inst.Output(),
+		Run:        runStats,
+	}
+	res.Errors = traced
+	if guard != nil {
+		gs := guard.Stats()
+		res.Guard = &gs
+	}
+
+	ref := inst.Reference
+	if ref == nil {
+		ref = reference
+	}
+	if ref != nil {
+		res.Quality = inst.Quality(res.Output, ref)
+		res.Reference = ref
+	}
+	return res, nil
+}
+
+// RunBenchmark builds a fresh instance of the named benchmark and runs it.
+// For self-referenced benchmarks it first performs an error-free run to
+// obtain the reference output (the paper's methodology for the four
+// non-media benchmarks).
+func RunBenchmark(b apps.Builder, cfg Config) (*Result, error) {
+	inst, err := b.New()
+	if err != nil {
+		return nil, err
+	}
+	var reference []float64
+	if inst.Reference == nil && cfg.Protection != ErrorFree {
+		refInst, err := b.New()
+		if err != nil {
+			return nil, err
+		}
+		refRes, err := Run(refInst, Config{Protection: ErrorFree, FrameScale: cfg.FrameScale}, nil)
+		if err != nil {
+			return nil, err
+		}
+		reference = refRes.Output
+	}
+	return Run(inst, cfg, reference)
+}

@@ -1,0 +1,214 @@
+package stream
+
+// Source feeds a finite input tape into the graph, rate items per firing.
+// When the tape runs out it pushes zeros; the engine sizes the run so that
+// an error-free execution never reads past the tape.
+type Source struct {
+	name string
+	rate int
+	data []uint32
+	pos  int
+}
+
+// NewSource creates a source pushing rate items per firing from data.
+func NewSource(name string, rate int, data []uint32) *Source {
+	return &Source{name: name, rate: rate, data: data}
+}
+
+func (s *Source) Name() string     { return s.name }
+func (s *Source) PopRates() []int  { return nil }
+func (s *Source) PushRates() []int { return []int{s.rate} }
+
+func (s *Source) Work(ctx *Ctx) {
+	for i := 0; i < s.rate; i++ {
+		var v uint32
+		if s.pos < len(s.data) {
+			v = s.data[s.pos]
+			s.pos++
+		}
+		ctx.Push(0, v)
+	}
+}
+
+// Remaining returns the unread portion of the tape (for diagnostics).
+func (s *Source) Remaining() int { return len(s.data) - s.pos }
+
+// Sink collects the graph's output tape, rate items per firing.
+type Sink struct {
+	name string
+	rate int
+	out  []uint32
+}
+
+// NewSink creates a sink popping rate items per firing.
+func NewSink(name string, rate int) *Sink {
+	return &Sink{name: name, rate: rate}
+}
+
+func (s *Sink) Name() string     { return s.name }
+func (s *Sink) PopRates() []int  { return []int{s.rate} }
+func (s *Sink) PushRates() []int { return nil }
+
+func (s *Sink) Work(ctx *Ctx) {
+	for i := 0; i < s.rate; i++ {
+		s.out = append(s.out, ctx.Pop(0))
+	}
+}
+
+// Collected returns everything the sink consumed. Only read it after the
+// engine's Run has returned.
+func (s *Sink) Collected() []uint32 { return s.out }
+
+// Identity forwards rate items per firing unchanged.
+type Identity struct {
+	name string
+	rate int
+}
+
+// NewIdentity creates an identity filter.
+func NewIdentity(name string, rate int) *Identity { return &Identity{name: name, rate: rate} }
+
+func (f *Identity) Name() string     { return f.name }
+func (f *Identity) PopRates() []int  { return []int{f.rate} }
+func (f *Identity) PushRates() []int { return []int{f.rate} }
+
+func (f *Identity) Work(ctx *Ctx) {
+	for i := 0; i < f.rate; i++ {
+		ctx.Push(0, ctx.Pop(0))
+	}
+}
+
+// DuplicateSplitter is StreamIt's duplicate splitter: each popped item is
+// pushed to every output branch.
+type DuplicateSplitter struct {
+	name     string
+	rate     int
+	branches int
+}
+
+// NewDuplicateSplitter duplicates rate items per firing to branches outputs.
+func NewDuplicateSplitter(name string, rate, branches int) *DuplicateSplitter {
+	return &DuplicateSplitter{name: name, rate: rate, branches: branches}
+}
+
+func (f *DuplicateSplitter) Name() string    { return f.name }
+func (f *DuplicateSplitter) PopRates() []int { return []int{f.rate} }
+func (f *DuplicateSplitter) PushRates() []int {
+	rates := make([]int, f.branches)
+	for i := range rates {
+		rates[i] = f.rate
+	}
+	return rates
+}
+
+func (f *DuplicateSplitter) Work(ctx *Ctx) {
+	for i := 0; i < f.rate; i++ {
+		v := ctx.Pop(0)
+		for b := 0; b < f.branches; b++ {
+			ctx.Push(b, v)
+		}
+	}
+}
+
+// RoundRobinSplitter deals items to branches in weighted round-robin order:
+// weights[0] items to branch 0, then weights[1] to branch 1, and so on.
+// This is StreamIt's roundrobin(w0, w1, ...) splitter; jpeg uses it to deal
+// R, G and B components to parallel branches (Fig. 1).
+type RoundRobinSplitter struct {
+	name    string
+	weights []int
+}
+
+// NewRoundRobinSplitter creates a weighted round-robin splitter.
+func NewRoundRobinSplitter(name string, weights ...int) *RoundRobinSplitter {
+	return &RoundRobinSplitter{name: name, weights: weights}
+}
+
+func (f *RoundRobinSplitter) Name() string { return f.name }
+func (f *RoundRobinSplitter) PopRates() []int {
+	total := 0
+	for _, w := range f.weights {
+		total += w
+	}
+	return []int{total}
+}
+func (f *RoundRobinSplitter) PushRates() []int { return append([]int(nil), f.weights...) }
+
+func (f *RoundRobinSplitter) Work(ctx *Ctx) {
+	for b, w := range f.weights {
+		for i := 0; i < w; i++ {
+			ctx.Push(b, ctx.Pop(0))
+		}
+	}
+}
+
+// RoundRobinJoiner merges branches in weighted round-robin order, the dual
+// of RoundRobinSplitter.
+type RoundRobinJoiner struct {
+	name    string
+	weights []int
+}
+
+// NewRoundRobinJoiner creates a weighted round-robin joiner.
+func NewRoundRobinJoiner(name string, weights ...int) *RoundRobinJoiner {
+	return &RoundRobinJoiner{name: name, weights: weights}
+}
+
+func (f *RoundRobinJoiner) Name() string { return f.name }
+func (f *RoundRobinJoiner) PopRates() []int {
+	return append([]int(nil), f.weights...)
+}
+func (f *RoundRobinJoiner) PushRates() []int {
+	total := 0
+	for _, w := range f.weights {
+		total += w
+	}
+	return []int{total}
+}
+
+func (f *RoundRobinJoiner) Work(ctx *Ctx) {
+	for b, w := range f.weights {
+		for i := 0; i < w; i++ {
+			ctx.Push(0, ctx.Pop(b))
+		}
+	}
+}
+
+// FuncFilter adapts a plain function to the Filter interface for simple
+// single-input single-output stages.
+type FuncFilter struct {
+	name     string
+	popRate  int
+	pushRate int
+	cost     int
+	work     func(ctx *Ctx)
+}
+
+// NewFuncFilter builds a filter from a work function. cost <= 0 selects the
+// default communication-based cost model.
+func NewFuncFilter(name string, popRate, pushRate, cost int, work func(ctx *Ctx)) *FuncFilter {
+	return &FuncFilter{name: name, popRate: popRate, pushRate: pushRate, cost: cost, work: work}
+}
+
+func (f *FuncFilter) Name() string { return f.name }
+func (f *FuncFilter) PopRates() []int {
+	if f.popRate == 0 {
+		return nil
+	}
+	return []int{f.popRate}
+}
+func (f *FuncFilter) PushRates() []int {
+	if f.pushRate == 0 {
+		return nil
+	}
+	return []int{f.pushRate}
+}
+func (f *FuncFilter) Work(ctx *Ctx) { f.work(ctx) }
+func (f *FuncFilter) FiringCost() int {
+	if f.cost > 0 {
+		return f.cost
+	}
+	return CommInstructionRatio*(f.popRate+f.pushRate) + 10
+}
+
+var _ Coster = (*FuncFilter)(nil)

@@ -1,0 +1,721 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"commguard/internal/fault"
+	"commguard/internal/ppu"
+	"commguard/internal/queue"
+)
+
+// EngineConfig controls one execution of a graph.
+type EngineConfig struct {
+	// Transport wires the edges; defaults to a reliable PlainTransport.
+	Transport Transport
+	// FrameScale down-samples frame computations (frame sizes ×2, ×4, ×8
+	// of Figs. 10–13); must be >= 1.
+	FrameScale int
+	// Iterations is the number of steady-state iterations to execute.
+	// Zero derives the maximum supported by the source tapes.
+	Iterations int
+	// NewInjector, when non-nil, supplies the per-core fault injector
+	// (nil return = error-free core). Core IDs equal node IDs.
+	NewInjector func(coreID int) *fault.Injector
+	// OnError, when non-nil, observes every applied error manifestation:
+	// the core it hit, its class, and the core's frame and committed
+	// instruction count at that moment. Called from node goroutines;
+	// implementations must be safe for concurrent use.
+	OnError func(ev ErrorEvent)
+}
+
+// ErrorEvent describes one applied error manifestation for tracing.
+type ErrorEvent struct {
+	Core         int
+	Node         string
+	Class        fault.Class
+	Frame        uint32
+	Instructions uint64
+}
+
+// CoreStats aggregates one node thread's activity.
+type CoreStats struct {
+	Node string
+	// Instructions committed (compute + communication).
+	Instructions uint64
+	// Loads/Stores are modeled processor memory events: compute accesses
+	// (a fraction of compute instructions) plus one event per item
+	// pushed/popped. Header traffic is accounted by the queues.
+	Loads  uint64
+	Stores uint64
+	// Firings executed, and control-frame slips applied.
+	Firings         uint64
+	SkippedFirings  uint64
+	RepeatedFirings uint64
+	// Errors injected on this core, by manifestation class.
+	Errors fault.Counts
+	// PPU is the protection-module view (frames, scope depth, watchdog).
+	PPU ppu.Stats
+}
+
+// Fractions of compute instructions that touch memory, used to model the
+// all-loads/all-stores denominators of Fig. 12 (a typical compiled DSP
+// loop mix).
+const (
+	loadFraction  = 0.25
+	storeFraction = 0.10
+)
+
+// RunStats is the result of one engine run.
+type RunStats struct {
+	Iterations int
+	Elapsed    time.Duration
+	Cores      []CoreStats
+	// Queues holds per-edge queue statistics, indexed by edge ID.
+	Queues []queue.Stats
+}
+
+// TotalInstructions sums committed instructions across cores.
+func (r *RunStats) TotalInstructions() uint64 {
+	var n uint64
+	for _, c := range r.Cores {
+		n += c.Instructions
+	}
+	return n
+}
+
+// QueueTotals sums the per-edge queue statistics.
+func (r *RunStats) QueueTotals() queue.Stats {
+	var total queue.Stats
+	for _, qs := range r.Queues {
+		total.Add(qs)
+	}
+	return total
+}
+
+// Engine executes a graph: one goroutine per node, queues on edges, frame
+// computations delimited per steady-state iteration.
+type Engine struct {
+	g     *Graph
+	sched *Schedule
+	cfg   EngineConfig
+}
+
+// NewEngine validates and schedules the graph.
+func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
+	if cfg.FrameScale < 1 {
+		cfg.FrameScale = 1
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = &PlainTransport{Queue: queue.DefaultConfig()}
+	}
+	sched, err := Solve(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{g: g, sched: sched, cfg: cfg}, nil
+}
+
+// Schedule exposes the steady-state schedule the engine derived.
+func (e *Engine) Schedule() *Schedule { return e.sched }
+
+// deriveIterations computes how many steady-state iterations the source
+// tapes support.
+func (e *Engine) deriveIterations() (int, error) {
+	best := -1
+	for _, n := range e.g.Sources() {
+		src, ok := n.F.(*Source)
+		if !ok {
+			continue
+		}
+		perIter := e.sched.Multiplicity[n.ID] * src.PushRates()[0]
+		if perIter == 0 {
+			continue
+		}
+		iters := len(src.data) / perIter
+		if best < 0 || iters < best {
+			best = iters
+		}
+	}
+	if best <= 0 {
+		return 0, fmt.Errorf("stream: cannot derive iterations (no Source with a sufficient tape); set EngineConfig.Iterations")
+	}
+	return best, nil
+}
+
+// Run executes the graph to completion with one goroutine per node (the
+// paper's parallel execution) and returns aggregate statistics.
+func (e *Engine) Run() (*RunStats, error) {
+	return e.execute(false)
+}
+
+// RunSequential executes the graph on a single goroutine following the
+// static single-appearance schedule (every node fires its multiplicity
+// once per steady iteration, in topological order). Error-free results
+// are identical to Run's; under fault injection the interleaving — and
+// therefore the exact realignment behavior — becomes fully deterministic,
+// which Run cannot guarantee. Use it for reproducible experiments and
+// debugging. Queues never block in this mode (producers always run before
+// consumers), so blocking-timeout effects do not occur.
+func (e *Engine) RunSequential() (*RunStats, error) {
+	return e.execute(true)
+}
+
+func (e *Engine) execute(sequential bool) (*RunStats, error) {
+	iterations := e.cfg.Iterations
+	if iterations == 0 {
+		var err error
+		iterations, err = e.deriveIterations()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// One PPU core per node (the paper's 1 thread : 1 core placement).
+	cores := make([]*ppu.Core, len(e.g.Nodes))
+	for i := range cores {
+		c, err := ppu.NewCore(i, e.cfg.FrameScale)
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = c
+	}
+
+	// Wire edges in ID order for determinism.
+	outs := make([]OutPort, len(e.g.Edges))
+	ins := make([]InPort, len(e.g.Edges))
+	rawQs := make([]*queue.Queue, len(e.g.Edges))
+	for _, edge := range e.g.Edges {
+		op, ip, q, err := e.cfg.Transport.Wire(edge, cores[edge.Src.ID], cores[edge.Dst.ID])
+		if err != nil {
+			return nil, err
+		}
+		outs[edge.ID], ins[edge.ID], rawQs[edge.ID] = op, ip, q
+	}
+
+	threads := make([]*thread, len(e.g.Nodes))
+	for _, n := range e.g.Nodes {
+		var inj *fault.Injector
+		if e.cfg.NewInjector != nil {
+			inj = e.cfg.NewInjector(n.ID)
+		}
+		th := newThread(n, cores[n.ID], e.sched.Multiplicity[n.ID], inj)
+		th.onError = e.cfg.OnError
+		for i, edge := range n.In {
+			sh := &inShim{port: ins[edge.ID], rate: edge.PopRate()}
+			sh.clearPlan()
+			th.ins[i] = sh
+		}
+		for o, edge := range n.Out {
+			sh := &outShim{port: outs[edge.ID], rate: edge.PushRate()}
+			sh.clearPlan()
+			th.outs[o] = sh
+			th.rawQueues = append(th.rawQueues, rawQs[edge.ID])
+		}
+		for _, edge := range n.In {
+			th.rawQueues = append(th.rawQueues, rawQs[edge.ID])
+		}
+		threads[n.ID] = th
+	}
+
+	start := time.Now()
+	if sequential {
+		// Producers run a whole steady iteration ahead of their consumers,
+		// so every queue must hold one frame of items plus its header.
+		for _, edge := range e.g.Edges {
+			if q := rawQs[edge.ID]; q != nil && q.Capacity() < e.sched.EdgeItems[edge.ID]+2 {
+				return nil, fmt.Errorf("stream: sequential execution needs queue capacity >= %d on edge %d (%s -> %s), have %d",
+					e.sched.EdgeItems[edge.ID]+2, edge.ID, edge.Src.Name(), edge.Dst.Name(), q.Capacity())
+			}
+		}
+		// The peer of every queue runs on this same goroutine: blocking
+		// could never be satisfied, so empty/full resolve immediately.
+		for _, q := range rawQs {
+			if q != nil {
+				q.SetNonBlocking(true)
+			}
+		}
+		order := e.topoOrder()
+		ctxs := make([]*Ctx, len(threads))
+		for _, n := range order {
+			ctxs[n.ID] = threads[n.ID].begin()
+		}
+		for it := 0; it < iterations; it++ {
+			for _, n := range order {
+				threads[n.ID].runIteration(ctxs[n.ID])
+				// Hand the frame off: publish partially filled working
+				// sets so downstream nodes (which run next, on this same
+				// goroutine) can drain them.
+				for _, edge := range n.Out {
+					if q := rawQs[edge.ID]; q != nil {
+						q.Flush()
+					}
+				}
+			}
+		}
+		for _, n := range order {
+			threads[n.ID].finish()
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, th := range threads {
+			wg.Add(1)
+			go func(th *thread) {
+				defer wg.Done()
+				th.run(iterations)
+			}(th)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	stats := &RunStats{
+		Iterations: iterations,
+		Elapsed:    elapsed,
+		Cores:      make([]CoreStats, len(threads)),
+		Queues:     make([]queue.Stats, len(rawQs)),
+	}
+	for i, th := range threads {
+		stats.Cores[i] = th.stats
+		stats.Cores[i].Node = e.g.Nodes[i].Name()
+		stats.Cores[i].PPU = th.core.Stats()
+		stats.Cores[i].Instructions = th.core.Stats().Instructions
+		if th.inj != nil {
+			stats.Cores[i].Errors = th.inj.Counts()
+		}
+	}
+	for i, q := range rawQs {
+		if q != nil {
+			stats.Queues[i] = q.Stats()
+		}
+	}
+	return stats, nil
+}
+
+// topoOrder returns the nodes in a producer-before-consumer order (the
+// graph is validated acyclic at scheduling time).
+func (e *Engine) topoOrder() []*Node {
+	indeg := make([]int, len(e.g.Nodes))
+	for _, n := range e.g.Nodes {
+		indeg[n.ID] = len(n.In)
+	}
+	var order, queue []*Node
+	for _, n := range e.g.Nodes {
+		if indeg[n.ID] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, edge := range n.Out {
+			indeg[edge.Dst.ID]--
+			if indeg[edge.Dst.ID] == 0 {
+				queue = append(queue, edge.Dst)
+			}
+		}
+	}
+	return order
+}
+
+// thread executes one node.
+type thread struct {
+	node      *Node
+	core      *ppu.Core
+	inj       *fault.Injector
+	mult      int
+	cost      int
+	ins       []*inShim
+	outs      []*outShim
+	rawQueues []*queue.Queue
+	stats     CoreStats
+	onError   func(ErrorEvent)
+}
+
+func newThread(n *Node, core *ppu.Core, mult int, inj *fault.Injector) *thread {
+	return &thread{
+		node: n,
+		core: core,
+		inj:  inj,
+		mult: mult,
+		cost: DefaultFiringCost(n.F),
+		ins:  make([]*inShim, len(n.In)),
+		outs: make([]*outShim, len(n.Out)),
+	}
+}
+
+// begin prepares the thread's work context and enters the global scope.
+func (t *thread) begin() *Ctx {
+	ctx := &Ctx{}
+	for _, s := range t.ins {
+		ctx.in = append(ctx.in, s)
+	}
+	for _, s := range t.outs {
+		ctx.out = append(ctx.out, s)
+	}
+	t.core.BeginScope("global")
+	return ctx
+}
+
+// runIteration executes one steady-state iteration (one frame computation)
+// of the node.
+func (t *thread) runIteration(ctx *Ctx) {
+	t.core.BeginScope("frame-computation")
+	t.core.BeginFrameComputation()
+	// The PPU watchdog bounds looping inside the scope: even with
+	// control-frame repeats the firing count cannot run away.
+	guard := t.core.LoopGuard(t.mult * 2)
+	for k := 0; k < t.mult && guard.Next(); k++ {
+		t.fireWithFaults(ctx)
+	}
+	_ = t.core.EndScope()
+}
+
+// finish exits the outermost scope (signalling end of computation to the
+// listeners, e.g. the HI's EOC headers) and closes the output ports.
+func (t *thread) finish() {
+	_ = t.core.EndScope()
+	for _, o := range t.outs {
+		o.port.End()
+	}
+}
+
+func (t *thread) run(iterations int) {
+	ctx := t.begin()
+	for it := 0; it < iterations; it++ {
+		t.runIteration(ctx)
+	}
+	t.finish()
+}
+
+// fireWithFaults advances the error injector across this firing's
+// instruction window and executes the firing with whatever manifestations
+// fired, translating fault classes into the paper's error taxonomy (§3).
+func (t *thread) fireWithFaults(ctx *Ctx) {
+	t.commit(t.cost)
+	var classes []fault.Class
+	if t.inj != nil {
+		classes = t.inj.Advance(t.cost + t.commItems())
+	}
+
+	skip, repeat := false, false
+	for _, c := range classes {
+		if t.onError != nil {
+			t.onError(ErrorEvent{
+				Core:         t.core.ID(),
+				Node:         t.node.Name(),
+				Class:        c,
+				Frame:        t.core.ActiveFC(),
+				Instructions: t.core.Stats().Instructions,
+			})
+		}
+		switch c {
+		case fault.DataBitflip:
+			t.planDataFlip()
+		case fault.ControlTrip:
+			t.planControlTrip()
+		case fault.ControlFrame:
+			if t.inj.Rand().Intn(2) == 0 {
+				skip = true
+			} else {
+				repeat = true
+			}
+		case fault.AddrSlip:
+			t.planAddrSlip()
+		case fault.QueuePtr:
+			t.planQueuePtr()
+		}
+	}
+
+	if skip {
+		// The whole firing is lost (AE_FL): no pops, no pushes.
+		t.stats.SkippedFirings++
+		t.clearPlans()
+		return
+	}
+	t.fire(ctx)
+	if repeat {
+		// The firing repeats (AE_FE), with clean shims.
+		t.stats.RepeatedFirings++
+		t.fire(ctx)
+	}
+}
+
+// fire executes one firing and applies the shims' post-work perturbations.
+func (t *thread) fire(ctx *Ctx) {
+	for _, s := range t.ins {
+		s.beginFiring()
+	}
+	for _, s := range t.outs {
+		s.beginFiring()
+	}
+	t.node.F.Work(ctx)
+	pops, pushes := 0, 0
+	for _, s := range t.ins {
+		pops += s.endFiring()
+	}
+	for _, s := range t.outs {
+		pushes += s.endFiring()
+	}
+	t.stats.Firings++
+	t.commit(pops + pushes)
+	t.stats.Loads += uint64(float64(t.cost)*loadFraction) + uint64(pops)
+	t.stats.Stores += uint64(float64(t.cost)*storeFraction) + uint64(pushes)
+}
+
+func (t *thread) commit(n int) {
+	t.core.Commit(n)
+}
+
+// commItems is the number of items communicated per clean firing.
+func (t *thread) commItems() int {
+	n := 0
+	for _, s := range t.ins {
+		n += s.rate
+	}
+	for _, s := range t.outs {
+		n += s.rate
+	}
+	return n
+}
+
+func (t *thread) clearPlans() {
+	for _, s := range t.ins {
+		s.clearPlan()
+	}
+	for _, s := range t.outs {
+		s.clearPlan()
+	}
+}
+
+// planDataFlip arms a single-bit corruption of one item communicated by
+// this firing (DTE). Cores without communication flip nothing (their
+// internal data errors surface through later communicated values anyway).
+func (t *thread) planDataFlip() {
+	r := t.inj.Rand()
+	nPorts := len(t.ins) + len(t.outs)
+	if nPorts == 0 {
+		return
+	}
+	p := r.Intn(nPorts)
+	if p < len(t.ins) {
+		s := t.ins[p]
+		s.flipAt = r.Intn(maxInt(1, s.rate))
+		s.flipBit = r.Intn(32)
+	} else {
+		s := t.outs[p-len(t.ins)]
+		s.flipAt = r.Intn(maxInt(1, s.rate))
+		s.flipBit = r.Intn(32)
+	}
+}
+
+// planControlTrip arms an item-count perturbation on one port
+// (AE_I(E|L)): the communication loop runs k iterations too many or too
+// few, with k bounded by the rate (the PPU bounds trip-count damage).
+func (t *thread) planControlTrip() {
+	r := t.inj.Rand()
+	nPorts := len(t.ins) + len(t.outs)
+	if nPorts == 0 {
+		return
+	}
+	p := r.Intn(nPorts)
+	if p < len(t.ins) {
+		s := t.ins[p]
+		k := 1 + r.Intn(maxInt(1, s.rate))
+		if r.Intn(2) == 0 {
+			s.extraPops += k
+		} else {
+			s.starvedPops += minInt(k, s.rate)
+		}
+	} else {
+		s := t.outs[p-len(t.ins)]
+		k := 1 + r.Intn(maxInt(1, s.rate))
+		if r.Intn(2) == 0 {
+			s.extraPushes += k
+		} else {
+			s.droppedPushes += minInt(k, s.rate)
+		}
+	}
+}
+
+// planAddrSlip arms a wrong-element read: one pop is served the previous
+// value while the queue still advances (right count, wrong data).
+func (t *thread) planAddrSlip() {
+	r := t.inj.Rand()
+	if len(t.ins) == 0 {
+		// No input to misread; the slip lands in local state and
+		// surfaces as a data flip on an output instead.
+		if len(t.outs) > 0 {
+			t.planDataFlip()
+		}
+		return
+	}
+	s := t.ins[r.Intn(len(t.ins))]
+	s.slipAt = r.Intn(maxInt(1, s.rate))
+}
+
+// planQueuePtr corrupts the management state of one attached queue (QME).
+// The fault model already redirects this class to DataBitflip when the
+// platform's queues are protected, so arriving here means the software
+// queue is in use.
+func (t *thread) planQueuePtr() {
+	r := t.inj.Rand()
+	if len(t.rawQueues) == 0 {
+		return
+	}
+	q := t.rawQueues[r.Intn(len(t.rawQueues))]
+	if q == nil {
+		return
+	}
+	if r.Intn(4) == 0 {
+		q.CorruptLocalOffset(r)
+	} else {
+		q.CorruptPointer(r)
+	}
+}
+
+// inShim wraps an InPort, applying per-firing fault perturbations and
+// enforcing the declared rate.
+type inShim struct {
+	port InPort
+	rate int
+
+	last uint32 // most recently delivered value
+
+	// window holds items prefetched by Peek but not yet consumed by pop.
+	window []uint32
+
+	// Armed perturbations (cleared per firing).
+	flipAt      int // pop index whose value gets a bit flip; -1 = none
+	flipBit     int
+	slipAt      int // pop index served the previous value; -1 = none
+	extraPops   int // pops consumed and discarded after work
+	starvedPops int // trailing pops served without consuming the queue
+
+	popped int
+}
+
+func (s *inShim) beginFiring() { s.popped = 0 }
+
+func (s *inShim) clearPlan() {
+	s.flipAt, s.slipAt = -1, -1
+	s.extraPops, s.starvedPops = 0, 0
+}
+
+// peek implements StreamIt's lookahead: items are prefetched into the
+// window and later consumed by pop in order.
+func (s *inShim) peek(off int) uint32 {
+	for len(s.window) <= off {
+		s.window = append(s.window, s.port.Pop())
+	}
+	return s.window[off]
+}
+
+// next consumes one item, draining the peek window first.
+func (s *inShim) next() uint32 {
+	if len(s.window) > 0 {
+		v := s.window[0]
+		s.window = s.window[1:]
+		return v
+	}
+	return s.port.Pop()
+}
+
+func (s *inShim) pop() uint32 {
+	idx := s.popped
+	s.popped++
+	if s.starvedPops > 0 && idx >= s.rate-s.starvedPops {
+		// The communication loop under-ran: the thread computes on a
+		// stale register value; the queue item stays for the next frame.
+		return s.last
+	}
+	v := s.next()
+	if idx == s.slipAt {
+		// Addressing slip: wrong element delivered, item still consumed.
+		v = s.last
+	}
+	if idx == s.flipAt {
+		v ^= 1 << uint(s.flipBit)
+	}
+	s.last = v
+	return v
+}
+
+// endFiring applies post-work perturbations and returns the number of
+// queue consumptions that actually happened.
+func (s *inShim) endFiring() int {
+	consumed := s.popped - minInt(s.starvedPops, s.popped)
+	for i := 0; i < s.extraPops; i++ {
+		// Over-run: the loop popped beyond its rate; values are lost.
+		s.next()
+		consumed++
+	}
+	s.clearPlan()
+	s.popped = 0
+	return consumed
+}
+
+// outShim wraps an OutPort symmetrically.
+type outShim struct {
+	port OutPort
+	rate int
+
+	last uint32
+
+	flipAt        int
+	flipBit       int
+	extraPushes   int // duplicates pushed after work
+	droppedPushes int // trailing pushes suppressed
+
+	pushed int
+}
+
+func (s *outShim) beginFiring() { s.pushed = 0 }
+
+func (s *outShim) clearPlan() {
+	s.flipAt = -1
+	s.extraPushes, s.droppedPushes = 0, 0
+}
+
+func (s *outShim) push(v uint32) {
+	idx := s.pushed
+	s.pushed++
+	if idx == s.flipAt {
+		v ^= 1 << uint(s.flipBit)
+	}
+	s.last = v
+	if s.droppedPushes > 0 && idx >= s.rate-s.droppedPushes {
+		// Under-run: the loop exited early; these items never reach the
+		// queue (AE_IL for the consumer).
+		return
+	}
+	s.port.Push(v)
+}
+
+func (s *outShim) endFiring() int {
+	produced := s.pushed - minInt(s.droppedPushes, s.pushed)
+	for i := 0; i < s.extraPushes; i++ {
+		// Over-run: garbage extras from the stale register (AE_IE).
+		s.port.Push(s.last)
+		produced++
+	}
+	s.clearPlan()
+	s.pushed = 0
+	return produced
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

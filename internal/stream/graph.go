@@ -1,0 +1,261 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one filter instance placed in a graph. In the paper's execution
+// model each node runs as a separate thread pinned to one processor core
+// (§2.2); the engine preserves that 1:1 node/core mapping.
+type Node struct {
+	ID int
+	F  Filter
+	// In[i] is the edge feeding input port i; Out[o] the edge fed by
+	// output port o. Slots are nil until connected.
+	In  []*Edge
+	Out []*Edge
+}
+
+// Name returns the filter name qualified with the node ID, unique per graph.
+func (n *Node) Name() string { return fmt.Sprintf("%s#%d", n.F.Name(), n.ID) }
+
+// Edge is one producer-consumer connection. It carries the static rate
+// information the scheduler needs.
+type Edge struct {
+	ID      int
+	Src     *Node
+	SrcPort int
+	Dst     *Node
+	DstPort int
+}
+
+// PushRate returns the items the producer pushes per firing on this edge.
+func (e *Edge) PushRate() int { return e.Src.F.PushRates()[e.SrcPort] }
+
+// PopRate returns the items the consumer pops per firing from this edge.
+func (e *Edge) PopRate() int { return e.Dst.F.PopRates()[e.DstPort] }
+
+// Graph is a StreamIt-style streaming computation graph.
+type Graph struct {
+	Nodes []*Node
+	Edges []*Edge
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// Add places a filter in the graph and returns its node.
+func (g *Graph) Add(f Filter) *Node {
+	n := &Node{
+		ID:  len(g.Nodes),
+		F:   f,
+		In:  make([]*Edge, len(f.PopRates())),
+		Out: make([]*Edge, len(f.PushRates())),
+	}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// Connect wires output port srcPort of src to input port dstPort of dst.
+func (g *Graph) Connect(src *Node, srcPort int, dst *Node, dstPort int) error {
+	if srcPort < 0 || srcPort >= len(src.Out) {
+		return fmt.Errorf("stream: %s has no output port %d", src.Name(), srcPort)
+	}
+	if dstPort < 0 || dstPort >= len(dst.In) {
+		return fmt.Errorf("stream: %s has no input port %d", dst.Name(), dstPort)
+	}
+	if src.Out[srcPort] != nil {
+		return fmt.Errorf("stream: output port %d of %s already connected", srcPort, src.Name())
+	}
+	if dst.In[dstPort] != nil {
+		return fmt.Errorf("stream: input port %d of %s already connected", dstPort, dst.Name())
+	}
+	e := &Edge{ID: len(g.Edges), Src: src, SrcPort: srcPort, Dst: dst, DstPort: dstPort}
+	g.Edges = append(g.Edges, e)
+	src.Out[srcPort] = e
+	dst.In[dstPort] = e
+	return nil
+}
+
+// Chain adds the filters to the graph and connects them into a pipeline
+// (port 0 to port 0), returning the created nodes. It is the pipeline
+// construct of StreamIt.
+func (g *Graph) Chain(filters ...Filter) ([]*Node, error) {
+	nodes := make([]*Node, len(filters))
+	for i, f := range filters {
+		nodes[i] = g.Add(f)
+		if i > 0 {
+			if err := g.Connect(nodes[i-1], 0, nodes[i], 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nodes, nil
+}
+
+// ChainNodes connects already-placed nodes into a pipeline.
+func (g *Graph) ChainNodes(nodes ...*Node) error {
+	for i := 1; i < len(nodes); i++ {
+		if err := g.Connect(nodes[i-1], 0, nodes[i], 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SplitJoin implements the StreamIt split-join construct: splitter output
+// port i feeds branch i (a pipeline of filters), and branch i feeds joiner
+// input port i. The splitter/joiner nodes must already be placed and have
+// exactly len(branches) output/input ports.
+func (g *Graph) SplitJoin(splitter *Node, joiner *Node, branches ...[]Filter) error {
+	if len(splitter.Out) != len(branches) {
+		return fmt.Errorf("stream: splitter %s has %d output ports, got %d branches",
+			splitter.Name(), len(splitter.Out), len(branches))
+	}
+	if len(joiner.In) != len(branches) {
+		return fmt.Errorf("stream: joiner %s has %d input ports, got %d branches",
+			joiner.Name(), len(joiner.In), len(branches))
+	}
+	for i, branch := range branches {
+		prev, prevPort := splitter, i
+		for _, f := range branch {
+			n := g.Add(f)
+			if err := g.Connect(prev, prevPort, n, 0); err != nil {
+				return err
+			}
+			prev, prevPort = n, 0
+		}
+		if err := g.Connect(prev, prevPort, joiner, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate checks structural well-formedness: every port connected, the
+// graph connected and acyclic (the StreamIt subset used by the benchmarks
+// has no feedback loops).
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("stream: empty graph")
+	}
+	for _, n := range g.Nodes {
+		for i, e := range n.In {
+			if e == nil {
+				return fmt.Errorf("stream: input port %d of %s not connected", i, n.Name())
+			}
+		}
+		for o, e := range n.Out {
+			if e == nil {
+				return fmt.Errorf("stream: output port %d of %s not connected", o, n.Name())
+			}
+		}
+	}
+	if err := g.checkAcyclic(); err != nil {
+		return err
+	}
+	if err := g.checkConnected(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (g *Graph) checkAcyclic() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Nodes))
+	var visit func(n *Node) error
+	visit = func(n *Node) error {
+		color[n.ID] = grey
+		for _, e := range n.Out {
+			switch color[e.Dst.ID] {
+			case grey:
+				return fmt.Errorf("stream: cycle through %s -> %s", n.Name(), e.Dst.Name())
+			case white:
+				if err := visit(e.Dst); err != nil {
+					return err
+				}
+			}
+		}
+		color[n.ID] = black
+		return nil
+	}
+	for _, n := range g.Nodes {
+		if color[n.ID] == white {
+			if err := visit(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Graph) checkConnected() error {
+	if len(g.Nodes) == 0 {
+		return nil
+	}
+	seen := make([]bool, len(g.Nodes))
+	stack := []*Node{g.Nodes[0]}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit := func(m *Node) {
+			if !seen[m.ID] {
+				seen[m.ID] = true
+				count++
+				stack = append(stack, m)
+			}
+		}
+		for _, e := range n.Out {
+			visit(e.Dst)
+		}
+		for _, e := range n.In {
+			visit(e.Src)
+		}
+	}
+	if count != len(g.Nodes) {
+		return fmt.Errorf("stream: graph is disconnected (%d of %d nodes reachable)", count, len(g.Nodes))
+	}
+	return nil
+}
+
+// Sources returns the nodes with no input ports.
+func (g *Graph) Sources() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if len(n.In) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Sinks returns the nodes with no output ports.
+func (g *Graph) Sinks() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if len(n.Out) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// String renders the graph topology for diagnostics.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "%s pop=%v push=%v\n", n.Name(), n.F.PopRates(), n.F.PushRates())
+		for _, e := range n.Out {
+			fmt.Fprintf(&b, "  -> %s (edge %d: %d/firing -> %d/firing)\n",
+				e.Dst.Name(), e.ID, e.PushRate(), e.PopRate())
+		}
+	}
+	return b.String()
+}

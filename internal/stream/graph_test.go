@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChainBuildsPipeline(t *testing.T) {
+	g := NewGraph()
+	nodes, err := g.Chain(
+		NewSource("src", 4, make([]uint32, 16)),
+		NewIdentity("id", 2),
+		NewSink("sink", 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 || len(g.Edges) != 2 {
+		t.Fatalf("nodes=%d edges=%d", len(nodes), len(g.Edges))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Errorf("sources=%d sinks=%d", len(g.Sources()), len(g.Sinks()))
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	g := NewGraph()
+	a := g.Add(NewSource("src", 1, nil))
+	b := g.Add(NewSink("sink", 1))
+	if err := g.Connect(a, 1, b, 0); err == nil {
+		t.Error("invalid src port accepted")
+	}
+	if err := g.Connect(a, 0, b, 5); err == nil {
+		t.Error("invalid dst port accepted")
+	}
+	if err := g.Connect(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(a, 0, b, 0); err == nil {
+		t.Error("double connection accepted")
+	}
+}
+
+func TestValidateCatchesUnconnectedPorts(t *testing.T) {
+	g := NewGraph()
+	g.Add(NewSource("src", 1, nil))
+	g.Add(NewSink("sink", 1))
+	if err := g.Validate(); err == nil {
+		t.Error("unconnected ports (and disconnected graph) accepted")
+	}
+}
+
+func TestValidateCatchesEmptyGraph(t *testing.T) {
+	if err := NewGraph().Validate(); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestValidateCatchesDisconnected(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.Chain(NewSource("s1", 1, nil), NewSink("k1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Chain(NewSource("s2", 1, nil), NewSink("k2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Errorf("disconnected graph accepted: %v", err)
+	}
+}
+
+func TestSplitJoinWiring(t *testing.T) {
+	g := NewGraph()
+	src := g.Add(NewSource("src", 3, make([]uint32, 30)))
+	split := g.Add(NewRoundRobinSplitter("split", 1, 1, 1))
+	join := g.Add(NewRoundRobinJoiner("join", 1, 1, 1))
+	sink := g.Add(NewSink("sink", 3))
+	if err := g.Connect(src, 0, split, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SplitJoin(split, join,
+		[]Filter{NewIdentity("a", 1)},
+		[]Filter{NewIdentity("b", 1)},
+		[]Filter{NewIdentity("c", 1)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(join, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 7 {
+		t.Errorf("nodes = %d, want 7", len(g.Nodes))
+	}
+	if s := g.String(); !strings.Contains(s, "split#1") {
+		t.Errorf("String() missing node names:\n%s", s)
+	}
+}
+
+func TestSplitJoinBranchCountMismatch(t *testing.T) {
+	g := NewGraph()
+	split := g.Add(NewRoundRobinSplitter("split", 1, 1))
+	join := g.Add(NewRoundRobinJoiner("join", 1, 1))
+	if err := g.SplitJoin(split, join, []Filter{NewIdentity("a", 1)}); err == nil {
+		t.Error("branch-count mismatch accepted")
+	}
+}
+
+func TestEdgeRates(t *testing.T) {
+	g := NewGraph()
+	nodes, err := g.Chain(NewSource("src", 192, make([]uint32, 192)), NewSink("sink", 15360))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = nodes
+	e := g.Edges[0]
+	if e.PushRate() != 192 || e.PopRate() != 15360 {
+		t.Errorf("rates = %d/%d", e.PushRate(), e.PopRate())
+	}
+}

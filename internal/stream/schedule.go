@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Schedule is a steady-state schedule for a graph: firing each node
+// Multiplicity[node.ID] times moves every edge by a whole number of items
+// and returns all queues to their starting occupancy. One steady-state
+// iteration is the natural application-wide frame computation (§4.4): per
+// steady iteration every edge carries exactly one frame of items, so frame
+// boundaries in the data streams correspond across all threads (Fig. 2:
+// 80 firings of F6 and 1 firing of F7 both span one 15360-item frame).
+type Schedule struct {
+	// Multiplicity[i] is the number of firings of node i per steady-state
+	// iteration.
+	Multiplicity []int
+	// EdgeItems[e] is the number of items crossing edge e per steady-state
+	// iteration (the frame size of that edge, in items).
+	EdgeItems []int
+}
+
+// Solve computes the minimal integer steady-state schedule by solving the
+// balance equations mult(src)*push = mult(dst)*pop for every edge. It
+// fails if the graph's rates are inconsistent (no steady state exists).
+func Solve(g *Graph) (*Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Propagate rational multiplicities from node 0 across the undirected
+	// graph; the graph is connected, so one sweep reaches every node.
+	mult := make([]*big.Rat, len(g.Nodes))
+	mult[0] = big.NewRat(1, 1)
+	stack := []*Node{g.Nodes[0]}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		relate := func(other *Node, ratioNum, ratioDen int) error {
+			if ratioNum == 0 || ratioDen == 0 {
+				return fmt.Errorf("stream: zero rate on edge between %s and %s", n.Name(), other.Name())
+			}
+			want := new(big.Rat).Mul(mult[n.ID], big.NewRat(int64(ratioNum), int64(ratioDen)))
+			if mult[other.ID] == nil {
+				mult[other.ID] = want
+				stack = append(stack, other)
+				return nil
+			}
+			if mult[other.ID].Cmp(want) != 0 {
+				return fmt.Errorf("stream: inconsistent rates at %s (needs multiplicity %s and %s)",
+					other.Name(), mult[other.ID].RatString(), want.RatString())
+			}
+			return nil
+		}
+		for _, e := range n.Out {
+			// mult(dst) = mult(src) * push / pop
+			if err := relate(e.Dst, e.PushRate(), e.PopRate()); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range n.In {
+			// mult(src) = mult(dst) * pop / push
+			if err := relate(e.Src, e.PopRate(), e.PushRate()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Scale to the least integer solution: multiply by the LCM of the
+	// denominators, then divide by the GCD of the numerators.
+	lcm := big.NewInt(1)
+	for _, m := range mult {
+		d := m.Denom()
+		gcd := new(big.Int).GCD(nil, nil, lcm, d)
+		lcm.Div(new(big.Int).Mul(lcm, d), gcd)
+	}
+	ints := make([]*big.Int, len(mult))
+	var gcdAll *big.Int
+	for i, m := range mult {
+		v := new(big.Int).Mul(m.Num(), new(big.Int).Div(lcm, m.Denom()))
+		ints[i] = v
+		if gcdAll == nil {
+			gcdAll = new(big.Int).Set(v)
+		} else {
+			gcdAll.GCD(nil, nil, gcdAll, v)
+		}
+	}
+
+	s := &Schedule{
+		Multiplicity: make([]int, len(g.Nodes)),
+		EdgeItems:    make([]int, len(g.Edges)),
+	}
+	for i, v := range ints {
+		q := new(big.Int).Div(v, gcdAll)
+		if !q.IsInt64() || q.Int64() <= 0 || q.Int64() > 1<<31 {
+			return nil, fmt.Errorf("stream: multiplicity of %s out of range: %s", g.Nodes[i].Name(), q)
+		}
+		s.Multiplicity[i] = int(q.Int64())
+	}
+	for _, e := range g.Edges {
+		produced := s.Multiplicity[e.Src.ID] * e.PushRate()
+		consumed := s.Multiplicity[e.Dst.ID] * e.PopRate()
+		if produced != consumed {
+			return nil, fmt.Errorf("stream: internal error: edge %d unbalanced (%d produced, %d consumed)",
+				e.ID, produced, consumed)
+		}
+		s.EdgeItems[e.ID] = produced
+	}
+	return s, nil
+}
+
+// FrameItems returns the total number of items crossing all edges per
+// steady-state iteration.
+func (s *Schedule) FrameItems() int {
+	total := 0
+	for _, n := range s.EdgeItems {
+		total += n
+	}
+	return total
+}

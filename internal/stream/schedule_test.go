@@ -1,0 +1,172 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's Fig. 2 example: F6 pushes 192 items per firing, F7 pops 15360
+// per firing; 80 firings of F6 match 1 firing of F7.
+func TestSolveJpegF6F7Rates(t *testing.T) {
+	g := NewGraph()
+	_, err := g.Chain(
+		NewSource("F6", 192, nil),
+		NewSink("F7", 15360),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Multiplicity[0] != 80 || s.Multiplicity[1] != 1 {
+		t.Errorf("multiplicities = %v, want [80 1]", s.Multiplicity)
+	}
+	if s.EdgeItems[0] != 15360 {
+		t.Errorf("frame items = %d, want 15360", s.EdgeItems[0])
+	}
+	if s.FrameItems() != 15360 {
+		t.Errorf("FrameItems = %d", s.FrameItems())
+	}
+}
+
+func TestSolvePipelineWithRateChanges(t *testing.T) {
+	g := NewGraph()
+	_, err := g.Chain(
+		NewSource("src", 3, nil),
+		NewFuncFilter("up", 2, 5, 0, nil),
+		NewFuncFilter("down", 10, 4, 0, nil),
+		NewSink("sink", 6),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balance: 3a = 2b, 5b = 10c, 4c = 6d -> a=4,b=6,c=3,d=2 (minimal).
+	want := []int{4, 6, 3, 2}
+	for i, m := range want {
+		if s.Multiplicity[i] != m {
+			t.Fatalf("multiplicities = %v, want %v", s.Multiplicity, want)
+		}
+	}
+}
+
+func TestSolveSplitJoinBalanced(t *testing.T) {
+	g := NewGraph()
+	src := g.Add(NewSource("src", 6, nil))
+	split := g.Add(NewRoundRobinSplitter("split", 2, 1))
+	join := g.Add(NewRoundRobinJoiner("join", 2, 1))
+	sink := g.Add(NewSink("sink", 3))
+	if err := g.Connect(src, 0, split, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SplitJoin(split, join,
+		[]Filter{NewIdentity("a", 4)},
+		[]Filter{NewIdentity("b", 1)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(join, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges {
+		if s.Multiplicity[e.Src.ID]*e.PushRate() != s.Multiplicity[e.Dst.ID]*e.PopRate() {
+			t.Fatalf("edge %d unbalanced under %v", e.ID, s.Multiplicity)
+		}
+	}
+}
+
+func TestSolveInconsistentRates(t *testing.T) {
+	// Duplicate splitter branches that rejoin with mismatched weights have
+	// no steady state: dup sends N to each branch, joiner demands 2:1.
+	g := NewGraph()
+	src := g.Add(NewSource("src", 1, nil))
+	split := g.Add(NewDuplicateSplitter("dup", 1, 2))
+	join := g.Add(NewRoundRobinJoiner("join", 2, 1))
+	sink := g.Add(NewSink("sink", 3))
+	if err := g.Connect(src, 0, split, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SplitJoin(split, join, []Filter{}, []Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(join, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(g); err == nil {
+		t.Error("inconsistent rates accepted")
+	}
+}
+
+func TestSolveRejectsCycle(t *testing.T) {
+	g := NewGraph()
+	a := g.Add(NewFuncFilter("a", 1, 1, 0, nil))
+	b := g.Add(NewFuncFilter("b", 1, 1, 0, nil))
+	if err := g.Connect(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(b, 0, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(g); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+// Property: for random pipelines with random rates, Solve either errors or
+// returns a schedule where every edge is balanced and multiplicities are
+// minimal (their collective GCD is 1).
+func TestQuickScheduleBalanceInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		g := NewGraph()
+		filters := []Filter{NewSource("src", 1+rng.Intn(8), nil)}
+		for i := 1; i < n-1; i++ {
+			filters = append(filters, NewFuncFilter("f", 1+rng.Intn(8), 1+rng.Intn(8), 0, nil))
+		}
+		filters = append(filters, NewSink("sink", 1+rng.Intn(8)))
+		if _, err := g.Chain(filters...); err != nil {
+			return false
+		}
+		s, err := Solve(g)
+		if err != nil {
+			return false
+		}
+		gcd := 0
+		for _, m := range s.Multiplicity {
+			if m <= 0 {
+				return false
+			}
+			gcd = gcdInt(gcd, m)
+		}
+		if gcd != 1 {
+			return false
+		}
+		for _, e := range g.Edges {
+			if s.Multiplicity[e.Src.ID]*e.PushRate() != s.Multiplicity[e.Dst.ID]*e.PopRate() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,213 @@
+package stream
+
+import "testing"
+
+// fakeIn serves a scripted sequence of values.
+type fakeIn struct {
+	values []uint32
+	pos    int
+}
+
+func (f *fakeIn) Pop() uint32 {
+	if f.pos >= len(f.values) {
+		return 0
+	}
+	v := f.values[f.pos]
+	f.pos++
+	return v
+}
+
+// fakeOut records pushed values.
+type fakeOut struct {
+	got []uint32
+}
+
+func (f *fakeOut) Push(v uint32) { f.got = append(f.got, v) }
+func (f *fakeOut) End()          {}
+
+func newInShim(port InPort, rate int) *inShim {
+	s := &inShim{port: port, rate: rate}
+	s.clearPlan()
+	return s
+}
+
+func newOutShim(port OutPort, rate int) *outShim {
+	s := &outShim{port: port, rate: rate}
+	s.clearPlan()
+	return s
+}
+
+func TestInShimPassThrough(t *testing.T) {
+	src := &fakeIn{values: []uint32{10, 20, 30}}
+	s := newInShim(src, 3)
+	s.beginFiring()
+	for i, want := range []uint32{10, 20, 30} {
+		if got := s.pop(); got != want {
+			t.Fatalf("pop %d = %d, want %d", i, got, want)
+		}
+	}
+	if consumed := s.endFiring(); consumed != 3 {
+		t.Errorf("consumed = %d, want 3", consumed)
+	}
+}
+
+func TestInShimBitFlip(t *testing.T) {
+	src := &fakeIn{values: []uint32{0, 0, 0}}
+	s := newInShim(src, 3)
+	s.beginFiring()
+	s.flipAt, s.flipBit = 1, 4
+	if s.pop() != 0 {
+		t.Error("pop 0 should be clean")
+	}
+	if got := s.pop(); got != 1<<4 {
+		t.Errorf("pop 1 = %#x, want bit 4 flipped", got)
+	}
+	if s.pop() != 0 {
+		t.Error("pop 2 should be clean")
+	}
+	s.endFiring()
+	// The plan is single-firing: next firing is clean.
+	s.beginFiring()
+	src.values = append(src.values, 0)
+	if s.pop() != 0 {
+		t.Error("plan leaked into the next firing")
+	}
+}
+
+func TestInShimAddrSlipKeepsCount(t *testing.T) {
+	src := &fakeIn{values: []uint32{11, 22, 33}}
+	s := newInShim(src, 3)
+	s.beginFiring()
+	s.slipAt = 1
+	if s.pop() != 11 {
+		t.Fatal("pop 0 wrong")
+	}
+	// Slip: delivers the previous value but still consumes 22.
+	if got := s.pop(); got != 11 {
+		t.Fatalf("slipped pop = %d, want repeat of 11", got)
+	}
+	if got := s.pop(); got != 33 {
+		t.Fatalf("pop 2 = %d, want 33 (queue advanced past 22)", got)
+	}
+	if consumed := s.endFiring(); consumed != 3 {
+		t.Errorf("consumed = %d, want 3 (slip preserves count)", consumed)
+	}
+}
+
+func TestInShimStarvedPops(t *testing.T) {
+	src := &fakeIn{values: []uint32{1, 2, 3, 4}}
+	s := newInShim(src, 4)
+	s.beginFiring()
+	s.starvedPops = 2
+	if s.pop() != 1 || s.pop() != 2 {
+		t.Fatal("leading pops wrong")
+	}
+	// The last two pops are starved: stale value, queue untouched.
+	if s.pop() != 2 || s.pop() != 2 {
+		t.Fatal("starved pops should repeat the stale value")
+	}
+	if consumed := s.endFiring(); consumed != 2 {
+		t.Errorf("consumed = %d, want 2", consumed)
+	}
+	if src.pos != 2 {
+		t.Errorf("queue advanced %d, want 2 (items left for next frame)", src.pos)
+	}
+}
+
+func TestInShimExtraPops(t *testing.T) {
+	src := &fakeIn{values: []uint32{1, 2, 3, 4, 5}}
+	s := newInShim(src, 2)
+	s.beginFiring()
+	s.extraPops = 2
+	s.pop()
+	s.pop()
+	if consumed := s.endFiring(); consumed != 4 {
+		t.Errorf("consumed = %d, want 4 (2 + 2 extra)", consumed)
+	}
+	if src.pos != 4 {
+		t.Errorf("queue advanced %d, want 4", src.pos)
+	}
+}
+
+func TestInShimPeekWindowInteraction(t *testing.T) {
+	src := &fakeIn{values: []uint32{1, 2, 3, 4}}
+	s := newInShim(src, 2)
+	s.beginFiring()
+	if s.peek(2) != 3 || s.peek(0) != 1 {
+		t.Fatal("peek values wrong")
+	}
+	if s.pop() != 1 || s.pop() != 2 {
+		t.Fatal("pops after peek must drain the window in order")
+	}
+	s.endFiring()
+	s.beginFiring()
+	// Window still holds 3; next pop must return it before the port.
+	if s.pop() != 3 {
+		t.Fatal("window not drained across firings")
+	}
+	if s.pop() != 4 {
+		t.Fatal("port not resumed after window")
+	}
+}
+
+func TestOutShimPassThrough(t *testing.T) {
+	dst := &fakeOut{}
+	s := newOutShim(dst, 2)
+	s.beginFiring()
+	s.push(5)
+	s.push(6)
+	if produced := s.endFiring(); produced != 2 {
+		t.Errorf("produced = %d", produced)
+	}
+	if len(dst.got) != 2 || dst.got[0] != 5 || dst.got[1] != 6 {
+		t.Errorf("pushed %v", dst.got)
+	}
+}
+
+func TestOutShimDroppedPushes(t *testing.T) {
+	dst := &fakeOut{}
+	s := newOutShim(dst, 4)
+	s.beginFiring()
+	s.droppedPushes = 2
+	for _, v := range []uint32{1, 2, 3, 4} {
+		s.push(v)
+	}
+	if produced := s.endFiring(); produced != 2 {
+		t.Errorf("produced = %d, want 2", produced)
+	}
+	if len(dst.got) != 2 || dst.got[1] != 2 {
+		t.Errorf("queue received %v, want first two items only", dst.got)
+	}
+}
+
+func TestOutShimExtraPushes(t *testing.T) {
+	dst := &fakeOut{}
+	s := newOutShim(dst, 2)
+	s.beginFiring()
+	s.extraPushes = 3
+	s.push(7)
+	s.push(8)
+	if produced := s.endFiring(); produced != 5 {
+		t.Errorf("produced = %d, want 5", produced)
+	}
+	// Extras repeat the last (stale register) value.
+	want := []uint32{7, 8, 8, 8, 8}
+	for i, w := range want {
+		if dst.got[i] != w {
+			t.Fatalf("queue item %d = %d, want %d", i, dst.got[i], w)
+		}
+	}
+}
+
+func TestOutShimBitFlip(t *testing.T) {
+	dst := &fakeOut{}
+	s := newOutShim(dst, 2)
+	s.beginFiring()
+	s.flipAt, s.flipBit = 0, 31
+	s.push(0)
+	s.push(0)
+	s.endFiring()
+	if dst.got[0] != 1<<31 || dst.got[1] != 0 {
+		t.Errorf("queue received %#x, %#x", dst.got[0], dst.got[1])
+	}
+}

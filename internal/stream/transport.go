@@ -1,0 +1,72 @@
+package stream
+
+import (
+	"commguard/internal/ppu"
+	"commguard/internal/queue"
+)
+
+// OutPort is the producer endpoint of one edge as seen by a node thread.
+type OutPort interface {
+	// Push transmits one item.
+	Push(v uint32)
+	// End is called once when the producer thread's computation finished:
+	// implementations flush any buffered working set and close the queue.
+	End()
+}
+
+// InPort is the consumer endpoint of one edge as seen by a node thread.
+type InPort interface {
+	// Pop returns the next item. Implementations must always return (the
+	// engine guarantees bounded firings, so a blocking pop that can never
+	// be satisfied must resolve via timeout and substitute a value).
+	Pop() uint32
+}
+
+// Transport wires one edge of the graph into producer/consumer endpoints.
+// The PPU cores of the two endpoint threads are provided so protection
+// modules (CommGuard's HI and AM) can subscribe to frame-progress events.
+// Wire also returns the raw queue underlying the edge so the engine can
+// account its statistics and target it with queue-management faults.
+type Transport interface {
+	Wire(e *Edge, prod, cons *ppu.Core) (OutPort, InPort, *queue.Queue, error)
+}
+
+// PlainTransport connects edges through bare queues with no CommGuard
+// modules: items travel as raw data units and nobody checks alignment.
+// With Queue.ProtectPointers=false this is the software queue of Fig. 3b;
+// with true it is the reliable-queue-only configuration of Fig. 3c.
+type PlainTransport struct {
+	Queue queue.Config
+}
+
+// Wire implements Transport.
+func (t *PlainTransport) Wire(e *Edge, prod, cons *ppu.Core) (OutPort, InPort, *queue.Queue, error) {
+	q, err := queue.New(e.ID, t.Queue)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &plainOut{q: q}, &plainIn{q: q}, q, nil
+}
+
+type plainOut struct{ q *queue.Queue }
+
+func (p *plainOut) Push(v uint32) { p.q.Push(queue.DataUnit(v)) }
+func (p *plainOut) End() {
+	p.q.Flush()
+	p.q.Close()
+}
+
+type plainIn struct{ q *queue.Queue }
+
+func (p *plainIn) Pop() uint32 {
+	u, ok := p.q.Pop()
+	if !ok {
+		// Timeout or closed-and-drained: the thread still needs a value
+		// (§5.1: "A timeout may cause incorrect data to be transmitted").
+		return 0
+	}
+	// A plain consumer has no notion of headers; if one ever arrived here
+	// it would be consumed as data (there is no HI in plain transports, so
+	// this only happens in hand-built tests).
+	return u.Payload()
+}

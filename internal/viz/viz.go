@@ -1,0 +1,109 @@
+// Package viz renders tiny terminal visualizations for simulation
+// results: sparklines for swept series and frame damage maps — the
+// text analogue of the paper's Fig. 7, which annotates which 8-pixel rows
+// (frames) of the jpeg output were hit by realignment.
+package viz
+
+import (
+	"math"
+	"strings"
+)
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a unicode mini-chart. Non-finite values
+// render as spaces. An empty input gives an empty string.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > hi { // nothing finite
+		return strings.Repeat(" ", len(values))
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// FrameMap compares out against ref frame by frame and renders one
+// character per frame: '.' for a clean frame, 'x' for one with any
+// mismatching sample, '-' for a frame missing from the output entirely.
+// tol is the per-sample tolerance (0 for exact comparison).
+func FrameMap(ref, out []float64, frameLen int, tol float64) string {
+	if frameLen <= 0 || len(ref) == 0 {
+		return ""
+	}
+	frames := (len(ref) + frameLen - 1) / frameLen
+	var b strings.Builder
+	for f := 0; f < frames; f++ {
+		start := f * frameLen
+		end := start + frameLen
+		if end > len(ref) {
+			end = len(ref)
+		}
+		if start >= len(out) {
+			b.WriteByte('-')
+			continue
+		}
+		clean := true
+		for i := start; i < end; i++ {
+			var got float64
+			if i < len(out) {
+				got = out[i]
+			} else {
+				clean = false
+				break
+			}
+			if math.Abs(got-ref[i]) > tol {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			b.WriteByte('.')
+		} else {
+			b.WriteByte('x')
+		}
+	}
+	return b.String()
+}
+
+// CorruptedFrames counts the 'x' and '-' entries of a frame map.
+func CorruptedFrames(frameMap string) int {
+	n := 0
+	for _, c := range frameMap {
+		if c == 'x' || c == '-' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty input should give empty string")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("length %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("endpoints %q", s)
+	}
+}
+
+func TestSparklineConstant(t *testing.T) {
+	s := []rune(Sparkline([]float64{5, 5, 5}))
+	for _, r := range s {
+		if r != '▁' {
+			t.Errorf("constant series should render flat, got %q", string(s))
+		}
+	}
+}
+
+func TestSparklineNonFinite(t *testing.T) {
+	s := []rune(Sparkline([]float64{1, math.NaN(), 2, math.Inf(1)}))
+	if s[1] != ' ' || s[3] != ' ' {
+		t.Errorf("non-finite should render as space: %q", string(s))
+	}
+	if Sparkline([]float64{math.NaN()}) != " " {
+		t.Error("all-NaN should render spaces")
+	}
+}
+
+func TestFrameMap(t *testing.T) {
+	ref := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	out := []float64{1, 2, 3, 99, 5, 6} // frame 1 corrupt, frame 3 missing
+	m := FrameMap(ref, out, 2, 0)
+	if m != ".x.-" {
+		t.Errorf("frame map = %q, want .x.-", m)
+	}
+	if CorruptedFrames(m) != 2 {
+		t.Errorf("corrupted = %d", CorruptedFrames(m))
+	}
+}
+
+func TestFrameMapTolerance(t *testing.T) {
+	ref := []float64{1, 2}
+	out := []float64{1.05, 2.05}
+	if m := FrameMap(ref, out, 2, 0.1); m != "." {
+		t.Errorf("within tolerance should be clean, got %q", m)
+	}
+	if m := FrameMap(ref, out, 2, 0.01); m != "x" {
+		t.Errorf("outside tolerance should be corrupt, got %q", m)
+	}
+}
+
+func TestFrameMapEdgeCases(t *testing.T) {
+	if FrameMap(nil, nil, 4, 0) != "" {
+		t.Error("empty ref should give empty map")
+	}
+	if FrameMap([]float64{1}, []float64{1}, 0, 0) != "" {
+		t.Error("zero frame length should give empty map")
+	}
+	// Partial trailing frame.
+	m := FrameMap([]float64{1, 2, 3}, []float64{1, 2, 3}, 2, 0)
+	if m != ".." {
+		t.Errorf("partial frame map = %q", m)
+	}
+	if !strings.HasPrefix(FrameMap([]float64{1, 2}, nil, 1, 0), "-") {
+		t.Error("fully missing output should be dashes")
+	}
+}
