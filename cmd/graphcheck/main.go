@@ -1,0 +1,99 @@
+// Command graphcheck statically verifies stream graphs against their
+// CommGuard/queue configuration, reporting CG001–CG006 findings (see
+// internal/check). It exits non-zero only on error-severity findings, so
+// warnings (degraded-but-running configurations) do not break CI.
+//
+// Examples:
+//
+//	graphcheck -all                 verify every built-in benchmark
+//	graphcheck -app jpeg            verify one benchmark
+//	graphcheck -app mp3 -iterations 100000000000 -suppress CG005
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"commguard/internal/apps"
+	"commguard/internal/check"
+	"commguard/internal/queue"
+)
+
+func main() {
+	appName := flag.String("app", "", "benchmark to verify (see -all for the full set)")
+	all := flag.Bool("all", false, "verify every built-in benchmark")
+	iterations := flag.Int("iterations", 0, "run length in steady-state iterations (0 = derive from source tapes)")
+	frameScale := flag.Int("framescale", 1, "PPU frame enlargement factor")
+	sets := flag.Int("sets", 0, "queue working sets (0 = default geometry)")
+	units := flag.Int("units", 0, "units per working set (0 = default geometry)")
+	timeout := flag.Duration("timeout", queue.DefaultConfig().Timeout, "queue blocking timeout (0 = block forever)")
+	suppress := flag.String("suppress", "", "comma-separated diagnostic codes to skip (e.g. CG005,CG006)")
+	flag.Parse()
+
+	if *all == (*appName != "") {
+		fmt.Fprintln(os.Stderr, "graphcheck: pass exactly one of -app NAME or -all")
+		os.Exit(2)
+	}
+
+	cfg := check.DefaultConfig()
+	cfg.Iterations = *iterations
+	cfg.FrameScale = *frameScale
+	if *sets > 0 || *units > 0 {
+		cfg.Queue = queue.Config{WorkingSets: *sets, WorkingSetUnits: *units, Timeout: *timeout}
+	} else {
+		cfg.Queue.Timeout = *timeout
+	}
+	if *suppress != "" {
+		cfg.Suppress = strings.Split(*suppress, ",")
+	}
+
+	var builders []apps.Builder
+	if *all {
+		builders = apps.AllBuiltin()
+	} else {
+		b, ok := apps.ByName(*appName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "graphcheck: unknown benchmark %q\n", *appName)
+			os.Exit(2)
+		}
+		builders = []apps.Builder{b}
+	}
+
+	failed := false
+	for _, b := range builders {
+		if verify(b, cfg) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// verify checks one benchmark and prints its report; it returns true when
+// the report contains error-severity findings.
+func verify(b apps.Builder, cfg check.Config) bool {
+	start := time.Now()
+	inst, err := b.New()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphcheck: building %s: %v\n", b.Name, err)
+		return true
+	}
+	report := check.Run(inst.Graph, cfg)
+	status := "ok"
+	switch {
+	case report.HasErrors():
+		status = fmt.Sprintf("FAIL (%d errors, %d warnings)", len(report.Errors()), len(report.Warnings()))
+	case !report.Clean():
+		status = fmt.Sprintf("ok (%d warnings)", len(report.Warnings()))
+	}
+	fmt.Printf("%-18s %d nodes, %d edges  %-26s %s\n",
+		b.Name, len(inst.Graph.Nodes), len(inst.Graph.Edges), status, time.Since(start).Round(time.Millisecond))
+	for _, d := range report.Diagnostics {
+		fmt.Printf("  %s\n", d)
+	}
+	return report.HasErrors()
+}

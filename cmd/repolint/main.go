@@ -1,0 +1,75 @@
+// Command repolint runs the repo's stdlib-only source analyzer (see
+// internal/lint) over the given packages and prints findings as
+// "file:line:col: [RULE] message". It exits 1 when anything is found.
+//
+// Patterns follow the go tool's shape: a directory lints its .go files, a
+// trailing /... recurses. With no arguments it lints ./... .
+//
+//	go run ./cmd/repolint ./...
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"commguard/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var findings []lint.Finding
+	for _, pat := range patterns {
+		fs, err := lintPattern(pat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// lintPattern resolves one command-line pattern to findings.
+func lintPattern(pat string) ([]lint.Finding, error) {
+	if rest, ok := strings.CutSuffix(pat, "..."); ok {
+		root := filepath.Clean(rest)
+		if root == "" || rest == "" {
+			root = "."
+		}
+		return lint.Run(root)
+	}
+	info, err := os.Stat(pat)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return lint.File(pat)
+	}
+	entries, err := os.ReadDir(pat)
+	if err != nil {
+		return nil, err
+	}
+	var findings []lint.Finding
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fs, err := lint.File(filepath.Join(pat, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}

@@ -56,9 +56,18 @@ func All() []Builder {
 	}
 }
 
-// ByName returns the builder for one benchmark, or false.
+// AllBuiltin returns every built-in benchmark: the paper's six plus the
+// do-all extension (§9). Figure-reproduction experiments iterate All();
+// structural tooling (graphcheck, CI verification) iterates this.
+func AllBuiltin() []Builder {
+	return append(All(),
+		Builder{Name: "doall", New: func() (*Instance, error) { return NewDoAll(DefaultDoAllConfig()) }},
+	)
+}
+
+// ByName returns the builder for one built-in benchmark, or false.
 func ByName(name string) (Builder, bool) {
-	for _, b := range All() {
+	for _, b := range AllBuiltin() {
 		if b.Name == name {
 			return b, true
 		}

@@ -58,6 +58,14 @@ func TestAllRegistryBuilds(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Error("ByName(nope) succeeded")
 	}
+	if n := len(AllBuiltin()); n != 7 {
+		t.Errorf("AllBuiltin has %d benchmarks, want 7", n)
+	}
+	if b, ok := ByName("doall"); !ok {
+		t.Error("ByName(doall) failed")
+	} else if inst, err := b.New(); err != nil || inst.Name != "doall" {
+		t.Errorf("doall builder: inst=%v err=%v", inst, err)
+	}
 }
 
 // The jpeg stream graph has the paper's structure: 10 nodes and the

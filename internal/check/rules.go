@@ -1,0 +1,359 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"commguard/internal/stream"
+)
+
+func init() {
+	Register(Rule{Code: "CG001", Name: "structure", Doc: "dangling ports, disconnected subgraphs, self-loops, cycles", Check: checkStructure})
+	Register(Rule{Code: "CG002", Name: "rate-balance", Doc: "rate-balance inconsistency, all offending edges at once", Check: checkRateBalance})
+	Register(Rule{Code: "CG003", Name: "queue-capacity", Doc: "queue capacity below the per-firing burst", Check: checkQueueCapacity})
+	Register(Rule{Code: "CG004", Name: "domain-scale", Doc: "frame-domain scale mismatch between edge endpoints", Check: checkDomainScale})
+	Register(Rule{Code: "CG005", Name: "counter-horizon", Doc: "32-bit frame-counter overflow within the run length", Check: checkCounterHorizon})
+	Register(Rule{Code: "CG006", Name: "schedule-blowup", Doc: "steady-state frames that cannot be resident in the queue", Check: checkScheduleBlowup})
+}
+
+// checkStructure (CG001) reports every structural defect at once: dangling
+// ports, self-loops, cycles, and disconnected subgraphs. Each of these makes
+// stream.Solve fail, but Solve stops at the first; here a malformed graph
+// yields the complete list.
+func checkStructure(ctx *Context) []Diagnostic {
+	g := ctx.Graph
+	var out []Diagnostic
+	if len(g.Nodes) == 0 {
+		return []Diagnostic{{Severity: Error, Message: "empty graph: no nodes placed",
+			Fix: "add filters with Graph.Add/Chain before scheduling"}}
+	}
+	for _, n := range g.Nodes {
+		for i, e := range n.In {
+			if e == nil {
+				out = append(out, Diagnostic{Severity: Error, Node: n,
+					Message: fmt.Sprintf("input port %d not connected", i),
+					Fix:     "connect the port with Graph.Connect, or use a filter with fewer input ports"})
+			}
+		}
+		for o, e := range n.Out {
+			if e == nil {
+				out = append(out, Diagnostic{Severity: Error, Node: n,
+					Message: fmt.Sprintf("output port %d not connected", o),
+					Fix:     "connect the port with Graph.Connect, or use a filter with fewer output ports"})
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Src == e.Dst {
+			out = append(out, Diagnostic{Severity: Error, Edge: e,
+				Message: "self-loop: the node's thread would block on its own queue",
+				Fix:     "remove the feedback edge; the engine's thread-per-node model has no self-feeding"})
+		}
+	}
+	out = append(out, findCycles(g)...)
+	out = append(out, findDisconnected(g)...)
+	return out
+}
+
+// findCycles reports every back edge (not just the first, as Validate does).
+func findCycles(g *stream.Graph) []Diagnostic {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Nodes))
+	var out []Diagnostic
+	var visit func(n *stream.Node)
+	visit = func(n *stream.Node) {
+		color[n.ID] = grey
+		for _, e := range n.Out {
+			if e == nil {
+				continue
+			}
+			switch color[e.Dst.ID] {
+			case grey:
+				out = append(out, Diagnostic{Severity: Error, Edge: e,
+					Message: fmt.Sprintf("cycle through %s -> %s: feedback loops have no steady-state schedule",
+						n.Name(), e.Dst.Name()),
+					Fix: "break the feedback edge; the StreamIt subset used here is acyclic"})
+			case white:
+				visit(e.Dst)
+			}
+		}
+		color[n.ID] = black
+	}
+	for _, n := range g.Nodes {
+		if color[n.ID] == white {
+			visit(n)
+		}
+	}
+	return out
+}
+
+// findDisconnected reports one diagnostic per weakly connected component
+// beyond the first.
+func findDisconnected(g *stream.Graph) []Diagnostic {
+	seen := make([]bool, len(g.Nodes))
+	component := func(start *stream.Node) []*stream.Node {
+		var members []*stream.Node
+		stack := []*stream.Node{start}
+		seen[start.ID] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, n)
+			visit := func(m *stream.Node) {
+				if !seen[m.ID] {
+					seen[m.ID] = true
+					stack = append(stack, m)
+				}
+			}
+			for _, e := range n.Out {
+				if e != nil {
+					visit(e.Dst)
+				}
+			}
+			for _, e := range n.In {
+				if e != nil {
+					visit(e.Src)
+				}
+			}
+		}
+		return members
+	}
+	var out []Diagnostic
+	first := true
+	for _, n := range g.Nodes {
+		if seen[n.ID] {
+			continue
+		}
+		members := component(n)
+		if first {
+			first = false
+			continue
+		}
+		out = append(out, Diagnostic{Severity: Error, Node: n,
+			Message: fmt.Sprintf("disconnected subgraph of %d node(s) rooted at %s", len(members), n.Name()),
+			Fix:     "connect the subgraph to the rest of the pipeline, or build it as a separate graph"})
+	}
+	return out
+}
+
+// checkRateBalance (CG002) solves the balance equations tolerantly: instead
+// of stopping at the first inconsistency like stream.Solve, it propagates
+// multiplicities over a spanning tree and then reports *every* edge whose
+// balance equation the assignment violates, plus every zero-rate edge.
+func checkRateBalance(ctx *Context) []Diagnostic {
+	g := ctx.Graph
+	var out []Diagnostic
+	usable := func(e *stream.Edge) bool {
+		return e.Src != e.Dst && e.PushRate() > 0 && e.PopRate() > 0
+	}
+	for _, e := range g.Edges {
+		if e.Src == e.Dst {
+			continue // CG001's finding
+		}
+		if e.PushRate() <= 0 || e.PopRate() <= 0 {
+			out = append(out, Diagnostic{Severity: Error, Edge: e,
+				Message: fmt.Sprintf("zero rate (push %d, pop %d): the balance equation degenerates and no steady state exists",
+					e.PushRate(), e.PopRate()),
+				Fix: "give the filter a positive per-firing rate on this port"})
+		}
+	}
+
+	// Propagate rational multiplicities over every component's spanning
+	// tree, using only usable edges.
+	mult := make([]*big.Rat, len(g.Nodes))
+	for _, seed := range g.Nodes {
+		if mult[seed.ID] != nil {
+			continue
+		}
+		mult[seed.ID] = big.NewRat(1, 1)
+		stack := []*stream.Node{seed}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			relate := func(other *stream.Node, num, den int) {
+				if mult[other.ID] != nil {
+					return
+				}
+				mult[other.ID] = new(big.Rat).Mul(mult[n.ID], big.NewRat(int64(num), int64(den)))
+				stack = append(stack, other)
+			}
+			for _, e := range n.Out {
+				if e != nil && usable(e) {
+					relate(e.Dst, e.PushRate(), e.PopRate())
+				}
+			}
+			for _, e := range n.In {
+				if e != nil && usable(e) {
+					relate(e.Src, e.PopRate(), e.PushRate())
+				}
+			}
+		}
+	}
+
+	// Verify every usable edge against the assignment. Spanning-tree edges
+	// hold by construction; each reported edge is an independent conflict.
+	for _, e := range g.Edges {
+		if !usable(e) || mult[e.Src.ID] == nil || mult[e.Dst.ID] == nil {
+			continue
+		}
+		produced := new(big.Rat).Mul(mult[e.Src.ID], big.NewRat(int64(e.PushRate()), 1))
+		consumed := new(big.Rat).Mul(mult[e.Dst.ID], big.NewRat(int64(e.PopRate()), 1))
+		if produced.Cmp(consumed) != 0 {
+			want := new(big.Rat).Mul(mult[e.Src.ID], big.NewRat(int64(e.PushRate()), int64(e.PopRate())))
+			out = append(out, Diagnostic{Severity: Error, Edge: e,
+				Message: fmt.Sprintf("inconsistent rates: %s needs multiplicity %s here but %s elsewhere (push %d, pop %d)",
+					e.Dst.Name(), want.RatString(), mult[e.Dst.ID].RatString(), e.PushRate(), e.PopRate()),
+				Fix: "adjust the filter rates so production and consumption balance on this edge"})
+		}
+	}
+	return out
+}
+
+// checkQueueCapacity (CG003) flags edges whose queue cannot absorb even one
+// firing's burst: with blocking queues and no timeout a stall inside a
+// firing cannot resolve (reconvergent split-joins wedge outright, and under
+// fault injection a perturbed count blocks forever); with a timeout every
+// overflow becomes a forced overwrite or a padded pop, i.e. guaranteed data
+// corruption whenever backpressure lags.
+func checkQueueCapacity(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range ctx.Graph.Edges {
+		qcfg := ctx.QueueConfigFor(e)
+		if err := qcfg.Validate(); err != nil {
+			out = append(out, Diagnostic{Severity: Error, Edge: e,
+				Message: fmt.Sprintf("invalid queue configuration: %v", err),
+				Fix:     "use at least 2 working sets of at least 1 unit"})
+			continue
+		}
+		push, pop := e.PushRate(), e.PopRate()
+		if push <= 0 || pop <= 0 {
+			continue // CG002's finding
+		}
+		capacity := qcfg.WorkingSets * qcfg.WorkingSetUnits
+		burst := push
+		if pop > burst {
+			burst = pop
+		}
+		if capacity >= burst {
+			continue
+		}
+		if qcfg.Timeout <= 0 {
+			out = append(out, Diagnostic{Severity: Error, Edge: e,
+				Message: fmt.Sprintf("queue capacity %d is below the per-firing burst max(push %d, pop %d) and the queue has no timeout: a mid-firing stall can never resolve",
+					capacity, push, pop),
+				Fix: fmt.Sprintf("raise WorkingSets*WorkingSetUnits to >= %d, or configure a queue timeout", burst)})
+		} else {
+			out = append(out, Diagnostic{Severity: Warning, Edge: e,
+				Message: fmt.Sprintf("queue capacity %d is below the per-firing burst max(push %d, pop %d): whenever backpressure lags, the timeout path forces overwrites or padded pops",
+					capacity, push, pop),
+				Fix: fmt.Sprintf("raise WorkingSets*WorkingSetUnits to >= %d to absorb one firing", burst)})
+		}
+	}
+	return out
+}
+
+// checkDomainScale (CG004) verifies the frame-domain invariant that was
+// previously only an unchecked runtime assumption (commguard/domain.go):
+// both endpoints of an edge must down-scale the same event stream with the
+// same scale, or the consumer realigns against frame IDs the producer never
+// emitted.
+func checkDomainScale(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range ctx.Graph.Edges {
+		prod, cons := ctx.ScalesFor(e)
+		if prod != cons {
+			out = append(out, Diagnostic{Severity: Error, Edge: e,
+				Message: fmt.Sprintf("frame-domain scale mismatch: producer scale %d, consumer scale %d — header IDs and the consumer's redundant active-fc count different frames, so every realignment is wrong",
+					prod, cons),
+				Fix: "assign one scale per edge (commguard.Transport.ScaleFor) instead of hand-wiring different HeaderInserter/AlignmentManager scales"})
+			continue
+		}
+		if prod < 1 {
+			out = append(out, Diagnostic{Severity: Warning, Edge: e,
+				Message: fmt.Sprintf("frame-domain scale %d is below 1 and will be clamped to 1 at runtime", prod),
+				Fix:     "use a scale >= 1"})
+		}
+	}
+	return out
+}
+
+// checkCounterHorizon (CG005) warns when the 32-bit wire frame counter
+// reaches its horizon within the configured run length: at 0xFFFFFFFF
+// domain frames the ID aliases the end-of-computation header, and at 2^32
+// it wraps mod 2^32 (both endpoints wrap in lockstep and the AM compares
+// serially, but the EOC alias terminates consumers early).
+func checkCounterHorizon(ctx *Context) []Diagnostic {
+	iterations, ok := ctx.RunLength()
+	if !ok {
+		return nil
+	}
+	frameScale := ctx.Cfg.FrameScale
+	if frameScale < 1 {
+		frameScale = 1
+	}
+	const horizon = uint64(0xFFFFFFFF)
+	var out []Diagnostic
+	for _, e := range ctx.Graph.Edges {
+		prod, cons := ctx.ScalesFor(e)
+		scale := prod
+		if cons < scale {
+			scale = cons
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		domainFrames := uint64(iterations) / (uint64(frameScale) * uint64(scale))
+		if domainFrames < horizon {
+			continue
+		}
+		out = append(out, Diagnostic{Severity: Warning, Edge: e,
+			Message: fmt.Sprintf("frame counter horizon: %d iterations produce %d domain frames on this edge; the 32-bit frame ID aliases the end-of-computation header at %d and wraps at 2^32",
+				iterations, domainFrames, horizon),
+			Fix: fmt.Sprintf("shorten the run below %d iterations, or enlarge FrameScale or this edge's frame-domain scale", horizon*uint64(frameScale)*uint64(scale))})
+	}
+	return out
+}
+
+// checkScheduleBlowup (CG006) flags steady-state schedules whose frames
+// cannot exist in the configured queue geometry: multiplicities past the
+// supported range (a guaranteed Solve failure), and per-edge frame sizes
+// that cannot be resident in the queue (RunSequential refuses them, and
+// parallel runs depend entirely on backpressure).
+func checkScheduleBlowup(ctx *Context) []Diagnostic {
+	sched, err := ctx.Schedule()
+	if err != nil {
+		var mr *stream.MultiplicityRangeError
+		if errors.As(err, &mr) {
+			return []Diagnostic{{Severity: Error, Node: mr.Node,
+				Message: fmt.Sprintf("schedule-multiplicity blowup: minimal integer multiplicity %s exceeds the supported range (2^31)", mr.Value),
+				Fix:     "reduce the rate ratios along the pipeline; coprime rates multiply into the steady state"}}
+		}
+		// Other Solve failures are CG001/CG002 findings.
+		return nil
+	}
+	var out []Diagnostic
+	for _, e := range ctx.Graph.Edges {
+		qcfg := ctx.QueueConfigFor(e)
+		if qcfg.Validate() != nil {
+			continue // CG003's finding
+		}
+		capacity := qcfg.WorkingSets * qcfg.WorkingSetUnits
+		frame := sched.EdgeItems[e.ID]
+		// One frame of items plus the frame header and the EOC header must
+		// fit for the frame to be fully resident (the bound RunSequential
+		// enforces).
+		if frame+2 <= capacity {
+			continue
+		}
+		out = append(out, Diagnostic{Severity: Warning, Edge: e,
+			Message: fmt.Sprintf("steady-state frame of %d items (+2 headers) exceeds queue capacity %d: the frame is never fully resident, RunSequential refuses this graph, and parallel runs rely on backpressure",
+				frame, capacity),
+			Fix: fmt.Sprintf("raise WorkingSets*WorkingSetUnits to >= %d for sequential runs, or accept streaming backpressure", frame+2)})
+	}
+	return out
+}

@@ -145,7 +145,7 @@ func (am *AlignmentManager) NewFrameComputation(uint32) {
 	case RcvCmp:
 		am.setState(ExpHdr)
 	case Pdg:
-		if !am.eocSeen && fc >= am.pendingHdr {
+		if !am.eocSeen && !serialBefore(fc, am.pendingHdr) {
 			am.setState(RcvCmp)
 		}
 	default:
@@ -270,8 +270,17 @@ func (am *AlignmentManager) onHeader(id uint32) {
 }
 
 // isFuture reports whether header id is ahead of the active frame
-// computation.
-func (am *AlignmentManager) isFuture(id uint32) bool { return id > am.activeFC }
+// computation. The comparison uses serial-number arithmetic (RFC 1982
+// style): the 32-bit wire frame ID wraps mod 2^32 on very long runs
+// (domain.go), and both endpoints wrap in lockstep, so any genuine
+// misalignment is far smaller than half the counter space and the signed
+// difference orders the IDs correctly across the wrap.
+func (am *AlignmentManager) isFuture(id uint32) bool {
+	return int32(id-am.activeFC) > 0
+}
+
+// serialBefore reports a < b in wraparound-aware serial-number order.
+func serialBefore(a, b uint32) bool { return int32(a-b) < 0 }
 
 // Ops returns the suboperation counters.
 func (am *AlignmentManager) Ops() OpCounters { return am.ops }

@@ -12,9 +12,21 @@ package commguard
 // see the same number of steady-iteration events, so their domain counters
 // agree), but different edges may use different scales — e.g. tiny frames
 // on a low-rate control edge and large frames on a bulk-data edge.
+//
+// Wraparound: the event counter is 64-bit and never wraps on any physically
+// realizable run (2^64 frame computations at one per nanosecond is over
+// five centuries). The *wire* frame ID, however, is a 32-bit header field,
+// so the domain frame counter wraps mod 2^32 after 2^32 domain frames.
+// Both endpoints of an edge consume the same event stream through the same
+// deterministic function, so they wrap in lockstep and stay aligned; the
+// Alignment Manager compares frame IDs with wraparound-aware serial-number
+// arithmetic (alignment.go) so ordering survives the wrap. The only
+// (documented) hazard is frame 0xFFFFFFFF aliasing the end-of-computation
+// header ID; internal/check's CG005 warns ahead of time when a configured
+// run length can reach that horizon.
 type frameDomain struct {
 	scale int
-	raw   uint32
+	raw   uint64
 	fc    uint32
 	began bool
 }
@@ -27,14 +39,16 @@ func newFrameDomain(scale int) frameDomain {
 }
 
 // advance consumes one raw frame-computation event. It returns the domain
-// frame ID and whether a new domain frame started at this event.
+// frame ID and whether a new domain frame started at this event. The
+// returned ID is the domain frame number truncated to the 32-bit wire
+// width; see the wraparound note above.
 func (d *frameDomain) advance() (uint32, bool) {
 	idx := d.raw
 	d.raw++
-	if idx%uint32(d.scale) != 0 {
+	if idx%uint64(d.scale) != 0 {
 		return d.fc, false
 	}
-	d.fc = idx / uint32(d.scale)
+	d.fc = uint32(idx / uint64(d.scale))
 	d.began = true
 	return d.fc, true
 }

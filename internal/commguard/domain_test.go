@@ -31,6 +31,78 @@ func TestFrameDomainScaleClamped(t *testing.T) {
 	}
 }
 
+// The raw event counter is 64-bit, so the old uint32 overflow (which made
+// the domain frame counter regress after 2^32 events) is gone: across the
+// 2^32-event boundary the domain frame ID keeps advancing monotonically.
+func TestFrameDomainRawCounterPast32Bits(t *testing.T) {
+	const scale = 4
+	d := newFrameDomain(scale)
+	// Place the counter just under 2^32 events, aligned to a domain frame
+	// boundary so the next aligned event starts a new frame.
+	start := (uint64(1)<<32)/scale*scale - scale // last aligned index < 2^32
+	d.raw = start
+	fc0, started := d.advance()
+	if !started {
+		t.Fatalf("event at aligned index %d did not start a frame", start)
+	}
+	if want := uint32(start / scale); fc0 != want {
+		t.Fatalf("fc = %d, want %d", fc0, want)
+	}
+	// Consume the remaining events of this frame, crossing 2^32.
+	for i := 0; i < scale-1; i++ {
+		if fc, s := d.advance(); s || fc != fc0 {
+			t.Fatalf("mid-frame event %d: fc=%d started=%v", i, fc, s)
+		}
+	}
+	fc1, started := d.advance()
+	if !started {
+		t.Fatal("first aligned event past 2^32 did not start a frame")
+	}
+	if fc1 != fc0+1 {
+		t.Fatalf("domain frame regressed across 2^32 events: %d -> %d", fc0, fc1)
+	}
+}
+
+// The wire frame ID is 32 bits: after 2^32 domain frames it wraps mod 2^32.
+// Both endpoints run this same function on the same event count, so they
+// wrap in lockstep; the AM orders IDs with serial arithmetic.
+func TestFrameDomainWireIDWrapsInLockstep(t *testing.T) {
+	prod := newFrameDomain(1)
+	cons := newFrameDomain(1)
+	start := (uint64(1) << 32) - 2 // two frames before the wire wrap
+	prod.raw, cons.raw = start, start
+	for i := 0; i < 4; i++ {
+		pfc, ps := prod.advance()
+		cfc, cs := cons.advance()
+		if pfc != cfc || ps != cs {
+			t.Fatalf("endpoints diverged at step %d: (%d,%v) vs (%d,%v)", i, pfc, ps, cfc, cs)
+		}
+	}
+	if fc, _ := prod.advance(); fc != 2 {
+		t.Fatalf("post-wrap fc = %d, want 2", fc)
+	}
+}
+
+// Serial-number comparison orders frame IDs correctly across the wire wrap.
+func TestSerialBeforeAcrossWrap(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{5, 5, false},
+		{0xFFFFFFFE, 1, true},  // pre-wrap id is before post-wrap id
+		{1, 0xFFFFFFFE, false}, // and not vice versa
+		{0xFFFFFFFF, 0, true},
+	}
+	for _, c := range cases {
+		if got := serialBefore(c.a, c.b); got != c.want {
+			t.Errorf("serialBefore(%#x, %#x) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
 // Per-edge frame domains (§5.4): an error-free run with heterogeneous
 // scales across edges must stay bit-exact, and header counts per edge
 // must reflect each edge's own scale.

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Typed errors for graph validation and schedule solving. Static analyzers
+// (internal/check) match them with errors.As instead of parsing messages;
+// the message strings are unchanged from the original untyped errors so
+// existing callers and tests keep working.
+
+// EmptyGraphError reports validation of a graph with no nodes.
+type EmptyGraphError struct{}
+
+func (e *EmptyGraphError) Error() string { return "stream: empty graph" }
+
+// PortError reports an unconnected port found by Validate.
+type PortError struct {
+	Node  *Node
+	Port  int
+	Input bool // true for an input port, false for an output port
+}
+
+func (e *PortError) Error() string {
+	dir := "output"
+	if e.Input {
+		dir = "input"
+	}
+	return fmt.Sprintf("stream: %s port %d of %s not connected", dir, e.Port, e.Node.Name())
+}
+
+// CycleError reports a feedback edge found by the acyclicity check.
+type CycleError struct {
+	From, To *Node
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("stream: cycle through %s -> %s", e.From.Name(), e.To.Name())
+}
+
+// DisconnectedError reports a graph that is not weakly connected.
+type DisconnectedError struct {
+	Reachable, Total int
+}
+
+func (e *DisconnectedError) Error() string {
+	return fmt.Sprintf("stream: graph is disconnected (%d of %d nodes reachable)", e.Reachable, e.Total)
+}
+
+// SelfLoopError reports an attempt to connect a node to itself. The engine
+// runs one thread per node, so a self-loop would make the node block on its
+// own queue, and the balance sweep would relate a multiplicity to itself.
+type SelfLoopError struct {
+	Node             *Node
+	SrcPort, DstPort int
+}
+
+func (e *SelfLoopError) Error() string {
+	return fmt.Sprintf("stream: self-loop on %s (output port %d to input port %d)",
+		e.Node.Name(), e.SrcPort, e.DstPort)
+}
+
+// ZeroRateError reports an edge with a zero push or pop rate, which has no
+// steady state (the balance equation degenerates).
+type ZeroRateError struct {
+	Edge *Edge
+	// A and B are the endpoints in the order the balance sweep visited
+	// them (A is the node whose multiplicity was already known).
+	A, B *Node
+}
+
+func (e *ZeroRateError) Error() string {
+	return fmt.Sprintf("stream: zero rate on edge between %s and %s", e.A.Name(), e.B.Name())
+}
+
+// RateError reports inconsistent rates: the balance sweep reached Node over
+// Edge needing multiplicity Want, but an earlier edge had already fixed it
+// to Got.
+type RateError struct {
+	Edge      *Edge
+	Node      *Node
+	Got, Want *big.Rat
+}
+
+func (e *RateError) Error() string {
+	return fmt.Sprintf("stream: inconsistent rates at %s (needs multiplicity %s and %s)",
+		e.Node.Name(), e.Got.RatString(), e.Want.RatString())
+}
+
+// MultiplicityRangeError reports a steady-state multiplicity outside the
+// supported (0, 2^31] range after integer scaling.
+type MultiplicityRangeError struct {
+	Node  *Node
+	Value *big.Int
+}
+
+func (e *MultiplicityRangeError) Error() string {
+	return fmt.Sprintf("stream: multiplicity of %s out of range: %s", e.Node.Name(), e.Value)
+}

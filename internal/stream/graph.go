@@ -58,7 +58,13 @@ func (g *Graph) Add(f Filter) *Node {
 }
 
 // Connect wires output port srcPort of src to input port dstPort of dst.
+// Self-loops (src == dst) are rejected: the engine runs one thread per node,
+// so a node feeding itself would deadlock on its own queue, and the balance
+// sweep would degenerate.
 func (g *Graph) Connect(src *Node, srcPort int, dst *Node, dstPort int) error {
+	if src == dst {
+		return &SelfLoopError{Node: src, SrcPort: srcPort, DstPort: dstPort}
+	}
 	if srcPort < 0 || srcPort >= len(src.Out) {
 		return fmt.Errorf("stream: %s has no output port %d", src.Name(), srcPort)
 	}
@@ -138,17 +144,17 @@ func (g *Graph) SplitJoin(splitter *Node, joiner *Node, branches ...[]Filter) er
 // has no feedback loops).
 func (g *Graph) Validate() error {
 	if len(g.Nodes) == 0 {
-		return fmt.Errorf("stream: empty graph")
+		return &EmptyGraphError{}
 	}
 	for _, n := range g.Nodes {
 		for i, e := range n.In {
 			if e == nil {
-				return fmt.Errorf("stream: input port %d of %s not connected", i, n.Name())
+				return &PortError{Node: n, Port: i, Input: true}
 			}
 		}
 		for o, e := range n.Out {
 			if e == nil {
-				return fmt.Errorf("stream: output port %d of %s not connected", o, n.Name())
+				return &PortError{Node: n, Port: o, Input: false}
 			}
 		}
 	}
@@ -174,7 +180,7 @@ func (g *Graph) checkAcyclic() error {
 		for _, e := range n.Out {
 			switch color[e.Dst.ID] {
 			case grey:
-				return fmt.Errorf("stream: cycle through %s -> %s", n.Name(), e.Dst.Name())
+				return &CycleError{From: n, To: e.Dst}
 			case white:
 				if err := visit(e.Dst); err != nil {
 					return err
@@ -220,7 +226,7 @@ func (g *Graph) checkConnected() error {
 		}
 	}
 	if count != len(g.Nodes) {
-		return fmt.Errorf("stream: graph is disconnected (%d of %d nodes reachable)", count, len(g.Nodes))
+		return &DisconnectedError{Reachable: count, Total: len(g.Nodes)}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,69 @@ func TestConnectErrors(t *testing.T) {
 	}
 	if err := g.Connect(a, 0, b, 0); err == nil {
 		t.Error("double connection accepted")
+	}
+}
+
+func TestConnectRejectsSelfLoop(t *testing.T) {
+	g := NewGraph()
+	n := g.Add(NewIdentity("loop", 1))
+	err := g.Connect(n, 0, n, 0)
+	if err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	var sl *SelfLoopError
+	if !errors.As(err, &sl) {
+		t.Fatalf("self-loop error has type %T, want *SelfLoopError", err)
+	}
+	if sl.Node != n || sl.SrcPort != 0 || sl.DstPort != 0 {
+		t.Errorf("SelfLoopError fields = %+v", sl)
+	}
+	if len(g.Edges) != 0 || n.Out[0] != nil || n.In[0] != nil {
+		t.Error("rejected self-loop still modified the graph")
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	var empty *EmptyGraphError
+	if err := NewGraph().Validate(); !errors.As(err, &empty) {
+		t.Errorf("empty graph error has type %T", err)
+	}
+
+	g := NewGraph()
+	g.Add(NewSource("src", 1, nil))
+	var pe *PortError
+	if err := g.Validate(); !errors.As(err, &pe) {
+		t.Errorf("unconnected port error has type %T", err)
+	} else if pe.Input || pe.Port != 0 {
+		t.Errorf("PortError fields = %+v", pe)
+	}
+
+	g2 := NewGraph()
+	if _, err := g2.Chain(NewSource("s1", 1, nil), NewSink("k1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Chain(NewSource("s2", 1, nil), NewSink("k2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	var de *DisconnectedError
+	if err := g2.Validate(); !errors.As(err, &de) {
+		t.Errorf("disconnected error has type %T", err)
+	} else if de.Reachable != 2 || de.Total != 4 {
+		t.Errorf("DisconnectedError fields = %+v", de)
+	}
+
+	g3 := NewGraph()
+	a := g3.Add(NewFuncFilter("a", 1, 1, 0, nil))
+	b := g3.Add(NewFuncFilter("b", 1, 1, 0, nil))
+	if err := g3.Connect(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.Connect(b, 0, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CycleError
+	if err := g3.Validate(); !errors.As(err, &ce) {
+		t.Errorf("cycle error has type %T", err)
 	}
 }
 

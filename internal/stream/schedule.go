@@ -24,6 +24,8 @@ type Schedule struct {
 // Solve computes the minimal integer steady-state schedule by solving the
 // balance equations mult(src)*push = mult(dst)*pop for every edge. It
 // fails if the graph's rates are inconsistent (no steady state exists).
+// Failures are typed: errors.As recovers *ZeroRateError, *RateError and
+// *MultiplicityRangeError here, plus the Validate errors of graph.go.
 func Solve(g *Graph) (*Schedule, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -36,9 +38,9 @@ func Solve(g *Graph) (*Schedule, error) {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		relate := func(other *Node, ratioNum, ratioDen int) error {
+		relate := func(e *Edge, other *Node, ratioNum, ratioDen int) error {
 			if ratioNum == 0 || ratioDen == 0 {
-				return fmt.Errorf("stream: zero rate on edge between %s and %s", n.Name(), other.Name())
+				return &ZeroRateError{Edge: e, A: n, B: other}
 			}
 			want := new(big.Rat).Mul(mult[n.ID], big.NewRat(int64(ratioNum), int64(ratioDen)))
 			if mult[other.ID] == nil {
@@ -47,20 +49,19 @@ func Solve(g *Graph) (*Schedule, error) {
 				return nil
 			}
 			if mult[other.ID].Cmp(want) != 0 {
-				return fmt.Errorf("stream: inconsistent rates at %s (needs multiplicity %s and %s)",
-					other.Name(), mult[other.ID].RatString(), want.RatString())
+				return &RateError{Edge: e, Node: other, Got: mult[other.ID], Want: want}
 			}
 			return nil
 		}
 		for _, e := range n.Out {
 			// mult(dst) = mult(src) * push / pop
-			if err := relate(e.Dst, e.PushRate(), e.PopRate()); err != nil {
+			if err := relate(e, e.Dst, e.PushRate(), e.PopRate()); err != nil {
 				return nil, err
 			}
 		}
 		for _, e := range n.In {
 			// mult(src) = mult(dst) * pop / push
-			if err := relate(e.Src, e.PopRate(), e.PushRate()); err != nil {
+			if err := relate(e, e.Src, e.PopRate(), e.PushRate()); err != nil {
 				return nil, err
 			}
 		}
@@ -93,7 +94,7 @@ func Solve(g *Graph) (*Schedule, error) {
 	for i, v := range ints {
 		q := new(big.Int).Div(v, gcdAll)
 		if !q.IsInt64() || q.Int64() <= 0 || q.Int64() > 1<<31 {
-			return nil, fmt.Errorf("stream: multiplicity of %s out of range: %s", g.Nodes[i].Name(), q)
+			return nil, &MultiplicityRangeError{Node: g.Nodes[i], Value: q}
 		}
 		s.Multiplicity[i] = int(q.Int64())
 	}

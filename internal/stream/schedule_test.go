@@ -1,7 +1,9 @@
 package stream
 
 import (
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -104,6 +106,69 @@ func TestSolveInconsistentRates(t *testing.T) {
 	}
 	if _, err := Solve(g); err == nil {
 		t.Error("inconsistent rates accepted")
+	}
+}
+
+// Solve errors are typed so static analyzers can match them with errors.As
+// instead of string-matching; the messages are unchanged.
+func TestSolveTypedErrors(t *testing.T) {
+	g := NewGraph()
+	src := g.Add(NewSource("src", 1, nil))
+	split := g.Add(NewDuplicateSplitter("dup", 1, 2))
+	join := g.Add(NewRoundRobinJoiner("join", 2, 1))
+	sink := g.Add(NewSink("sink", 3))
+	if err := g.Connect(src, 0, split, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SplitJoin(split, join, []Filter{}, []Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(join, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Solve(g)
+	var re *RateError
+	if !errors.As(err, &re) {
+		t.Fatalf("inconsistent-rate error has type %T: %v", err, err)
+	}
+	if re.Edge == nil || re.Node == nil || re.Got == nil || re.Want == nil {
+		t.Errorf("RateError fields incomplete: %+v", re)
+	}
+	if !strings.Contains(err.Error(), "inconsistent rates at") {
+		t.Errorf("message changed: %q", err)
+	}
+
+	g2 := NewGraph()
+	if _, err := g2.Chain(NewSource("src", 0, nil), NewSink("sink", 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Solve(g2)
+	var ze *ZeroRateError
+	if !errors.As(err, &ze) {
+		t.Fatalf("zero-rate error has type %T: %v", err, err)
+	}
+	if ze.Edge == nil {
+		t.Error("ZeroRateError.Edge is nil")
+	}
+	if !strings.Contains(err.Error(), "zero rate on edge") {
+		t.Errorf("message changed: %q", err)
+	}
+
+	// Coprime rates blow the integer multiplicities past 2^31.
+	g3 := NewGraph()
+	if _, err := g3.Chain(
+		NewSource("src", 1<<20, nil),
+		NewFuncFilter("f1", 3, 1<<20, 0, nil),
+		NewFuncFilter("f2", 7, 1<<20, 0, nil),
+		NewFuncFilter("f3", 11, 1<<20, 0, nil),
+		NewSink("sink", 13),
+	); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Solve(g3)
+	var me *MultiplicityRangeError
+	if !errors.As(err, &me) {
+		t.Fatalf("multiplicity-range error has type %T: %v", err, err)
 	}
 }
 
