@@ -1,0 +1,150 @@
+// Command critmap runs the control-criticality dataflow analysis
+// (internal/crit) over the repo's filter implementations and codec
+// kernels, printing the per-filter protection map and any CM001–CM003
+// findings (filters deriving control flow from popped data — the
+// statically-detectable catastrophic pattern of §3). It exits 1 on any
+// unsuppressed finding.
+//
+// Examples:
+//
+//	critmap -all            analyze every filter and kernel source
+//	critmap -app jpeg       analyze one benchmark's sources
+//	critmap -all -json      emit the shared diagnostic schema for CI
+//	critmap -all -vars      also list each filter's classified variables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"commguard/internal/crit"
+	"commguard/internal/diag"
+)
+
+// appSources maps a benchmark name to the sources it is built from: its
+// app file (filter mode) plus the kernel packages it calls (kernel mode).
+// internal/stream is always included — the builtin Source/Sink/splitter
+// Work methods run in every graph.
+var appSources = map[string]struct {
+	file    string
+	kernels []string
+}{
+	"audiobeamformer": {file: "beamformer.go"},
+	"channelvocoder":  {file: "vocoder.go"},
+	"complex-fir":     {file: "complexfir.go", kernels: []string{"internal/dsp"}},
+	"fft":             {file: "fft.go", kernels: []string{"internal/dsp"}},
+	"jpeg":            {file: "jpeg.go", kernels: []string{"internal/codec/jpegcodec", "internal/codec/bitio", "internal/dsp"}},
+	"mp3":             {file: "mp3.go", kernels: []string{"internal/codec/mp3codec", "internal/codec/bitio", "internal/dsp"}},
+	"doall":           {file: "doall.go"},
+}
+
+func main() {
+	appName := flag.String("app", "", "benchmark to analyze (audiobeamformer, channelvocoder, complex-fir, fft, jpeg, mp3, doall)")
+	all := flag.Bool("all", false, "analyze every filter and kernel source in the repo")
+	jsonOut := flag.Bool("json", false, "emit the shared diagnostic JSON schema (internal/diag)")
+	vars := flag.Bool("vars", false, "list each filter's classified variables (human output only)")
+	root := flag.String("root", "", "repo root (default: walk up to the enclosing go.mod)")
+	flag.Parse()
+
+	if *all == (*appName != "") {
+		fmt.Fprintln(os.Stderr, "critmap: pass exactly one of -app NAME or -all")
+		os.Exit(2)
+	}
+
+	r := *root
+	if r == "" {
+		var err error
+		r, err = crit.FindRepoRoot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "critmap: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	m, err := analyze(r, *all, *appName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "critmap: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := m.Findings()
+	if *jsonOut {
+		ds := make([]diag.Diagnostic, 0, len(findings))
+		for _, fi := range findings {
+			ds = append(ds, diag.Diagnostic{
+				Tool:     "critmap",
+				Code:     fi.Code,
+				Severity: "error",
+				File:     fi.Pos.Filename,
+				Line:     fi.Pos.Line,
+				Col:      fi.Pos.Column,
+				Node:     fi.Filter,
+				Message:  fi.Message,
+			})
+		}
+		if err := diag.NewReport("critmap", ds).Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "critmap: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		printHuman(m, *vars)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func analyze(root string, all bool, appName string) (*crit.ProtectionMap, error) {
+	if all {
+		return crit.AnalyzeRepo(root)
+	}
+	src, ok := appSources[appName]
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", appName)
+	}
+	m := &crit.ProtectionMap{}
+	fm, err := crit.AnalyzeFile(filepath.Join(root, "internal", "apps", src.file), crit.FilterMode)
+	if err != nil {
+		return nil, err
+	}
+	m.Merge(fm)
+	sm, err := crit.AnalyzeDir(filepath.Join(root, "internal", "stream"), crit.FilterMode)
+	if err != nil {
+		return nil, err
+	}
+	m.Merge(sm)
+	for _, k := range src.kernels {
+		km, err := crit.AnalyzeDir(filepath.Join(root, filepath.FromSlash(k)), crit.KernelMode)
+		if err != nil {
+			return nil, err
+		}
+		m.Merge(km)
+	}
+	return m, nil
+}
+
+func printHuman(m *crit.ProtectionMap, vars bool) {
+	for _, f := range m.Filters {
+		fmt.Printf("%-42s crit=%5.1f%% (%d/%d stmts)  %s:%d\n",
+			f.Name, 100*f.ControlFraction(), f.ControlStmts, f.Stmts, f.File, f.Line)
+		if vars {
+			for _, v := range f.Vars {
+				flags := ""
+				if v.PopTainted {
+					flags += " pop-tainted"
+					if v.Guarded {
+						flags += " guarded"
+					}
+				}
+				fmt.Printf("    %-24s %s%s\n", v.Name, v.KindName, flags)
+			}
+		}
+	}
+	fmt.Printf("mean control-critical fraction: %.1f%% over %d functions\n",
+		100*m.MeanFraction(), len(m.Filters))
+	for _, fi := range m.Findings() {
+		fmt.Println(fi)
+	}
+}

@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 3|7|8|9|10|11|12|13|14|sensitivity|all")
+		fig    = flag.String("fig", "all", "figure to regenerate: 3|7|8|9|10|11|12|13|14|sensitivity|critweight|all")
 		quickF = flag.Bool("quick", false, "reduced sweep (smaller workloads, fewer seeds)")
 		seeds  = flag.Int("seeds", 0, "override seeds per point (paper: 5)")
 		csvDir = flag.String("csv", "", "with -fig all: also write per-figure CSVs to this directory")
@@ -88,6 +88,8 @@ func run(fig string, opts experiments.Options, csvDir, mdPath string) error {
 		_, err = experiments.Figure14(opts)
 	case "sensitivity":
 		_, err = experiments.ClassSensitivity(opts, "mp3", 128e3)
+	case "critweight":
+		_, err = experiments.CritWeighting(opts, 128e3)
 	default:
 		err = fmt.Errorf("unknown figure %q", fig)
 	}

@@ -8,6 +8,7 @@
 //	graphcheck -all                 verify every built-in benchmark
 //	graphcheck -app jpeg            verify one benchmark
 //	graphcheck -app mp3 -iterations 100000000000 -suppress CG005
+//	graphcheck -all -json           emit the shared diagnostic schema for CI
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"commguard/internal/apps"
 	"commguard/internal/check"
+	"commguard/internal/diag"
 	"commguard/internal/queue"
 )
 
@@ -31,6 +33,7 @@ func main() {
 	units := flag.Int("units", 0, "units per working set (0 = default geometry)")
 	timeout := flag.Duration("timeout", queue.DefaultConfig().Timeout, "queue blocking timeout (0 = block forever)")
 	suppress := flag.String("suppress", "", "comma-separated diagnostic codes to skip (e.g. CG005,CG006)")
+	jsonOut := flag.Bool("json", false, "emit the shared diagnostic JSON schema (internal/diag)")
 	flag.Parse()
 
 	if *all == (*appName != "") {
@@ -62,6 +65,28 @@ func main() {
 		builders = []apps.Builder{b}
 	}
 
+	if *jsonOut {
+		var ds []diag.Diagnostic
+		failed := false
+		for _, b := range builders {
+			appDs, hadErrors, err := collect(b, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "graphcheck: %v\n", err)
+				os.Exit(2)
+			}
+			ds = append(ds, appDs...)
+			failed = failed || hadErrors
+		}
+		if err := diag.NewReport("graphcheck", ds).Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "graphcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	failed := false
 	for _, b := range builders {
 		if verify(b, cfg) {
@@ -71,6 +96,35 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// collect checks one benchmark and converts its report to the shared
+// diagnostic schema; the bool reports error-severity findings.
+func collect(b apps.Builder, cfg check.Config) ([]diag.Diagnostic, bool, error) {
+	inst, err := b.New()
+	if err != nil {
+		return nil, false, fmt.Errorf("building %s: %w", b.Name, err)
+	}
+	report := check.Run(inst.Graph, cfg)
+	var ds []diag.Diagnostic
+	for _, d := range report.Diagnostics {
+		out := diag.Diagnostic{
+			Tool:     "graphcheck",
+			Code:     d.Code,
+			Severity: d.Severity.String(),
+			App:      b.Name,
+			Message:  d.Message,
+			Fix:      d.Fix,
+		}
+		switch {
+		case d.Edge != nil:
+			out.Edge = fmt.Sprintf("%s -> %s", d.Edge.Src.Name(), d.Edge.Dst.Name())
+		case d.Node != nil:
+			out.Node = d.Node.Name()
+		}
+		ds = append(ds, out)
+	}
+	return ds, report.HasErrors(), nil
 }
 
 // verify checks one benchmark and prints its report; it returns true when

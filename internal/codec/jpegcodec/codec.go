@@ -120,6 +120,7 @@ func encodeBlock(bw *bitio.Writer, zz *[64]int32, prevDC int32, dc, ac *huffEnco
 		}
 		s := bitSize(zz[i])
 		sym := uint8(run<<4) | uint8(s)
+		//repolint:ignore CM002 sym is a uint8 indexing 256-entry code tables; total by construction
 		bw.WriteBits(ac.code[sym], int(ac.size[sym]))
 		bw.WriteBits(encodeMagnitude(zz[i], s), s)
 		run = 0

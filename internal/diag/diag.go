@@ -1,0 +1,83 @@
+// Package diag is the shared machine-readable diagnostic schema the
+// repo's static-analysis CLIs (cmd/graphcheck -json, cmd/critmap -json)
+// emit, so CI and editor tooling consume findings from every tool
+// uniformly.
+package diag
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Diagnostic is one tool finding in the common schema. Fields that do not
+// apply to a given tool are left zero and omitted from the JSON encoding:
+// graphcheck findings carry App/Node/Edge, critmap findings carry
+// File/Line/Col/Node (the filter name).
+type Diagnostic struct {
+	// Tool names the producer ("graphcheck", "critmap", "repolint").
+	Tool string `json:"tool"`
+	// Code is the rule identifier (CG001, CM001, RL004, ...).
+	Code string `json:"code"`
+	// Severity is "error" or "warning".
+	Severity string `json:"severity"`
+	// App is the benchmark the finding belongs to, when app-scoped.
+	App string `json:"app,omitempty"`
+	// File/Line/Col anchor source-scoped findings.
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+	// Node names the graph node or filter the finding is about.
+	Node string `json:"node,omitempty"`
+	// Edge renders the edge ("src -> dst") for edge-scoped findings.
+	Edge string `json:"edge,omitempty"`
+	// Message states the defect; Fix suggests a remediation.
+	Message string `json:"message"`
+	Fix     string `json:"fix,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Tool        string       `json:"tool"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Errors counts severity=="error" diagnostics (the exit-1 subset).
+	Errors int `json:"errors"`
+}
+
+// NewReport assembles a sorted report. Diagnostics order: file, line, col,
+// app, code — stable across runs for golden tests and CI diffing.
+func NewReport(tool string, ds []Diagnostic) *Report {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		return a.Code < b.Code
+	})
+	errs := 0
+	for _, d := range ds {
+		if d.Severity == "error" {
+			errs++
+		}
+	}
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	return &Report{Tool: tool, Diagnostics: ds, Errors: errs}
+}
+
+// Write encodes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

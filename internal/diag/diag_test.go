@@ -1,0 +1,54 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewReportSortsAndCounts(t *testing.T) {
+	r := NewReport("critmap", []Diagnostic{
+		{Tool: "critmap", Code: "CM002", Severity: "error", File: "b.go", Line: 9},
+		{Tool: "critmap", Code: "CM001", Severity: "error", File: "a.go", Line: 3},
+		{Tool: "critmap", Code: "CM003", Severity: "warning", File: "a.go", Line: 1},
+	})
+	if r.Errors != 2 {
+		t.Errorf("errors = %d, want 2", r.Errors)
+	}
+	if r.Diagnostics[0].Line != 1 || r.Diagnostics[1].Line != 3 || r.Diagnostics[2].File != "b.go" {
+		t.Errorf("not sorted: %+v", r.Diagnostics)
+	}
+}
+
+func TestWriteRoundTripsAndOmitsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewReport("graphcheck", []Diagnostic{
+		{Tool: "graphcheck", Code: "CG002", Severity: "error", App: "fft", Edge: "a#0 -> b#1", Message: "rates"},
+	})
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Source-location fields are absent for graph-scoped findings.
+	if strings.Contains(out, `"file"`) || strings.Contains(out, `"line"`) || strings.Contains(out, `"fix"`) {
+		t.Errorf("zero fields should be omitted:\n%s", out)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "graphcheck" || len(back.Diagnostics) != 1 || back.Diagnostics[0].Edge != "a#0 -> b#1" {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestEmptyReportEncodesEmptyArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewReport("critmap", nil).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Errorf("nil diagnostics should encode as [], got:\n%s", buf.String())
+	}
+}

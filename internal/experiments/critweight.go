@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"commguard/internal/apps"
+	"commguard/internal/crit"
+	"commguard/internal/sim"
+)
+
+// CritRow is one benchmark of the criticality-weighting study.
+type CritRow struct {
+	App string
+	// Fraction is the graph-weighted mean control-critical statement
+	// fraction of the benchmark's filters (from internal/crit).
+	Fraction float64
+	// UniformDB / WeightedDB are mean output quality under the uniform
+	// manifestation model vs the criticality-weighted one, at the same
+	// MTBE, protection and seeds.
+	UniformDB  float64
+	WeightedDB float64
+}
+
+// CritWeighting compares uniform against criticality-weighted error
+// injection (fault.CriticalityWeighted driven by the static analysis in
+// internal/crit) over the built-in benchmarks, under the reliable-queue
+// platform (Fig. 3c — errors land in filters, not queue pointers, so the
+// manifestation split is the whole story). It quantifies how much the
+// hard-coded uniform weights under- or over-state damage per benchmark:
+// filters whose code is mostly control state draw proportionally more
+// desequencing errors under the weighted model and score worse, pure data
+// pipes draw fewer and score better.
+func CritWeighting(o Options, mtbe float64) ([]CritRow, error) {
+	root, err := crit.FindRepoRoot()
+	if err != nil {
+		return nil, err
+	}
+	pm, err := crit.AnalyzeRepo(root)
+	if err != nil {
+		return nil, err
+	}
+	fracs := pm.Fractions()
+
+	builders := o.builders()
+	if o.Quick {
+		builders = append(builders, apps.Builder{Name: "doall", New: func() (*apps.Instance, error) {
+			return apps.NewDoAll(apps.DoAllConfig{Workers: 3, Tasks: 512, IterationsPerTask: 8})
+		}})
+	} else {
+		builders = apps.AllBuiltin()
+	}
+
+	rc := newReferenceCache()
+	w := o.out()
+	fmt.Fprintf(w, "Uniform vs criticality-weighted injection at MTBE %s (reliable queue, mean over %d seeds)\n", fmtMTBE(mtbe), o.Seeds)
+	fmt.Fprintf(w, "%-18s %10s %12s %12s\n", "benchmark", "crit frac", "uniform dB", "weighted dB")
+
+	var rows []CritRow
+	for _, b := range builders {
+		ref, err := rc.get(b)
+		if err != nil {
+			return nil, err
+		}
+		row := CritRow{App: b.Name, Fraction: graphMeanFraction(b, pm)}
+		n := 0
+		for s := 0; s < o.Seeds; s++ {
+			seed := int64(700 + 131*s)
+			base := sim.Config{Protection: sim.ReliableQueue, MTBE: mtbe, Seed: seed}
+
+			inst, err := b.New()
+			if err != nil {
+				return nil, err
+			}
+			ru, err := sim.Run(inst, base, ref)
+			if err != nil {
+				return nil, err
+			}
+
+			inst2, err := b.New()
+			if err != nil {
+				return nil, err
+			}
+			weighted := base
+			weighted.CritFractions = fracs
+			rw, err := sim.Run(inst2, weighted, ref)
+			if err != nil {
+				return nil, err
+			}
+
+			row.UniformDB += clampDB(ru.Quality)
+			row.WeightedDB += clampDB(rw.Quality)
+			n++
+		}
+		row.UniformDB /= float64(n)
+		row.WeightedDB /= float64(n)
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-18s %9.1f%% %12.1f %12.1f\n", b.Name, 100*row.Fraction, row.UniformDB, row.WeightedDB)
+	}
+	return rows, nil
+}
+
+// graphMeanFraction resolves each node of a freshly built graph against
+// the protection map and averages; nodes the analysis has no entry for
+// are skipped.
+func graphMeanFraction(b apps.Builder, pm *crit.ProtectionMap) float64 {
+	inst, err := b.New()
+	if err != nil {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for _, node := range inst.Graph.Nodes {
+		f, ok := pm.FractionFor(node.F.Name())
+		if !ok {
+			// Builtin Work methods are analyzed under their "pkg.Type" name.
+			f, ok = pm.FractionFor(strings.TrimPrefix(fmt.Sprintf("%T", node.F), "*"))
+		}
+		if ok {
+			sum += f
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

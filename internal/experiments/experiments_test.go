@@ -281,3 +281,31 @@ func TestClassSensitivity(t *testing.T) {
 		t.Error("data flips should cause less realignment than control trips")
 	}
 }
+
+// CritWeighting exercises the criticality-weighted fault model end-to-end:
+// static analysis over the repo's own sources feeding per-node injection
+// models, compared against the uniform model on the same seeds.
+func TestCritWeighting(t *testing.T) {
+	o := quick(t)
+	var buf bytes.Buffer
+	o.Out = &buf
+	rows, err := CritWeighting(o, 96e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("want 7 benchmarks (6 + doall), got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Fraction <= 0 || r.Fraction >= 1 {
+			t.Errorf("%s: analysis fraction %v out of (0,1) — lookup not resolving", r.App, r.Fraction)
+		}
+		if r.UniformDB < -40 || r.UniformDB > 160 || r.WeightedDB < -40 || r.WeightedDB > 160 {
+			t.Errorf("%s: dB out of clamp range: uniform %v weighted %v", r.App, r.UniformDB, r.WeightedDB)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "criticality-weighted") || !strings.Contains(out, "doall") {
+		t.Errorf("table output incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,72 @@
+package fault
+
+// Criticality-weighted manifestation models. The default Model weights
+// encode a fixed split between control-state damage (trip counts,
+// frame sequencing, addressing, queue pointers) and data damage, averaged
+// over "typical" DSP loop bodies. internal/crit derives the actual
+// control-critical statement fraction of each filter from its source; this
+// file re-weights the manifestation distribution to match, so a filter
+// whose code is 90% control state sees proportionally more ControlTrip /
+// ControlFrame / AddrSlip manifestations than one that is a pure data pipe.
+
+// controlClasses returns the manifestations that strike control state; an
+// error landing in any of them desequences communication (§3's AE/QME
+// taxonomy). With a protected queue manager, QueuePtr manifestations are
+// redrawn as DataBitflip at sampling time (§4.3), so their mass belongs to
+// the data side there.
+func (m Model) controlClasses() []Class {
+	if m.QueueProtected {
+		return []Class{ControlTrip, ControlFrame, AddrSlip}
+	}
+	return []Class{ControlTrip, ControlFrame, AddrSlip, QueuePtr}
+}
+
+// ControlMass returns the normalized probability mass on the control
+// manifestation classes (0.45 for the unprotected DefaultModel, 0.40 for
+// the queue-protected one).
+func (m Model) ControlMass() float64 {
+	total, control := 0.0, 0.0
+	for c := Class(1); c < numClasses; c++ {
+		total += m.Weights[c]
+	}
+	if total <= 0 {
+		return 0
+	}
+	for _, c := range m.controlClasses() {
+		control += m.Weights[c]
+	}
+	return control / total
+}
+
+// CriticalityWeighted rescales base so its control mass equals frac (a
+// filter's control-critical statement fraction from internal/crit), while
+// preserving the relative weights inside each side of the split. frac is
+// clamped to [0, 1]; a base with a degenerate split (all control or all
+// data) is returned unchanged since there is nothing to rebalance.
+func CriticalityWeighted(base Model, frac float64) Model {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	f0 := base.ControlMass()
+	if f0 <= 0 || f0 >= 1 {
+		return base
+	}
+	m := base
+	cs := frac / f0
+	ds := (1 - frac) / (1 - f0)
+	control := map[Class]bool{}
+	for _, c := range base.controlClasses() {
+		control[c] = true
+	}
+	for c := Class(1); c < numClasses; c++ {
+		if control[c] {
+			m.Weights[c] = base.Weights[c] * cs
+		} else {
+			m.Weights[c] = base.Weights[c] * ds
+		}
+	}
+	return m
+}

@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestControlMassDefault(t *testing.T) {
+	m := DefaultModel(false)
+	if got := m.ControlMass(); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("default control mass = %v, want 0.45", got)
+	}
+	// With a protected queue, QueuePtr mass manifests as DataBitflip and
+	// counts on the data side.
+	if got := DefaultModel(true).ControlMass(); math.Abs(got-0.40) > 1e-12 {
+		t.Errorf("protected control mass = %v, want 0.40", got)
+	}
+	var zero Model
+	if zero.ControlMass() != 0 {
+		t.Errorf("zero model control mass should be 0")
+	}
+}
+
+func TestCriticalityWeighted(t *testing.T) {
+	base := DefaultModel(false)
+	for _, frac := range []float64{0, 0.1, 0.45, 0.5, 0.9, 1} {
+		m := CriticalityWeighted(base, frac)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("frac=%v: %v", frac, err)
+		}
+		if got := m.ControlMass(); math.Abs(got-frac) > 1e-12 {
+			t.Errorf("frac=%v: control mass = %v", frac, got)
+		}
+		// Relative weights inside the control side must be preserved.
+		if frac > 0 {
+			wantRatio := base.Weights[ControlTrip] / base.Weights[AddrSlip]
+			gotRatio := m.Weights[ControlTrip] / m.Weights[AddrSlip]
+			if math.Abs(gotRatio-wantRatio) > 1e-12 {
+				t.Errorf("frac=%v: control-side ratio changed: %v vs %v", frac, gotRatio, wantRatio)
+			}
+		}
+	}
+	// Identity at the base's own mass.
+	if m := CriticalityWeighted(base, base.ControlMass()); m != base {
+		t.Errorf("reweighting to the base mass should be the identity: %+v", m)
+	}
+	// Out-of-range fractions clamp.
+	if m := CriticalityWeighted(base, -3); m.ControlMass() != 0 {
+		t.Errorf("frac<-0 should clamp to 0")
+	}
+	if m := CriticalityWeighted(base, 7); math.Abs(m.ControlMass()-1) > 1e-12 {
+		t.Errorf("frac>1 should clamp to 1")
+	}
+	// Degenerate bases are returned unchanged.
+	var allData Model
+	allData.Weights[DataBitflip] = 1
+	if m := CriticalityWeighted(allData, 0.5); m != allData {
+		t.Errorf("degenerate base should pass through")
+	}
+}
+
+func TestCriticalityWeightedSampling(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	m := CriticalityWeighted(DefaultModel(false), 1)
+	for i := 0; i < 1000; i++ {
+		if c := m.Sample(r); c == DataBitflip {
+			t.Fatalf("frac=1 model sampled DataBitflip at draw %d", i)
+		}
+	}
+	m = CriticalityWeighted(DefaultModel(false), 0)
+	for i := 0; i < 1000; i++ {
+		if c := m.Sample(r); c != DataBitflip {
+			t.Fatalf("frac=0 model sampled %v at draw %d", c, i)
+		}
+	}
+}

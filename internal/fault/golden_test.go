@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The golden values below pin the observable randomness of the injection
+// pipeline for a fixed (seed, MTBE, model). Every experiment in the repo
+// derives its error timeline from exactly this chain — CoreSeed mixing,
+// the per-core rand stream, ExpFloat64 gap draws, Model.Sample — so a
+// refactor that silently changes any link would invalidate every recorded
+// figure while still passing the statistical tests. If a change here is
+// intentional, re-derive the constants and say so in the commit message.
+
+func TestCoreSeedGolden(t *testing.T) {
+	want := map[int]int64{
+		0: -4767286540954276203,
+		1: 2949826092126892291,
+		2: 5139283748462763858,
+		7: -3677692746721775708,
+	}
+	for core, w := range want {
+		if got := CoreSeed(42, core); got != w {
+			t.Errorf("CoreSeed(42, %d) = %d, want %d", core, got, w)
+		}
+	}
+	// Distinct cores and distinct run seeds must decorrelate.
+	if CoreSeed(42, 0) == CoreSeed(42, 1) || CoreSeed(42, 0) == CoreSeed(43, 0) {
+		t.Error("CoreSeed collisions across cores or run seeds")
+	}
+}
+
+func TestAdvanceClassSequenceGolden(t *testing.T) {
+	advance := func(inj *Injector) []Class {
+		var seq []Class
+		for i := 0; i < 40; i++ {
+			seq = append(seq, inj.Advance(500)...)
+		}
+		return seq
+	}
+
+	inj := NewInjector(1000, CoreSeed(42, 0), DefaultModel(false))
+	want := []Class{
+		DataBitflip, DataBitflip, ControlFrame, DataBitflip, AddrSlip,
+		ControlTrip, DataBitflip, QueuePtr, AddrSlip, AddrSlip,
+		ControlTrip, AddrSlip, DataBitflip, ControlTrip, DataBitflip,
+		DataBitflip, DataBitflip, DataBitflip,
+	}
+	if got := advance(inj); !reflect.DeepEqual(got, want) {
+		t.Errorf("unprotected sequence diverged:\n got %v\nwant %v", got, want)
+	}
+	if inj.Instructions() != 20000 {
+		t.Errorf("instructions = %d, want 20000", inj.Instructions())
+	}
+	if inj.Counts().Total() != uint64(len(want)) {
+		t.Errorf("counts total = %d, want %d", inj.Counts().Total(), len(want))
+	}
+
+	// Queue-protected model on another core: QueuePtr redraws as
+	// DataBitflip, and the core's stream is independent of core 0's.
+	inj2 := NewInjector(1000, CoreSeed(42, 1), DefaultModel(true))
+	want2 := []Class{
+		DataBitflip, DataBitflip, DataBitflip, AddrSlip, ControlTrip,
+		AddrSlip, AddrSlip, DataBitflip, AddrSlip, DataBitflip,
+		AddrSlip, DataBitflip, DataBitflip, DataBitflip, DataBitflip,
+		DataBitflip, ControlFrame, ControlTrip, ControlTrip, ControlTrip,
+		DataBitflip, DataBitflip, ControlTrip, DataBitflip, DataBitflip,
+		AddrSlip, DataBitflip,
+	}
+	if got := advance(inj2); !reflect.DeepEqual(got, want2) {
+		t.Errorf("protected sequence diverged:\n got %v\nwant %v", got, want2)
+	}
+}

@@ -14,9 +14,22 @@
 //	RL003  PushRates/PopRates implementations must be constant: the
 //	       steady-state schedule is solved once from these rates, so they
 //	       cannot mutate state, touch channels, or consult rand/time.
+//	RL004  filter work functions must not derive a loop bound or
+//	       slice/array index from popped data without a bounds guard (the
+//	       statically-detectable catastrophic pattern of §3; backed by
+//	       internal/crit's dataflow analysis, scoped to internal/apps and
+//	       internal/stream).
+//	RL005  control-critical receiver fields identified by the same
+//	       analysis must not be mutated outside Work/Init.
+//	RL006  repolint:ignore directives that suppress nothing are stale and
+//	       reported themselves (directives naming non-RL codes are exempt:
+//	       they target other tools, e.g. critmap's CM codes).
 //
 // Findings can be suppressed with a `//repolint:ignore RL00x reason`
-// comment on the same line or the line directly above.
+// comment on the same line, the line directly above, or — file-wide —
+// before the package clause. Multiple codes may be space- or
+// comma-separated; a bare directive suppresses every code. Directives
+// naming a CM code also cover the wrapped RL004/RL005 form and vice versa.
 //
 // The analyzer is built on go/parser and go/ast alone — no go/packages, no
 // module downloads — so `go run ./cmd/repolint ./...` works in a hermetic
@@ -33,6 +46,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"commguard/internal/crit"
 )
 
 // Finding is one rule violation.
@@ -46,9 +61,6 @@ type Finding struct {
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
 }
-
-// ignoreDirective is the comment prefix that suppresses findings.
-const ignoreDirective = "repolint:ignore"
 
 // globalRandFns is the math/rand package-level API backed by the shared
 // global generator. Constructors (New, NewSource) and types are fine.
@@ -124,9 +136,15 @@ func Source(filename string, src string) ([]Finding, error) {
 }
 
 func lintParsed(fset *token.FileSet, f *ast.File, path string) []Finding {
-	var findings []Finding
+	// Each finding carries a matchCode for directive matching: the
+	// underlying CM code for crit-derived findings (so directives may name
+	// either spelling), the rule itself otherwise.
+	var findings []codedFinding
 	report := func(pos token.Pos, rule, msg string) {
-		findings = append(findings, Finding{Pos: fset.Position(pos), Rule: rule, Message: msg})
+		findings = append(findings, codedFinding{
+			Finding:   Finding{Pos: fset.Position(pos), Rule: rule, Message: msg},
+			matchCode: rule,
+		})
 	}
 
 	if rawChanApplies(path) {
@@ -136,8 +154,43 @@ func lintParsed(fset *token.FileSet, f *ast.File, path string) []Finding {
 		checkGlobalRand(f, report)
 	}
 	checkConstRates(f, report)
+	if critApplies(path) {
+		findings = append(findings, checkCriticality(fset, f)...)
+	}
 
 	return suppress(fset, f, findings)
+}
+
+// critApplies scopes RL004/RL005 to the filter implementations — the app
+// builders and the stream runtime's builtin Work methods. Kernel packages
+// are covered by cmd/critmap directly.
+func critApplies(path string) bool {
+	return inPackageDir(path, "internal/apps", "internal/stream") &&
+		!strings.HasSuffix(filepath.Base(path), "_test.go")
+}
+
+// checkCriticality wraps internal/crit's dataflow analysis as lint rules:
+// CM001/CM002 (control flow from unguarded popped data) surface as RL004,
+// CM003 (critical field mutated outside Work/Init) as RL005. The raw,
+// unsuppressed analysis is used so directive handling — including stale
+// detection — stays in one place here.
+func checkCriticality(fset *token.FileSet, f *ast.File) []codedFinding {
+	var out []codedFinding
+	for _, fi := range crit.AnalyzeParsed(fset, f, crit.FilterMode).Findings() {
+		rule := "RL004"
+		if fi.Code == crit.CodeFieldMut {
+			rule = "RL005"
+		}
+		out = append(out, codedFinding{
+			Finding: Finding{
+				Pos:     fi.Pos,
+				Rule:    rule,
+				Message: fmt.Sprintf("%s: %s", fi.Filter, fi.Message),
+			},
+			matchCode: fi.Code,
+		})
+	}
+	return out
 }
 
 // normPath canonicalizes separators so the path predicates work on both
@@ -300,39 +353,59 @@ func isFieldRef(e ast.Expr) bool {
 	return false
 }
 
-// suppress drops findings covered by a repolint:ignore directive on the
-// same line or the line directly above.
-func suppress(fset *token.FileSet, f *ast.File, findings []Finding) []Finding {
-	ignored := map[int]map[string]bool{} // line -> codes (empty set = all)
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-			if !strings.HasPrefix(text, ignoreDirective) {
-				continue
-			}
-			rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
-			codes := map[string]bool{}
-			for _, tok := range strings.Fields(rest) {
-				if strings.HasPrefix(tok, "RL") {
-					codes[tok] = true
-				} else {
-					break // reason text starts
-				}
-			}
-			line := fset.Position(c.Pos()).Line
-			ignored[line] = codes
-			ignored[line+1] = codes
-		}
-	}
-	if len(ignored) == 0 {
-		return findings
-	}
+// codedFinding pairs a finding with the code used for directive matching.
+type codedFinding struct {
+	Finding
+	matchCode string
+}
+
+// suppress drops findings covered by a repolint:ignore directive (same
+// line, line directly above, or file-level before the package clause) and
+// reports RL-targeted directives that suppressed nothing as RL006.
+// Directive parsing is shared with internal/crit (crit.ParseDirectives),
+// so comma-separated codes and the CM<->RL aliasing behave identically in
+// both tools.
+func suppress(fset *token.FileSet, f *ast.File, findings []codedFinding) []Finding {
+	dirs := crit.ParseDirectives(fset, f)
+	matched := make([]bool, len(dirs))
 	var kept []Finding
 	for _, fi := range findings {
-		if codes, ok := ignored[fi.Pos.Line]; ok && (len(codes) == 0 || codes[fi.Rule]) {
+		drop := false
+		for i, d := range dirs {
+			if !d.Covers(fi.matchCode) {
+				continue
+			}
+			if d.FileLevel || d.Line == fi.Pos.Line || d.Line == fi.Pos.Line-1 {
+				matched[i] = true
+				drop = true
+			}
+		}
+		if !drop {
+			kept = append(kept, fi.Finding)
+		}
+	}
+	for i, d := range dirs {
+		if matched[i] || hasNonRLCode(d) {
 			continue
 		}
-		kept = append(kept, fi)
+		kept = append(kept, Finding{
+			Pos:  d.Pos,
+			Rule: "RL006",
+			Message: "stale repolint:ignore directive: it suppresses no finding; " +
+				"delete it or narrow it to the code it was written for",
+		})
 	}
 	return kept
+}
+
+// hasNonRLCode exempts a directive from stale detection when it names a
+// code owned by another tool (critmap's CM codes): this linter cannot
+// judge whether those still match.
+func hasNonRLCode(d crit.Directive) bool {
+	for code := range d.Codes {
+		if !strings.HasPrefix(code, "RL") {
+			return true
+		}
+	}
+	return false
 }

@@ -40,9 +40,9 @@ func bad(ch chan int) {
 func TestRL001ScopedToRuntimePackages(t *testing.T) {
 	src := "package x\n\nfunc ok(ch chan int) { ch <- 1 }\n"
 	for _, path := range []string{
-		"internal/sim/pipe.go",           // other package: allowed
-		"internal/stream/transport.go",   // sanctioned file: allowed
-		"internal/stream/graph_test.go",  // test file: allowed
+		"internal/sim/pipe.go",          // other package: allowed
+		"internal/stream/transport.go",  // sanctioned file: allowed
+		"internal/stream/graph_test.go", // test file: allowed
 		"internal/commguard/transport.go",
 	} {
 		fs, err := Source(path, src)
@@ -264,5 +264,185 @@ func TestRepositoryIsClean(t *testing.T) {
 	}
 	for _, f := range fs {
 		t.Errorf("%s", f)
+	}
+}
+
+const poppedIndexSrc = `package apps
+
+import "commguard/internal/stream"
+
+var table [16]uint32
+
+func build() *stream.FuncFilter {
+	return stream.NewFuncFilter("f", 1, 1, 1, func(ctx *stream.Ctx) {
+		k := int(ctx.PopI32(0))
+		ctx.Push(0, table[k])
+	})
+}
+`
+
+func TestRL004FlagsPoppedControlFlow(t *testing.T) {
+	fs, err := Source("internal/apps/f.go", poppedIndexSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules(fs)["RL004"] != 1 {
+		t.Fatalf("want 1 RL004, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "popped data") {
+		t.Errorf("message should explain the pattern: %s", fs[0].Message)
+	}
+}
+
+func TestRL004ScopedToFilterPackages(t *testing.T) {
+	// The identical source outside internal/apps and internal/stream (or in
+	// a test file) is not RL004's business.
+	for _, path := range []string{"internal/codec/jpegcodec/f.go", "internal/apps/f_test.go"} {
+		fs, err := Source(path, poppedIndexSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rules(fs)["RL004"] != 0 {
+			t.Errorf("%s: RL004 out of scope, got %v", path, fs)
+		}
+	}
+}
+
+func TestRL005FlagsCriticalFieldMutation(t *testing.T) {
+	src := `package stream
+
+type S struct {
+	pos  int
+	data []uint32
+}
+
+func (s *S) Work(ctx *Ctx) {
+	ctx.Push(0, s.data[s.pos])
+	s.pos++
+}
+
+func (s *S) Rewind() { s.pos = 0 }
+
+type Ctx struct{}
+
+func (c *Ctx) Push(port int, v uint32) {}
+`
+	fs, err := Source("internal/stream/s.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules(fs)["RL005"] != 1 {
+		t.Fatalf("want 1 RL005, got %v", fs)
+	}
+}
+
+func TestSuppressionCommaSeparatedCodes(t *testing.T) {
+	src := `package fault
+
+import "math/rand"
+
+func a() int {
+	//repolint:ignore RL001,RL002 both named, comma form
+	return rand.Intn(10)
+}
+`
+	fs, err := Source("internal/fault/s.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RL002 suppressed; the directive matched, so no RL006 either. RL001
+	// names a real rule but matched nothing — a directive is stale only
+	// when it suppresses nothing at all.
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
+func TestSuppressionFileLevel(t *testing.T) {
+	src := `//repolint:ignore RL002 whole file is a legacy shim
+
+package fault
+
+import "math/rand"
+
+func a() int { return rand.Intn(10) }
+
+func b() int { return rand.Intn(10) }
+`
+	fs, err := Source("internal/fault/s.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("file-level directive should cover every finding, got %v", fs)
+	}
+}
+
+func TestStatementLevelDoesNotLeakAcrossFile(t *testing.T) {
+	src := `package fault
+
+import "math/rand"
+
+func a() int {
+	//repolint:ignore RL002 only this one
+	return rand.Intn(10)
+}
+
+func b() int { return rand.Intn(10) }
+`
+	fs, err := Source("internal/fault/s.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules(fs)["RL002"] != 1 {
+		t.Fatalf("statement-level directive must cover one line only, got %v", fs)
+	}
+}
+
+func TestStaleIgnoreReported(t *testing.T) {
+	src := `package fault
+
+//repolint:ignore RL002 nothing here uses rand anymore
+func a() int { return 1 }
+`
+	fs, err := Source("internal/fault/s.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules(fs)["RL006"] != 1 {
+		t.Fatalf("want stale directive reported as RL006, got %v", fs)
+	}
+	if fs[0].Pos.Line != 3 {
+		t.Errorf("RL006 should anchor at the directive, got line %d", fs[0].Pos.Line)
+	}
+}
+
+func TestStaleExemptsForeignCodes(t *testing.T) {
+	// A directive naming another tool's code (critmap's CM002) is not this
+	// linter's to judge.
+	src := `package codec
+
+//repolint:ignore CM002 index is total by construction
+func a() int { return 1 }
+`
+	fs, err := Source("internal/codec/x/s.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("foreign-code directive must be exempt from staleness, got %v", fs)
+	}
+}
+
+func TestCMDirectiveCoversRLFinding(t *testing.T) {
+	// The CM spelling and the RL spelling are aliases on both sides.
+	src := strings.Replace(poppedIndexSrc, "ctx.Push(0, table[k])",
+		"//repolint:ignore CM002 bounded upstream\n\t\tctx.Push(0, table[k])", 1)
+	fs, err := Source("internal/apps/f.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("CM002 directive should cover the RL004 finding, got %v", fs)
 	}
 }

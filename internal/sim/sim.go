@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -70,6 +71,16 @@ type Config struct {
 	Queue queue.Config
 	// Model overrides the fault manifestation weights (nil = defaults).
 	Model *fault.Model
+	// CritFractions maps filter names to their control-critical statement
+	// fraction (crit.ProtectionMap.Fractions()). When non-empty, each
+	// node's injector re-weights the manifestation model with
+	// fault.CriticalityWeighted so filters whose code is mostly control
+	// state draw proportionally more control-class errors. Lookup follows
+	// crit's naming: exact filter name, longest analyzed-name prefix
+	// (Sprintf-built names are stored verb-stripped), then the filter's
+	// "pkg.Type" for builtin Work methods. Unmatched nodes keep the base
+	// model.
+	CritFractions map[string]float64
 	// Trace records every applied error manifestation in Result.Errors.
 	Trace bool
 	// Sequential executes the graph on a single goroutine following the
@@ -118,6 +129,29 @@ func (r *Result) DataLossRatio() float64 {
 		return 0
 	}
 	return float64(r.Guard.AM.DataLossItems()) / float64(r.Guard.AM.ItemsDelivered)
+}
+
+// critFractionFor resolves a node's control-critical fraction against the
+// analysis map: exact filter name, longest analyzed-name prefix, then the
+// filter's concrete type as "pkg.Type" (how crit names builtin Work
+// methods).
+func critFractionFor(fracs map[string]float64, n *stream.Node) (float64, bool) {
+	name := n.F.Name()
+	if f, ok := fracs[name]; ok {
+		return f, true
+	}
+	best, bestLen, found := 0.0, -1, false
+	for k, f := range fracs {
+		if k != "" && strings.HasPrefix(name, k) && len(k) > bestLen {
+			best, bestLen, found = f, len(k), true
+		}
+	}
+	if found {
+		return best, true
+	}
+	typeKey := strings.TrimPrefix(fmt.Sprintf("%T", n.F), "*")
+	f, ok := fracs[typeKey]
+	return f, ok
 }
 
 // queueConfig picks the queue geometry for a protection level.
@@ -201,8 +235,27 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 			return nil, err
 		}
 		mtbe, seed := cfg.MTBE, cfg.Seed
-		engCfg.NewInjector = func(core int) *fault.Injector {
-			return fault.NewInjector(mtbe, fault.CoreSeed(seed, core), model)
+		if len(cfg.CritFractions) > 0 {
+			// Core IDs equal node IDs, so each node gets a model matched
+			// to its filter's control-critical fraction.
+			models := make([]fault.Model, len(inst.Graph.Nodes))
+			for i, n := range inst.Graph.Nodes {
+				models[i] = model
+				if frac, ok := critFractionFor(cfg.CritFractions, n); ok {
+					models[i] = fault.CriticalityWeighted(model, frac)
+				}
+			}
+			engCfg.NewInjector = func(core int) *fault.Injector {
+				m := model
+				if core >= 0 && core < len(models) {
+					m = models[core]
+				}
+				return fault.NewInjector(mtbe, fault.CoreSeed(seed, core), m)
+			}
+		} else {
+			engCfg.NewInjector = func(core int) *fault.Injector {
+				return fault.NewInjector(mtbe, fault.CoreSeed(seed, core), model)
+			}
 		}
 	}
 

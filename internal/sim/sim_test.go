@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"commguard/internal/apps"
+	"commguard/internal/fault"
+	"commguard/internal/stream"
 )
 
 func TestProtectionString(t *testing.T) {
@@ -229,6 +231,73 @@ func TestSequentialRunsBitReproducible(t *testing.T) {
 	}
 	if a.Guard.AM.DataLossItems() != b.Guard.AM.DataLossItems() {
 		t.Error("realignment activity differed between identical sequential runs")
+	}
+}
+
+// CritFractions must reshape the injected class mix per node: forcing the
+// control-critical fraction to 1 eliminates DataBitflip manifestations,
+// forcing it to 0 leaves nothing but DataBitflip.
+func TestCritFractionsReweightInjection(t *testing.T) {
+	build := smallComplexFIR()
+	run := func(frac float64) *Result {
+		inst, err := build.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fracs := map[string]float64{}
+		for _, n := range inst.Graph.Nodes {
+			fracs[n.F.Name()] = frac
+		}
+		res, err := Run(inst, Config{
+			Protection: ReliableQueue, MTBE: 10_000, Seed: 9,
+			Trace: true, CritFractions: fracs,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Errors) == 0 {
+			t.Fatal("no errors traced at MTBE 10k")
+		}
+		return res
+	}
+	for _, ev := range run(1).Errors {
+		if ev.Class == fault.DataBitflip {
+			t.Errorf("frac=1 run injected %v on %s", ev.Class, ev.Node)
+		}
+	}
+	for _, ev := range run(0).Errors {
+		if ev.Class != fault.DataBitflip {
+			t.Errorf("frac=0 run injected %v on %s", ev.Class, ev.Node)
+		}
+	}
+}
+
+// An unmatched CritFractions map must leave the model untouched — same
+// class timeline as a run without the map.
+func TestCritFractionsUnmatchedKeepsBaseModel(t *testing.T) {
+	run := func(fracs map[string]float64) []stream.ErrorEvent {
+		inst, err := smallComplexFIR().New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(inst, Config{
+			Protection: ReliableQueue, MTBE: 20_000, Seed: 4,
+			Trace: true, CritFractions: fracs,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Errors
+	}
+	base := run(nil)
+	unmatched := run(map[string]float64{"no-such-filter": 0.99})
+	if len(base) == 0 || len(base) != len(unmatched) {
+		t.Fatalf("event counts differ: %d vs %d", len(base), len(unmatched))
+	}
+	for i := range base {
+		if base[i].Class != unmatched[i].Class || base[i].Core != unmatched[i].Core {
+			t.Fatalf("timelines diverge at %d: %+v vs %+v", i, base[i], unmatched[i])
+		}
 	}
 }
 
