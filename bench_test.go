@@ -176,13 +176,19 @@ func BenchmarkFigure14Suboperations(b *testing.B) {
 
 // BenchmarkTable1AlignmentManager measures the per-pop cost of the AM FSM
 // (Table 1) on an aligned stream — the steady-state overhead every
-// guarded pop pays.
+// guarded pop pays. The producer inserts the frame-0 header through the
+// HI so the AM's first pop matches it and the FSM settles into RcvCmp;
+// without that header the AM would sit in DiscFr and every timed pop
+// would measure the discard spin bound instead of steady-state transit
+// (which is what the pre-overhaul version of this benchmark did).
 func BenchmarkTable1AlignmentManager(b *testing.B) {
 	qcfg := queue.Config{WorkingSets: 8, WorkingSetUnits: 1024, ProtectPointers: true, Timeout: 0}
 	q := queue.MustNew(0, qcfg)
 	am := commguard.NewAlignmentManager(q, 0)
 	am.NewFrameComputation(0)
 	go func() {
+		hi := commguard.NewHeaderInserter(q)
+		hi.NewFrameComputation(0)
 		for {
 			q.Push(queue.DataUnit(1))
 		}
@@ -191,6 +197,82 @@ func BenchmarkTable1AlignmentManager(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		am.Pop()
 	}
+}
+
+// BenchmarkQueueTransfer measures ns/item for the four hot-path transit
+// variants the overhaul targets: raw per-item Push/Pop, batch
+// PushDataN/PopDataN, guarded per-item transit through the HI/AM, and
+// guarded batch transit (AM.PopN). Each sub-benchmark moves one item per
+// reported op, so the variants are directly comparable. The same
+// measurements back `cmd/experiments -benchjson` (BENCH_hotpath.json).
+func BenchmarkQueueTransfer(b *testing.B) {
+	qcfg := queue.Config{WorkingSets: 8, WorkingSetUnits: 1024, ProtectPointers: true, Timeout: 0}
+	const chunk = 256
+
+	b.Run("PushPop", func(b *testing.B) {
+		q := queue.MustNew(0, qcfg)
+		go func() {
+			for {
+				q.Push(queue.DataUnit(1))
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Pop()
+		}
+	})
+
+	b.Run("PushNPopN", func(b *testing.B) {
+		q := queue.MustNew(0, qcfg)
+		go func() {
+			buf := make([]uint32, chunk)
+			for {
+				q.PushDataN(buf)
+			}
+		}()
+		dst := make([]uint32, chunk)
+		b.ResetTimer()
+		for got := 0; got < b.N; {
+			n, _ := q.PopDataN(dst)
+			got += n
+		}
+	})
+
+	b.Run("GuardedTransit", func(b *testing.B) {
+		q := queue.MustNew(0, qcfg)
+		am := commguard.NewAlignmentManager(q, 0)
+		am.NewFrameComputation(0)
+		go func() {
+			hi := commguard.NewHeaderInserter(q)
+			hi.NewFrameComputation(0)
+			for {
+				q.Push(queue.DataUnit(1))
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			am.Pop()
+		}
+	})
+
+	b.Run("GuardedBatch", func(b *testing.B) {
+		q := queue.MustNew(0, qcfg)
+		am := commguard.NewAlignmentManager(q, 0)
+		am.NewFrameComputation(0)
+		go func() {
+			hi := commguard.NewHeaderInserter(q)
+			hi.NewFrameComputation(0)
+			buf := make([]uint32, chunk)
+			for {
+				q.PushDataN(buf)
+			}
+		}()
+		dst := make([]uint32, chunk)
+		b.ResetTimer()
+		for got := 0; got < b.N; got += chunk {
+			am.PopN(dst)
+		}
+	})
 }
 
 // BenchmarkTables23GuardedTransit measures the end-to-end per-item cost of

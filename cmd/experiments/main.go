@@ -5,6 +5,7 @@
 //	experiments -fig all -quick        # fast reduced sweep
 //	experiments -fig 10               # full Figure 10 sweep (slow)
 //	experiments -fig 8 -seeds 3
+//	experiments -quick -benchjson BENCH_hotpath.json   # hot-path perf snapshot
 package main
 
 import (
@@ -22,6 +23,7 @@ func main() {
 		seeds  = flag.Int("seeds", 0, "override seeds per point (paper: 5)")
 		csvDir = flag.String("csv", "", "with -fig all: also write per-figure CSVs to this directory")
 		mdPath = flag.String("md", "", "with -fig all: also write a Markdown report to this path")
+		bench  = flag.String("benchjson", "", "measure hot-path transit variants plus a RunAll wall-clock and write the JSON snapshot to this path (combine with -quick for the reduced sweep)")
 	)
 	flag.Parse()
 
@@ -33,6 +35,18 @@ func main() {
 		opts.Seeds = *seeds
 	}
 	opts.Out = os.Stdout
+
+	if *bench != "" {
+		res, err := experiments.WriteHotpathJSON(*bench, opts, 4_000_000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		res.Render(func(format string, a ...any) { fmt.Printf(format, a...) })
+		fmt.Printf("hot-path snapshot written to %s\n", *bench)
+		return
+	}
 
 	if err := run(*fig, opts, *csvDir, *mdPath); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -203,6 +203,51 @@ func (am *AlignmentManager) Pop() uint32 {
 	return am.pad
 }
 
+// PopN mediates len(dst) consecutive pop instructions, filling dst with
+// what the same number of Pop calls would deliver. While the FSM sits in
+// RcvCmp — the steady state between frame boundaries — items stream
+// through the Queue Manager's batch transit in one call per contiguous
+// span; the moment a header, a timeout, or any non-RcvCmp state appears,
+// that element takes the per-item FSM path, so realignment behavior and
+// every counter (OpCounters, AMStats, queue.Stats) match per-item popping
+// exactly.
+func (am *AlignmentManager) PopN(dst []uint32) {
+	i := 0
+	for i < len(dst) {
+		if am.state != RcvCmp {
+			dst[i] = am.Pop()
+			i++
+			continue
+		}
+		n, stop := am.q.PopDataN(dst[i:])
+		if n > 0 {
+			// Per delivered item the per-item path costs one FSM check for
+			// the pop event and one header-bit check on the unit.
+			am.ops.FSMCounter += uint64(n)
+			am.ops.HeaderBit += uint64(n)
+			am.stats.ItemsDelivered += uint64(n)
+			i += n
+		}
+		if i >= len(dst) {
+			break
+		}
+		switch stop {
+		case queue.PopStopHeader:
+			// The header is still in the queue; one per-item Pop runs the
+			// full FSM (header event, possible realignment) for it.
+			dst[i] = am.Pop()
+			i++
+		case queue.PopStopFail:
+			// One timed-out pop, answered with one pad, as per-item.
+			am.ops.FSMCounter++
+			am.stats.TimeoutPads++
+			am.stats.PaddedItems++
+			dst[i] = am.pad
+			i++
+		}
+	}
+}
+
 // deliverItem decides what a regular item does in the current state:
 // deliver (true) or discard (false), per Table 1.
 func (am *AlignmentManager) deliverItem() bool {

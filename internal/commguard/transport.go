@@ -71,6 +71,10 @@ type guardedOut struct {
 
 func (o *guardedOut) Push(v uint32) { o.q.Push(queue.DataUnit(v)) }
 
+// PushN transmits a whole firing's items in one guarded-transit call
+// (stream.BatchOutPort).
+func (o *guardedOut) PushN(vs []uint32) { o.q.PushDataN(vs) }
+
 // End flushes and closes the queue. The HI already appended the
 // end-of-computation header when the core's outermost scope exited (the
 // engine signals listeners before calling End).
@@ -86,6 +90,10 @@ type guardedIn struct {
 }
 
 func (i *guardedIn) Pop() uint32 { return i.am.Pop() }
+
+// PopN mediates a whole firing's pops through the Alignment Manager's
+// batch path (stream.BatchInPort).
+func (i *guardedIn) PopN(dst []uint32) { i.am.PopN(dst) }
 
 // Stats aggregates the CommGuard module counters across all edges.
 type Stats struct {
@@ -130,4 +138,8 @@ func (t *Transport) AlignmentManagers() []*AlignmentManager {
 	return append([]*AlignmentManager(nil), t.ams...)
 }
 
-var _ stream.Transport = (*Transport)(nil)
+var (
+	_ stream.Transport    = (*Transport)(nil)
+	_ stream.BatchOutPort = (*guardedOut)(nil)
+	_ stream.BatchInPort  = (*guardedIn)(nil)
+)

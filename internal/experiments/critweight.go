@@ -51,45 +51,73 @@ func CritWeighting(o Options, mtbe float64) ([]CritRow, error) {
 		builders = apps.AllBuiltin()
 	}
 
-	rc := newReferenceCache()
+	rc := o.refCache()
+
+	type job struct {
+		builder int
+		seed    int64
+	}
+	var jobs []job
+	for bi := range builders {
+		for s := 0; s < o.Seeds; s++ {
+			jobs = append(jobs, job{builder: bi, seed: int64(700 + 131*s)})
+		}
+	}
+	type outcome struct {
+		uniform  float64
+		weighted float64
+	}
+	results := make([]outcome, len(jobs))
+	err = runJobs(o.parallel(), len(jobs), func(i int) error {
+		j := jobs[i]
+		b := builders[j.builder]
+		ref, err := rc.get(b)
+		if err != nil {
+			return err
+		}
+		base := sim.Config{Protection: sim.ReliableQueue, MTBE: mtbe, Seed: j.seed}
+
+		inst, err := b.New()
+		if err != nil {
+			return err
+		}
+		ru, err := sim.Run(inst, base, ref)
+		if err != nil {
+			return err
+		}
+
+		inst2, err := b.New()
+		if err != nil {
+			return err
+		}
+		weighted := base
+		weighted.CritFractions = fracs
+		rw, err := sim.Run(inst2, weighted, ref)
+		if err != nil {
+			return err
+		}
+
+		results[i] = outcome{uniform: clampDB(ru.Quality), weighted: clampDB(rw.Quality)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	w := o.out()
 	fmt.Fprintf(w, "Uniform vs criticality-weighted injection at MTBE %s (reliable queue, mean over %d seeds)\n", fmtMTBE(mtbe), o.Seeds)
 	fmt.Fprintf(w, "%-18s %10s %12s %12s\n", "benchmark", "crit frac", "uniform dB", "weighted dB")
 
 	var rows []CritRow
-	for _, b := range builders {
-		ref, err := rc.get(b)
-		if err != nil {
-			return nil, err
-		}
+	for bi, b := range builders {
 		row := CritRow{App: b.Name, Fraction: graphMeanFraction(b, pm)}
 		n := 0
-		for s := 0; s < o.Seeds; s++ {
-			seed := int64(700 + 131*s)
-			base := sim.Config{Protection: sim.ReliableQueue, MTBE: mtbe, Seed: seed}
-
-			inst, err := b.New()
-			if err != nil {
-				return nil, err
+		for i, j := range jobs {
+			if j.builder != bi {
+				continue
 			}
-			ru, err := sim.Run(inst, base, ref)
-			if err != nil {
-				return nil, err
-			}
-
-			inst2, err := b.New()
-			if err != nil {
-				return nil, err
-			}
-			weighted := base
-			weighted.CritFractions = fracs
-			rw, err := sim.Run(inst2, weighted, ref)
-			if err != nil {
-				return nil, err
-			}
-
-			row.UniformDB += clampDB(ru.Quality)
-			row.WeightedDB += clampDB(rw.Quality)
+			row.UniformDB += results[i].uniform
+			row.WeightedDB += results[i].weighted
 			n++
 		}
 		row.UniformDB /= float64(n)

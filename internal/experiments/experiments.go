@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -35,19 +36,26 @@ type Options struct {
 	// workloads still see errors.
 	Fig3MTBE float64
 	// Parallel runs sweep points concurrently (each point is itself a
-	// multi-goroutine simulation, so modest parallelism suffices).
+	// multi-goroutine simulation). Values < 1 default to
+	// runtime.GOMAXPROCS(0).
 	Parallel int
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
+
+	// refs is the shared reference/baseline cache. RunAll installs one
+	// before the first figure so error-free baselines are computed once
+	// across the whole regeneration; a standalone FigureN call sees nil
+	// and creates its own.
+	refs *referenceCache
 }
 
-// DefaultOptions mirrors the paper's sweep.
+// DefaultOptions mirrors the paper's sweep. Parallel is left at the
+// auto default (GOMAXPROCS).
 func DefaultOptions() Options {
 	return Options{
 		Seeds:       5,
 		MTBEs:       []float64{64e3, 128e3, 256e3, 512e3, 1024e3, 2048e3, 4096e3, 8192e3},
 		FrameScales: []int{1, 2, 4, 8},
-		Parallel:    4,
 		Fig3MTBE:    1e6,
 	}
 }
@@ -59,7 +67,6 @@ func QuickOptions() Options {
 		MTBEs:       []float64{64e3, 512e3, 4096e3},
 		FrameScales: []int{1, 4},
 		Quick:       true,
-		Parallel:    2,
 		Fig3MTBE:    96e3,
 	}
 }
@@ -73,9 +80,18 @@ func (o Options) out() io.Writer {
 
 func (o Options) parallel() int {
 	if o.Parallel < 1 {
-		return 1
+		return runtime.GOMAXPROCS(0)
 	}
 	return o.Parallel
+}
+
+// refCache returns the shared reference cache, or a fresh one when the
+// caller did not install one (standalone FigureN invocations).
+func (o Options) refCache() *referenceCache {
+	if o.refs != nil {
+		return o.refs
+	}
+	return newReferenceCache()
 }
 
 // builders returns the benchmark set sized for the option profile.
@@ -114,16 +130,36 @@ func (o Options) builder(name string) (apps.Builder, error) {
 	return apps.Builder{}, fmt.Errorf("experiments: unknown benchmark %q", name)
 }
 
-// referenceCache computes each benchmark's scoring reference once: the
-// built-in media ground truth where available, otherwise the error-free
-// run output.
+// referenceCache computes each benchmark's scoring reference and its
+// error-free baseline quality once. RunAll shares a single cache across
+// every figure so the error-free simulations run once per app instead of
+// once per figure.
 type referenceCache struct {
-	mu   sync.Mutex
-	refs map[string][]float64
+	mu           sync.Mutex
+	refs         map[string][]float64
+	efq          map[string]float64
+	baselineRuns int
+	// onBaselineRun, when set, is invoked each time an actual error-free
+	// simulation is launched for an app. Tests use it to assert the cache
+	// collapses redundant baseline work.
+	onBaselineRun func(app string)
 }
 
 func newReferenceCache() *referenceCache {
-	return &referenceCache{refs: map[string][]float64{}}
+	return &referenceCache{
+		refs: map[string][]float64{},
+		efq:  map[string]float64{},
+	}
+}
+
+func (rc *referenceCache) noteBaselineRun(app string) {
+	rc.mu.Lock()
+	rc.baselineRuns++
+	hook := rc.onBaselineRun
+	rc.mu.Unlock()
+	if hook != nil {
+		hook(app)
+	}
 }
 
 func (rc *referenceCache) get(b apps.Builder) ([]float64, error) {
@@ -142,6 +178,7 @@ func (rc *referenceCache) get(b apps.Builder) ([]float64, error) {
 	if inst.Reference != nil {
 		ref = inst.Reference
 	} else {
+		rc.noteBaselineRun(b.Name)
 		res, err := sim.Run(inst, sim.Config{Protection: sim.ErrorFree}, nil)
 		if err != nil {
 			return nil, err
@@ -155,8 +192,16 @@ func (rc *referenceCache) get(b apps.Builder) ([]float64, error) {
 }
 
 // errorFreeQuality scores an error-free run against the reference: the
-// codec baseline for jpeg/mp3, +Inf for self-referenced benchmarks.
+// codec baseline for jpeg/mp3, +Inf for self-referenced benchmarks. The
+// score is cached per app.
 func (rc *referenceCache) errorFreeQuality(b apps.Builder) (float64, error) {
+	rc.mu.Lock()
+	if q, ok := rc.efq[b.Name]; ok {
+		rc.mu.Unlock()
+		return q, nil
+	}
+	rc.mu.Unlock()
+
 	inst, err := b.New()
 	if err != nil {
 		return 0, err
@@ -165,10 +210,14 @@ func (rc *referenceCache) errorFreeQuality(b apps.Builder) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	rc.noteBaselineRun(b.Name)
 	res, err := sim.Run(inst, sim.Config{Protection: sim.ErrorFree}, ref)
 	if err != nil {
 		return 0, err
 	}
+	rc.mu.Lock()
+	rc.efq[b.Name] = res.Quality
+	rc.mu.Unlock()
 	return res.Quality, nil
 }
 
@@ -194,7 +243,7 @@ type QualitySeries struct {
 // sweepQuality runs one benchmark across MTBEs x scales x seeds under
 // CommGuard protection and summarizes quality and loss per point.
 func sweepQuality(o Options, b apps.Builder, scales []int) (*QualitySeries, error) {
-	rc := newReferenceCache()
+	rc := o.refCache()
 	ref, err := rc.get(b)
 	if err != nil {
 		return nil, err
@@ -215,7 +264,6 @@ func sweepQuality(o Options, b apps.Builder, scales []int) (*QualitySeries, erro
 		quality float64
 		loss    float64
 		metric  string
-		err     error
 	}
 	var jobs []job
 	for _, scale := range scales {
@@ -226,39 +274,30 @@ func sweepQuality(o Options, b apps.Builder, scales []int) (*QualitySeries, erro
 		}
 	}
 	results := make([]outcome, len(jobs))
-	sem := make(chan struct{}, o.parallel())
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			inst, err := b.New()
-			if err != nil {
-				results[i] = outcome{job: j, err: err}
-				return
-			}
-			res, err := sim.Run(inst, sim.Config{
-				Protection: sim.CommGuard,
-				MTBE:       j.mtbe,
-				Seed:       j.seed,
-				FrameScale: j.scale,
-			}, ref)
-			if err != nil {
-				results[i] = outcome{job: j, err: err}
-				return
-			}
-			results[i] = outcome{job: j, quality: res.Quality, loss: res.DataLossRatio(), metric: res.Metric}
-		}(i, j)
+	err = runJobs(o.parallel(), len(jobs), func(i int) error {
+		j := jobs[i]
+		inst, err := b.New()
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(inst, sim.Config{
+			Protection: sim.CommGuard,
+			MTBE:       j.mtbe,
+			Seed:       j.seed,
+			FrameScale: j.scale,
+		}, ref)
+		if err != nil {
+			return err
+		}
+		results[i] = outcome{job: j, quality: res.Quality, loss: res.DataLossRatio(), metric: res.Metric}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	byPoint := map[[2]int][]outcome{}
 	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
 		series.Metric = r.metric
 		key := [2]int{int(r.mtbe), r.scale}
 		byPoint[key] = append(byPoint[key], r)

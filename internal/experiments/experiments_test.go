@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -27,8 +28,11 @@ func TestOptionsDefaults(t *testing.T) {
 	if QuickOptions().Quick != true {
 		t.Error("quick options not quick")
 	}
-	if (Options{}).parallel() != 1 {
-		t.Error("zero parallel should clamp to 1")
+	if got := (Options{}).parallel(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("zero parallel should default to GOMAXPROCS, got %d", got)
+	}
+	if (Options{Parallel: 3}).parallel() != 3 {
+		t.Error("explicit parallel not honored")
 	}
 	if len(QuickOptions().builders()) != 6 {
 		t.Error("quick builders incomplete")

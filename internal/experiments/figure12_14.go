@@ -25,16 +25,17 @@ func Figure12(o Options) ([]Fig12Row, error) {
 	w := o.out()
 	fmt.Fprintln(w, "Figure 12: header loads/stores as a share of all loads/stores (error-free, CommGuard)")
 	fmt.Fprintf(w, "%-16s %10s %10s\n", "benchmark", "loads", "stores")
-	var rows []Fig12Row
-	var loadRs, storeRs []float64
-	for _, b := range o.builders() {
+	builders := o.builders()
+	rows := make([]Fig12Row, len(builders))
+	err := runJobs(o.parallel(), len(builders), func(i int) error {
+		b := builders[i]
 		inst, err := b.New()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var coreLoads, coreStores uint64
 		for _, c := range res.Run.Cores {
@@ -42,12 +43,18 @@ func Figure12(o Options) ([]Fig12Row, error) {
 			coreStores += c.Stores
 		}
 		qt := res.Run.QueueTotals()
-		row := Fig12Row{
+		rows[i] = Fig12Row{
 			App:        b.Name,
 			LoadRatio:  ratio(qt.HeaderLoads, coreLoads+qt.HeaderLoads),
 			StoreRatio: ratio(qt.HeaderStores, coreStores+qt.HeaderStores),
 		}
-		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var loadRs, storeRs []float64
+	for _, row := range rows {
 		loadRs = append(loadRs, row.LoadRatio)
 		storeRs = append(storeRs, row.StoreRatio)
 		fmt.Fprintf(w, "%-16s %9.3f%% %9.3f%%\n", row.App, 100*row.LoadRatio, 100*row.StoreRatio)
@@ -84,16 +91,17 @@ func Figure14(o Options) ([]Fig14Row, error) {
 	w := o.out()
 	fmt.Fprintln(w, "Figure 14: CommGuard suboperations per committed instruction (error-free)")
 	fmt.Fprintf(w, "%-16s %12s %8s %12s %8s\n", "benchmark", "FSM/counter", "ECC", "header-bit", "total")
-	var rows []Fig14Row
-	var totals []float64
-	for _, b := range o.builders() {
+	builders := o.builders()
+	rows := make([]Fig14Row, len(builders))
+	err := runJobs(o.parallel(), len(builders), func(i int) error {
+		b := builders[i]
 		inst, err := b.New()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		instr := res.Run.TotalInstructions()
 		qt := res.Run.QueueTotals()
@@ -105,7 +113,14 @@ func Figure14(o Options) ([]Fig14Row, error) {
 			HeaderBit:  ratio(ops.HeaderBit, instr),
 		}
 		row.Total = row.FSMCounter + row.ECC + row.HeaderBit
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var totals []float64
+	for _, row := range rows {
 		totals = append(totals, row.Total)
 		fmt.Fprintf(w, "%-16s %11.3f%% %7.3f%% %11.3f%% %7.3f%%\n",
 			row.App, 100*row.FSMCounter, 100*row.ECC, 100*row.HeaderBit, 100*row.Total)

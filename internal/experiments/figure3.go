@@ -25,7 +25,7 @@ func Figure3(o Options) ([]Fig3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rc := newReferenceCache()
+	rc := o.refCache()
 	ref, err := rc.get(b)
 	if err != nil {
 		return nil, err
@@ -35,34 +35,62 @@ func Figure3(o Options) ([]Fig3Row, error) {
 		mtbe = 1e6
 	}
 	configs := []sim.Protection{sim.ErrorFree, sim.SoftwareQueue, sim.ReliableQueue, sim.CommGuard}
+
+	type job struct {
+		cfg  int
+		seed int64
+	}
+	var jobs []job
+	for ci, p := range configs {
+		for s := 0; s < o.Seeds; s++ {
+			jobs = append(jobs, job{cfg: ci, seed: int64(31 + 100*s)})
+			if p == sim.ErrorFree {
+				break // deterministic; one run suffices
+			}
+		}
+	}
+	type outcome struct {
+		quality  float64
+		complete bool
+	}
+	results := make([]outcome, len(jobs))
+	err = runJobs(o.parallel(), len(jobs), func(i int) error {
+		j := jobs[i]
+		inst, err := b.New()
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(inst, sim.Config{Protection: configs[j.cfg], MTBE: mtbe, Seed: j.seed}, ref)
+		if err != nil {
+			return err
+		}
+		q := res.Quality
+		if q > 99 { // error-free identical decode: clamp for averaging
+			q = 99
+		}
+		results[i] = outcome{quality: q, complete: len(res.Output) == len(ref)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	rows := make([]Fig3Row, 0, len(configs))
 	w := o.out()
 	fmt.Fprintf(w, "Figure 3: jpeg under four protection configurations (MTBE %s/core)\n", fmtMTBE(mtbe))
 	fmt.Fprintf(w, "%-16s %12s %10s\n", "configuration", "PSNR (dB)", "complete")
-	for _, p := range configs {
+	for ci, p := range configs {
 		sum := 0.0
 		n := 0
 		completed := true
-		for s := 0; s < o.Seeds; s++ {
-			inst, err := b.New()
-			if err != nil {
-				return nil, err
+		for i, j := range jobs {
+			if j.cfg != ci {
+				continue
 			}
-			res, err := sim.Run(inst, sim.Config{Protection: p, MTBE: mtbe, Seed: int64(31 + 100*s)}, ref)
-			if err != nil {
-				return nil, err
-			}
-			q := res.Quality
-			if q > 99 { // error-free identical decode: clamp for averaging
-				q = 99
-			}
-			sum += q
+			sum += results[i].quality
 			n++
-			if len(res.Output) != len(ref) {
+			if !results[i].complete {
 				completed = false
-			}
-			if p == sim.ErrorFree {
-				break // deterministic; one run suffices
 			}
 		}
 		row := Fig3Row{Protection: p, MeanPSNR: sum / float64(n), Completed: completed}

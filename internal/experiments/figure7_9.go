@@ -24,7 +24,7 @@ func Figure7(o Options) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rc := newReferenceCache()
+	rc := o.refCache()
 	ref, err := rc.get(b)
 	if err != nil {
 		return nil, err
@@ -65,26 +65,33 @@ func Figure9(o Options) ([]Fig9Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	rc := newReferenceCache()
+	rc := o.refCache()
 	ref, err := rc.get(b)
+	if err != nil {
+		return nil, err
+	}
+	mtbes := []float64{128e3, 512e3, 2048e3, 8192e3}
+	points := make([]Fig9Point, len(mtbes))
+	err = runJobs(o.parallel(), len(mtbes), func(i int) error {
+		inst, err := b.New()
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard, MTBE: mtbes[i], Seed: 99}, ref)
+		if err != nil {
+			return err
+		}
+		points[i] = Fig9Point{MTBE: mtbes[i], PSNR: res.Quality}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	w := o.out()
 	fmt.Fprintln(w, "Figure 9: jpeg PSNR at example MTBEs (CommGuard)")
 	fmt.Fprintf(w, "%-12s %12s\n", "MTBE", "PSNR (dB)")
-	var points []Fig9Point
-	for _, mtbe := range []float64{128e3, 512e3, 2048e3, 8192e3} {
-		inst, err := b.New()
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard, MTBE: mtbe, Seed: 99}, ref)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, Fig9Point{MTBE: mtbe, PSNR: res.Quality})
-		fmt.Fprintf(w, "%-12s %12s\n", fmtMTBE(mtbe), fmtDB(res.Quality))
+	for _, p := range points {
+		fmt.Fprintf(w, "%-12s %12s\n", fmtMTBE(p.MTBE), fmtDB(p.PSNR))
 	}
 	return points, nil
 }

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"commguard/internal/commguard"
+	"commguard/internal/queue"
+)
+
+// Hot-path microbenchmarks behind `cmd/experiments -benchjson`: the same
+// transit variants as BenchmarkQueueTransfer, run without the testing
+// harness so the perf trajectory lands in a committable JSON artifact
+// (BENCH_hotpath.json) alongside the RunAll wall-clock.
+
+// HotpathVariant is one measured transit configuration.
+type HotpathVariant struct {
+	Name      string  `json:"name"`
+	NsPerItem float64 `json:"ns_per_item"`
+	Items     int     `json:"items"`
+	// BaselineNsPerItem is the pre-overhaul measurement on the same
+	// machine class, where one was recorded (0 = not measured then).
+	BaselineNsPerItem float64 `json:"baseline_ns_per_item,omitempty"`
+}
+
+// HotpathResult is the BENCH_hotpath.json payload.
+type HotpathResult struct {
+	Variants      []HotpathVariant `json:"variants"`
+	RunAllSeconds float64          `json:"runall_seconds"`
+	Profile       string           `json:"profile"`
+}
+
+// Pre-overhaul baselines (mutex-per-item queue, time.AfterFunc waits),
+// measured with `go test -bench` on the CI machine class before the
+// hot-path rewrite. BenchmarkTable1AlignmentManager spent nearly all of
+// its time in timer churn and broadcast wakeups.
+var hotpathBaselines = map[string]float64{
+	"push-pop":         32.58,
+	"guarded-per-item": 38985546,
+}
+
+const hotpathChunk = 256
+
+func hotpathQueueConfig() queue.Config {
+	return queue.Config{WorkingSets: 8, WorkingSetUnits: 1024, ProtectPointers: true, Timeout: 0}
+}
+
+// measureTransit times `items` pops through the given consumer against a
+// saturating leaked producer, returning ns/item. newConsumer builds the
+// consumer-side state (e.g. an aligned AlignmentManager) once; the
+// returned function pops n items. The producer goroutine parks on the
+// full queue when measurement stops.
+func measureTransit(items int, producer func(q *queue.Queue), newConsumer func(q *queue.Queue) func(n int)) float64 {
+	q := queue.MustNew(0, hotpathQueueConfig())
+	go producer(q)
+	consume := newConsumer(q)
+	// Warm up: let the producer fill ahead so the timed region measures
+	// steady-state transit, not ramp-up.
+	consume(hotpathChunk * 4)
+	start := time.Now()
+	consume(items)
+	return float64(time.Since(start).Nanoseconds()) / float64(items)
+}
+
+// HotpathBench measures ns/item for the four transit variants and times
+// one RunAll over the given options.
+func HotpathBench(o Options, items int) (*HotpathResult, error) {
+	if items < hotpathChunk {
+		items = hotpathChunk
+	}
+	res := &HotpathResult{Profile: "full"}
+	if o.Quick {
+		res.Profile = "quick"
+	}
+
+	// Guarded variants: the producer inserts the frame-0 header via the HI
+	// before streaming data; the consumer AM announces frame 0 so its
+	// first pop consumes that header and the FSM settles into RcvCmp, the
+	// steady state every later pop is measured in (Table 1's aligned row).
+	guardedProducer := func(push func(q *queue.Queue)) func(q *queue.Queue) {
+		return func(q *queue.Queue) {
+			hi := commguard.NewHeaderInserter(q)
+			hi.NewFrameComputation(0)
+			push(q)
+		}
+	}
+	alignedAM := func(q *queue.Queue) *commguard.AlignmentManager {
+		am := commguard.NewAlignmentManager(q, 0)
+		am.NewFrameComputation(0)
+		return am
+	}
+
+	variants := []struct {
+		name        string
+		producer    func(q *queue.Queue)
+		newConsumer func(q *queue.Queue) func(n int)
+	}{
+		{
+			name: "push-pop",
+			producer: func(q *queue.Queue) {
+				for {
+					q.Push(queue.DataUnit(1))
+				}
+			},
+			newConsumer: func(q *queue.Queue) func(n int) {
+				return func(n int) {
+					for i := 0; i < n; i++ {
+						q.Pop()
+					}
+				}
+			},
+		},
+		{
+			name: "pushn-popn",
+			producer: func(q *queue.Queue) {
+				buf := make([]uint32, hotpathChunk)
+				for {
+					q.PushDataN(buf)
+				}
+			},
+			newConsumer: func(q *queue.Queue) func(n int) {
+				dst := make([]uint32, hotpathChunk)
+				return func(n int) {
+					for got := 0; got < n; {
+						c, _ := q.PopDataN(dst)
+						got += c
+					}
+				}
+			},
+		},
+		{
+			name: "guarded-per-item",
+			producer: guardedProducer(func(q *queue.Queue) {
+				for {
+					q.Push(queue.DataUnit(1))
+				}
+			}),
+			newConsumer: func(q *queue.Queue) func(n int) {
+				am := alignedAM(q)
+				return func(n int) {
+					for i := 0; i < n; i++ {
+						am.Pop()
+					}
+				}
+			},
+		},
+		{
+			name: "guarded-batch",
+			producer: guardedProducer(func(q *queue.Queue) {
+				buf := make([]uint32, hotpathChunk)
+				for {
+					q.PushDataN(buf)
+				}
+			}),
+			newConsumer: func(q *queue.Queue) func(n int) {
+				am := alignedAM(q)
+				dst := make([]uint32, hotpathChunk)
+				return func(n int) {
+					for got := 0; got < n; got += len(dst) {
+						am.PopN(dst)
+					}
+				}
+			},
+		},
+	}
+	for _, v := range variants {
+		ns := measureTransit(items, v.producer, v.newConsumer)
+		res.Variants = append(res.Variants, HotpathVariant{
+			Name:              v.name,
+			NsPerItem:         ns,
+			Items:             items,
+			BaselineNsPerItem: hotpathBaselines[v.name],
+		})
+	}
+
+	start := time.Now()
+	if _, err := RunAll(o); err != nil {
+		return nil, err
+	}
+	res.RunAllSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// WriteHotpathJSON runs HotpathBench and writes the result to path.
+func WriteHotpathJSON(path string, o Options, items int) (*HotpathResult, error) {
+	res, err := HotpathBench(o, items)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints a short human-readable summary of the measurements.
+func (r *HotpathResult) Render(w func(format string, a ...any)) {
+	for _, v := range r.Variants {
+		if v.BaselineNsPerItem > 0 {
+			w("%-18s %10.1f ns/item  (pre-overhaul %.1f, %.1fx)\n",
+				v.Name, v.NsPerItem, v.BaselineNsPerItem, v.BaselineNsPerItem/v.NsPerItem)
+		} else {
+			w("%-18s %10.1f ns/item\n", v.Name, v.NsPerItem)
+		}
+	}
+	w("RunAll (%s): %.2fs\n", r.Profile, r.RunAllSeconds)
+}

@@ -16,8 +16,13 @@ type AllResults struct {
 }
 
 // RunAll regenerates every figure in paper order, writing tables to
-// o.Out as it goes.
+// o.Out as it goes. All figures share one reference cache, so each
+// benchmark's error-free baseline is simulated once for the whole
+// regeneration rather than once per figure.
 func RunAll(o Options) (*AllResults, error) {
+	if o.refs == nil {
+		o.refs = newReferenceCache()
+	}
 	all := &AllResults{}
 	w := o.out()
 	step := func(name string, f func() error) error {

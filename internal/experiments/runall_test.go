@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// RunAll must compute each benchmark's error-free baseline at most twice
+// (once for the reference output of self-referenced apps, once for the
+// error-free quality score) no matter how many figures consume it. The
+// counting hook fires on every actual baseline simulation; before the
+// shared cache, Figures 8, 10 and 11 each re-ran them.
+func TestRunAllSharesReferenceCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick regeneration")
+	}
+	o := quick(t)
+	o.MTBEs = []float64{1024e3}
+	o.FrameScales = []int{1}
+
+	rc := newReferenceCache()
+	var mu sync.Mutex
+	runs := map[string]int{}
+	rc.onBaselineRun = func(app string) {
+		mu.Lock()
+		runs[app]++
+		mu.Unlock()
+	}
+	o.refs = rc
+
+	if _, err := RunAll(o); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(runs) == 0 {
+		t.Fatal("counting hook never fired; baselines not routed through the shared cache")
+	}
+	for app, n := range runs {
+		if n > 2 {
+			t.Errorf("%s: %d error-free baseline runs, want <= 2 (reference + quality score)", app, n)
+		}
+	}
+	if rc.baselineRuns == 0 {
+		t.Error("baselineRuns counter not incremented")
+	}
+}

@@ -31,44 +31,72 @@ func ClassSensitivity(o Options, benchmark string, mtbe float64) ([]SensitivityR
 	if err != nil {
 		return nil, err
 	}
-	rc := newReferenceCache()
+	rc := o.refCache()
 	ref, err := rc.get(b)
 	if err != nil {
 		return nil, err
 	}
 
 	classes := []fault.Class{fault.DataBitflip, fault.AddrSlip, fault.ControlTrip, fault.ControlFrame}
+
+	type job struct {
+		class int
+		seed  int64
+	}
+	var jobs []job
+	for ci := range classes {
+		for s := 0; s < o.Seeds; s++ {
+			jobs = append(jobs, job{class: ci, seed: int64(400 + 97*s)})
+		}
+	}
+	type outcome struct {
+		guarded float64
+		plain   float64
+		loss    float64
+	}
+	results := make([]outcome, len(jobs))
+	err = runJobs(o.parallel(), len(jobs), func(i int) error {
+		j := jobs[i]
+		var model fault.Model
+		model.Weights[classes[j.class]] = 1
+		inst, err := b.New()
+		if err != nil {
+			return err
+		}
+		rg, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard, MTBE: mtbe, Seed: j.seed, Model: &model}, ref)
+		if err != nil {
+			return err
+		}
+		inst2, err := b.New()
+		if err != nil {
+			return err
+		}
+		rp, err := sim.Run(inst2, sim.Config{Protection: sim.ReliableQueue, MTBE: mtbe, Seed: j.seed, Model: &model}, ref)
+		if err != nil {
+			return err
+		}
+		results[i] = outcome{guarded: clampDB(rg.Quality), plain: clampDB(rp.Quality), loss: rg.DataLossRatio()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	w := o.out()
 	fmt.Fprintf(w, "Error-class sensitivity: %s at MTBE %s (mean over %d seeds)\n", benchmark, fmtMTBE(mtbe), o.Seeds)
 	fmt.Fprintf(w, "%-14s %14s %14s %12s\n", "class", "commguard dB", "unguarded dB", "guard loss")
 
 	var rows []SensitivityRow
-	for _, class := range classes {
-		var model fault.Model
-		model.Weights[class] = 1
+	for ci, class := range classes {
 		var g, p, loss float64
 		n := 0
-		for s := 0; s < o.Seeds; s++ {
-			seed := int64(400 + 97*s)
-			inst, err := b.New()
-			if err != nil {
-				return nil, err
+		for i, j := range jobs {
+			if j.class != ci {
+				continue
 			}
-			rg, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard, MTBE: mtbe, Seed: seed, Model: &model}, ref)
-			if err != nil {
-				return nil, err
-			}
-			inst2, err := b.New()
-			if err != nil {
-				return nil, err
-			}
-			rp, err := sim.Run(inst2, sim.Config{Protection: sim.ReliableQueue, MTBE: mtbe, Seed: seed, Model: &model}, ref)
-			if err != nil {
-				return nil, err
-			}
-			g += clampDB(rg.Quality)
-			p += clampDB(rp.Quality)
-			loss += rg.DataLossRatio()
+			g += results[i].guarded
+			p += results[i].plain
+			loss += results[i].loss
 			n++
 		}
 		row := SensitivityRow{

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runJobs runs job(0..n-1) on a pool of `parallel` workers and returns
+// the first error encountered. Workers pull the next index from a shared
+// counter, so uneven job costs don't leave workers idle the way a
+// fixed-stripe split would. After an error, remaining indices are
+// skipped (already-started jobs run to completion).
+//
+// Every figure sweep shares this scheduler; it replaces the per-figure
+// semaphore/WaitGroup boilerplate.
+func runJobs(parallel, n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > n {
+		parallel = n
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := job(i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

@@ -1,0 +1,230 @@
+package queue
+
+// Batch transit. A steady-state filter firing performs rate-many pushes or
+// pops with no intervening control flow, so the engine can hand the whole
+// slice to the queue at once. Each batch call is semantically identical to
+// the same sequence of per-item Push/Pop calls — same Stats deltas, same
+// working-set publish/return points, same timeout accounting — it merely
+// amortizes the slot-address computation and per-call overhead across a
+// contiguous span of the current working set. Degenerate local-offset
+// states (possible after CorruptLocalOffset) fall back to the per-item
+// path so corrupted executions behave exactly as before.
+
+// PopStop explains why PopDataN stopped before filling its destination.
+type PopStop int
+
+const (
+	// PopStopFull: the destination slice was filled completely.
+	PopStopFull PopStop = iota
+	// PopStopHeader: the next unit is a frame header. It has NOT been
+	// consumed; the caller (the Alignment Manager) must take its per-item
+	// FSM path to process it.
+	PopStopHeader
+	// PopStopFail: a pop failed (timeout, or closed and drained). Exactly
+	// one timeout has been counted, matching one failed per-item Pop.
+	PopStopFail
+)
+
+// PushN pushes every unit of batch in order, equivalent to calling Push
+// once per element. Spans that fit in the current working set are written
+// in one pass; working-set acquisition and publication happen at exactly
+// the offsets the per-item path would use.
+func (q *Queue) PushN(batch []Unit) {
+	k := uint32(q.cfg.WorkingSets)
+	s := uint32(q.cfg.WorkingSetUnits)
+	for len(batch) > 0 {
+		off := q.prodOffset.Load()
+		if off == 0 {
+			q.acquireFillSlot()
+			off = q.prodOffset.Load()
+		}
+		if off >= s {
+			// Corrupted producer offset: per-item Push wraps modulo the
+			// working set; defer to it so the misbehavior is identical.
+			q.Push(batch[0])
+			batch = batch[1:]
+			continue
+		}
+		n := uint32(len(batch))
+		if room := s - off; n > room {
+			n = room
+		}
+		base := (q.prodWS.Load() % k) * s
+		var items, headers uint64
+		for i := uint32(0); i < n; i++ {
+			u := batch[i]
+			q.buf[base+off+i].Store(uint64(u))
+			if u.IsHeader() {
+				headers++
+			} else {
+				items++
+			}
+		}
+		if items > 0 {
+			q.stats.itemStores.Add(items)
+		}
+		if headers > 0 {
+			q.stats.headerStores.Add(headers)
+		}
+		off += n
+		q.prodOffset.Store(off)
+		if off >= s {
+			q.publish(s)
+		}
+		batch = batch[n:]
+	}
+}
+
+// PushDataN pushes every value of vs as a data unit, equivalent to calling
+// Push(DataUnit(v)) once per element.
+func (q *Queue) PushDataN(vs []uint32) {
+	k := uint32(q.cfg.WorkingSets)
+	s := uint32(q.cfg.WorkingSetUnits)
+	for len(vs) > 0 {
+		off := q.prodOffset.Load()
+		if off == 0 {
+			q.acquireFillSlot()
+			off = q.prodOffset.Load()
+		}
+		if off >= s {
+			q.Push(DataUnit(vs[0]))
+			vs = vs[1:]
+			continue
+		}
+		n := uint32(len(vs))
+		if room := s - off; n > room {
+			n = room
+		}
+		base := (q.prodWS.Load() % k) * s
+		for i := uint32(0); i < n; i++ {
+			q.buf[base+off+i].Store(uint64(DataUnit(vs[i])))
+		}
+		q.stats.itemStores.Add(uint64(n))
+		off += n
+		q.prodOffset.Store(off)
+		if off >= s {
+			q.publish(s)
+		}
+		vs = vs[n:]
+	}
+}
+
+// PopN pops up to len(dst) units (data and headers alike), equivalent to
+// calling Pop once per element. It returns the number delivered; fewer
+// than len(dst) means a pop failed (one timeout counted, as per-item).
+func (q *Queue) PopN(dst []Unit) int {
+	k := uint32(q.cfg.WorkingSets)
+	s := uint32(q.cfg.WorkingSetUnits)
+	popped := 0
+	for popped < len(dst) {
+		if !q.acquireDrainSlot() {
+			return popped
+		}
+		ws := q.consWS.Load()
+		off := q.consOffset.Load()
+		limit := q.wsLen[ws%k].Load()
+		if off >= limit || limit > s {
+			// Degenerate geometry (corrupted offset or published length):
+			// the per-item path reproduces the modeled misbehavior.
+			u, ok := q.Pop()
+			if !ok {
+				return popped
+			}
+			dst[popped] = u
+			popped++
+			continue
+		}
+		n := uint32(len(dst) - popped)
+		if avail := limit - off; n > avail {
+			n = avail
+		}
+		base := (ws % k) * s
+		var items, headers uint64
+		for i := uint32(0); i < n; i++ {
+			u := Unit(q.buf[base+off+i].Load())
+			dst[popped+int(i)] = u
+			if u.IsHeader() {
+				headers++
+			} else {
+				items++
+			}
+		}
+		if items > 0 {
+			q.stats.itemLoads.Add(items)
+		}
+		if headers > 0 {
+			q.stats.headerLoads.Add(headers)
+		}
+		off += n
+		q.consOffset.Store(off)
+		if off >= limit {
+			q.returnWS()
+		}
+		popped += int(n)
+	}
+	return popped
+}
+
+// PopDataN pops data units into dst, stopping early at the first header
+// (left unconsumed — the Alignment Manager's FSM must see it) or at a
+// failed pop. It returns the number of data payloads delivered and the
+// stop reason. Equivalent to per-item Pops for the delivered prefix.
+func (q *Queue) PopDataN(dst []uint32) (int, PopStop) {
+	k := uint32(q.cfg.WorkingSets)
+	s := uint32(q.cfg.WorkingSetUnits)
+	popped := 0
+	for popped < len(dst) {
+		if !q.acquireDrainSlot() {
+			return popped, PopStopFail
+		}
+		ws := q.consWS.Load()
+		off := q.consOffset.Load()
+		limit := q.wsLen[ws%k].Load()
+		if off >= limit || limit > s {
+			// Degenerate geometry: replicate one per-item Pop, except a
+			// header is left in place for the caller's FSM path.
+			u := Unit(q.buf[(ws%k)*s+off%s].Load())
+			if u.IsHeader() {
+				return popped, PopStopHeader
+			}
+			q.stats.itemLoads.Add(1)
+			off++
+			q.consOffset.Store(off)
+			if off >= limit {
+				q.returnWS()
+			}
+			dst[popped] = u.Payload()
+			popped++
+			continue
+		}
+		n := uint32(len(dst) - popped)
+		if avail := limit - off; n > avail {
+			n = avail
+		}
+		base := (ws % k) * s
+		consumed := uint32(0)
+		sawHeader := false
+		for i := uint32(0); i < n; i++ {
+			u := Unit(q.buf[base+off+i].Load())
+			if u.IsHeader() {
+				sawHeader = true
+				break
+			}
+			dst[popped+int(consumed)] = u.Payload()
+			consumed++
+		}
+		if consumed > 0 {
+			q.stats.itemLoads.Add(uint64(consumed))
+			off += consumed
+			q.consOffset.Store(off)
+			if off >= limit {
+				q.returnWS()
+			}
+			popped += int(consumed)
+		}
+		if sawHeader {
+			return popped, PopStopHeader
+		}
+	}
+	return popped, PopStopFull
+}

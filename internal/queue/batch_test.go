@@ -1,0 +1,173 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// mixedUnits builds a unit sequence with headers sprinkled at the given
+// stride (stride 0 means no headers).
+func mixedUnits(n, headerStride int) []Unit {
+	us := make([]Unit, n)
+	for i := range us {
+		if headerStride > 0 && i%headerStride == headerStride-1 {
+			us[i] = HeaderUnit(uint32(i))
+		} else {
+			us[i] = DataUnit(uint32(i))
+		}
+	}
+	return us
+}
+
+// Batch transit must be indistinguishable from per-item transit: same
+// delivered sequence, same Stats. Exercised across geometries and batch
+// sizes that straddle working-set boundaries.
+func TestBatchMatchesPerItem(t *testing.T) {
+	geoms := []Config{
+		{WorkingSets: 2, WorkingSetUnits: 2, ProtectPointers: true, Timeout: time.Second},
+		{WorkingSets: 4, WorkingSetUnits: 8, ProtectPointers: true, Timeout: time.Second},
+		{WorkingSets: 3, WorkingSetUnits: 7, ProtectPointers: false, Timeout: time.Second},
+	}
+	for _, cfg := range geoms {
+		for _, stride := range []int{0, 3, 1} {
+			in := mixedUnits(2*cfg.WorkingSets*cfg.WorkingSetUnits+3, stride)
+
+			// Reference: per-item transit, single goroutine, chunked so the
+			// queue never fills (capacity minus one working set per round).
+			ref := MustNew(1, cfg)
+			ref.SetNonBlocking(false)
+			chunk := (cfg.WorkingSets - 1) * cfg.WorkingSetUnits
+			var refOut []Unit
+			for i := 0; i < len(in); i += chunk {
+				end := i + chunk
+				if end > len(in) {
+					end = len(in)
+				}
+				for _, u := range in[i:end] {
+					ref.Push(u)
+				}
+				ref.Flush()
+				for range in[i:end] {
+					u, ok := ref.Pop()
+					if !ok {
+						t.Fatalf("reference pop failed")
+					}
+					refOut = append(refOut, u)
+				}
+			}
+
+			// Batch: PushN + PopN over the same chunks.
+			bq := MustNew(1, cfg)
+			var batchOut []Unit
+			for i := 0; i < len(in); i += chunk {
+				end := i + chunk
+				if end > len(in) {
+					end = len(in)
+				}
+				bq.PushN(in[i:end])
+				bq.Flush()
+				dst := make([]Unit, end-i)
+				if got := bq.PopN(dst); got != len(dst) {
+					t.Fatalf("PopN delivered %d of %d", got, len(dst))
+				}
+				batchOut = append(batchOut, dst...)
+			}
+
+			for i := range refOut {
+				if refOut[i] != batchOut[i] {
+					t.Fatalf("cfg %+v stride %d: unit %d differs: per-item %x batch %x",
+						cfg, stride, i, refOut[i], batchOut[i])
+				}
+			}
+			if rs, bs := ref.Stats(), bq.Stats(); rs != bs {
+				t.Errorf("cfg %+v stride %d: stats diverged\nper-item %+v\nbatch    %+v",
+					cfg, stride, rs, bs)
+			}
+		}
+	}
+}
+
+// PopDataN must stop before a header, leaving it for the per-item path,
+// and report a fail (with exactly one counted timeout) when starved.
+func TestPopDataNStopsAtHeaderAndFail(t *testing.T) {
+	cfg := Config{WorkingSets: 4, WorkingSetUnits: 8, ProtectPointers: true, Timeout: 5 * time.Millisecond}
+	q := MustNew(1, cfg)
+	for i := 0; i < 5; i++ {
+		q.Push(DataUnit(uint32(i)))
+	}
+	q.Push(HeaderUnit(7))
+	q.Push(DataUnit(99))
+	q.Flush()
+
+	dst := make([]uint32, 16)
+	n, stop := q.PopDataN(dst)
+	if n != 5 || stop != PopStopHeader {
+		t.Fatalf("PopDataN = %d,%v, want 5,PopStopHeader", n, stop)
+	}
+	for i := 0; i < 5; i++ {
+		if dst[i] != uint32(i) {
+			t.Errorf("dst[%d] = %d", i, dst[i])
+		}
+	}
+	if u, ok := q.Pop(); !ok || !u.IsHeader() {
+		t.Fatalf("header should still be next, got %v,%v", u, ok)
+	}
+	n, stop = q.PopDataN(dst)
+	if n != 1 || dst[0] != 99 {
+		t.Fatalf("after header: PopDataN = %d dst[0]=%d, want 1,99", n, dst[0])
+	}
+	if stop != PopStopFail {
+		t.Fatalf("stop = %v, want PopStopFail on the starved tail", stop)
+	}
+	if got := q.Stats().PopTimeouts; got != 1 {
+		t.Errorf("PopTimeouts = %d, want exactly 1 for one failed batch continuation", got)
+	}
+}
+
+// Property: PushDataN/PopDataN round-trip arbitrary payload sequences for
+// arbitrary geometry, matching per-item stats.
+func TestQuickBatchDataRoundTrip(t *testing.T) {
+	f := func(values []uint32, wsUnits uint8) bool {
+		if len(values) > 300 {
+			values = values[:300]
+		}
+		s := int(wsUnits%16) + 1
+		cfg := Config{WorkingSets: 3, WorkingSetUnits: s, ProtectPointers: true, Timeout: time.Second}
+		q := MustNew(1, cfg)
+		ref := MustNew(2, cfg)
+		chunk := 2 * s
+		out := make([]uint32, 0, len(values))
+		for i := 0; i < len(values); i += chunk {
+			end := i + chunk
+			if end > len(values) {
+				end = len(values)
+			}
+			q.PushDataN(values[i:end])
+			q.Flush()
+			dst := make([]uint32, end-i)
+			n, stop := q.PopDataN(dst)
+			if n != len(dst) || stop != PopStopFull {
+				return false
+			}
+			out = append(out, dst...)
+
+			for _, v := range values[i:end] {
+				ref.Push(DataUnit(v))
+			}
+			ref.Flush()
+			for range values[i:end] {
+				ref.Pop()
+			}
+		}
+		for i := range values {
+			if out[i] != values[i] {
+				return false
+			}
+		}
+		return q.Stats() == ref.Stats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

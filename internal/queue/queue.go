@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"commguard/internal/ecc"
@@ -87,9 +88,50 @@ func (s *Stats) Add(other Stats) {
 	s.ForcedOverwrites += other.ForcedOverwrites
 }
 
+// atomicStats mirrors Stats with atomic counters so the lock-free fast
+// path and concurrent diagnostics (Stats, the corruption stress tests)
+// never race. Per-item operations touch exactly one of these. The
+// producer-written and consumer-written counters live on separate cache
+// lines: both sides increment one counter per item, and co-locating them
+// would put a coherence miss on every fast-path operation.
+type atomicStats struct {
+	// Producer-written.
+	itemStores       atomic.Uint64
+	headerStores     atomic.Uint64
+	pushTimeouts     atomic.Uint64
+	forcedOverwrites atomic.Uint64
+	_                [4]uint64
+
+	// Consumer-written.
+	itemLoads   atomic.Uint64
+	headerLoads atomic.Uint64
+	popTimeouts atomic.Uint64
+	_           [5]uint64
+
+	// Written by both sides, only at working-set exchanges.
+	pointerECCOps          atomic.Uint64
+	correctedPointerErrors atomic.Uint64
+}
+
+func (s *atomicStats) snapshot() Stats {
+	return Stats{
+		ItemStores:             s.itemStores.Load(),
+		ItemLoads:              s.itemLoads.Load(),
+		HeaderStores:           s.headerStores.Load(),
+		HeaderLoads:            s.headerLoads.Load(),
+		PointerECCOps:          s.pointerECCOps.Load(),
+		CorrectedPointerErrors: s.correctedPointerErrors.Load(),
+		PushTimeouts:           s.pushTimeouts.Load(),
+		PopTimeouts:            s.popTimeouts.Load(),
+		ForcedOverwrites:       s.forcedOverwrites.Load(),
+	}
+}
+
 // sharedCounter is a free-running counter that is either stored raw
 // (corruptible) or as an ECC codeword (single-bit corruptions repaired on
-// access). It models the shared working-set pointers of Fig. 6.
+// access). It models the shared working-set pointers of Fig. 6. Access is
+// serialized by Queue.mu: the shared pointer exchange is the queue's
+// mutexed slow path, entered once per working set, never per item.
 type sharedCounter struct {
 	protected bool
 	raw       uint32
@@ -143,50 +185,90 @@ func (c *sharedCounter) corrupt(r *rand.Rand) {
 // the shared pointers, exactly as in the paper ("a 320KB memory region
 // divided to 8 sub-regions to avoid per-item access to the head/tail
 // pointers").
+//
+// Concurrency model (the paper's Fig. 6 split, taken literally):
+//
+//   - The mid-working-set fast path is lock-free. Each side reads and
+//     writes only its own local offset and its cached view of the peer's
+//     shared pointer; buffer slots and published working-set lengths are
+//     atomic words so that even a corrupted raw pointer (the software
+//     queue of Fig. 3b) makes the consumer read stale garbage — the
+//     modeled failure — rather than a Go data race.
+//   - The shared filled/drained exchanges remain serialized by mu and pay
+//     the ECC suboperation costs of Table 3. They run once per working
+//     set, so the mutex is off the per-item path entirely.
+//   - Blocking uses one wake channel per side (capacity 1) plus a
+//     reusable per-side timer: a consumer timeout can never wake a
+//     blocked producer (and vice versa), and a timed wait allocates
+//     nothing after the first one.
 type Queue struct {
 	id  int
 	cfg Config
 
-	mu       sync.Mutex
-	notFull  *sync.Cond
-	notEmpty *sync.Cond
-
-	buf   []Unit
-	wsLen []uint32 // published length of each working set slot
-
-	// Shared working-set pointers (free-running counts of working sets
-	// published and drained).
+	// mu guards the shared working-set pointers (filled/drained). It is
+	// the working-set-exchange slow path; per-item operations do not take
+	// it.
+	mu      sync.Mutex
 	filled  sharedCounter
 	drained sharedCounter
 
+	buf   []atomic.Uint64 // Unit values
+	wsLen []atomic.Uint32 // published length of each working set slot
+
+	closed      atomic.Bool
+	nonBlocking atomic.Bool
+
+	// notFull wakes the producer (sent by the consumer when it returns a
+	// working set); notEmpty wakes the consumer (sent by the producer when
+	// it publishes one). Capacity 1: SPSC has at most one waiter per side.
+	notFull  chan struct{}
+	notEmpty chan struct{}
+
+	// prodTimer/consTimer are reused across timed waits of their side.
+	prodTimer *time.Timer
+	consTimer *time.Timer
+
 	// Producer-local state (reliable: lives in CommGuard's QIT when
-	// CommGuard is present; register-resident otherwise and corrupted via
-	// the control-flow manifestation path, not here).
-	prodOffset uint32
-	prodWS     uint32 // working set currently being filled (== filled view)
+	// CommGuard is present; register-resident otherwise and corruptible
+	// via CorruptLocalOffset). Atomic so injected corruption and
+	// diagnostics are race-free; only the producer stores to them.
+	// Each side's per-item state is padded onto its own cache line:
+	// prodOffset and consOffset are both stored once per item, and
+	// sharing a line would ping-pong it between the two cores.
+	//
+	// cachedDrained/cachedFilled are each side's view of the other side's
+	// shared pointer. Per-item operations compare against the cached view
+	// and only perform a shared (ECC) pointer access when the view is
+	// exhausted, preserving the paper's "avoid per-item access to the
+	// head/tail pointers" design (Fig. 6).
+	//
+	// pushStreak/popStreak are the starvation backoff: each consecutive
+	// timeout halves the next blocking budget (down to a floor), so a
+	// persistently corrupted or starved queue degrades to fast garbage
+	// delivery instead of serializing full timeouts per item, while a
+	// transiently slow peer still gets real waiting time.
+	// prodWSIdx/prodBase (and the consumer twins) cache ws%k and
+	// (ws%k)*s for the working set currently in use; they change only at
+	// publish/return, sparing the per-item path two integer divisions.
+	_             [64]byte
+	prodOffset    atomic.Uint32
+	prodWS        atomic.Uint32 // working set currently being filled
+	prodWSIdx     uint32        // prodWS % WorkingSets
+	prodBase      uint32        // prodWSIdx * WorkingSetUnits
+	cachedDrained uint32        // producer's view of the consumer's progress
+	pushStreak    uint32
+	_             [40]byte
 
 	// Consumer-local state.
-	consOffset uint32
-	consWS     uint32 // working set currently being drained (== drained view)
+	consOffset   atomic.Uint32
+	consWS       atomic.Uint32 // working set currently being drained
+	consWSIdx    uint32        // consWS % WorkingSets
+	consBase     uint32        // consWSIdx * WorkingSetUnits
+	cachedFilled uint32        // consumer's view of the producer's progress
+	popStreak    uint32
+	_            [40]byte
 
-	closed      bool
-	nonBlocking bool
-	stats       Stats
-
-	// Cached views of the other side's shared pointer. Per-item operations
-	// compare against the cached view and only perform a shared (ECC)
-	// pointer access when the view is exhausted, preserving the paper's
-	// "avoid per-item access to the head/tail pointers" design (Fig. 6).
-	cachedDrained uint32 // producer's view of the consumer's progress
-	cachedFilled  uint32 // consumer's view of the producer's progress
-
-	// Starvation backoff: each consecutive timeout halves the next
-	// blocking budget (down to a floor), so a persistently corrupted or
-	// starved queue degrades to fast garbage delivery instead of
-	// serializing full timeouts per item, while a transiently slow peer
-	// still gets real waiting time.
-	popStreak  uint32
-	pushStreak uint32
+	stats atomicStats
 }
 
 // backoffFloor is the minimum blocking budget under repeated starvation.
@@ -214,15 +296,15 @@ func New(id int, cfg Config) (*Queue, error) {
 		return nil, err
 	}
 	q := &Queue{
-		id:      id,
-		cfg:     cfg,
-		buf:     make([]Unit, cfg.WorkingSets*cfg.WorkingSetUnits),
-		wsLen:   make([]uint32, cfg.WorkingSets),
-		filled:  newSharedCounter(cfg.ProtectPointers),
-		drained: newSharedCounter(cfg.ProtectPointers),
+		id:       id,
+		cfg:      cfg,
+		buf:      make([]atomic.Uint64, cfg.WorkingSets*cfg.WorkingSetUnits),
+		wsLen:    make([]atomic.Uint32, cfg.WorkingSets),
+		filled:   newSharedCounter(cfg.ProtectPointers),
+		drained:  newSharedCounter(cfg.ProtectPointers),
+		notFull:  make(chan struct{}, 1),
+		notEmpty: make(chan struct{}, 1),
 	}
-	q.notFull = sync.NewCond(&q.mu)
-	q.notEmpty = sync.NewCond(&q.mu)
 	return q, nil
 }
 
@@ -245,221 +327,317 @@ func (q *Queue) Capacity() int { return q.cfg.WorkingSets * q.cfg.WorkingSetUnit
 // overwrite immediately on a full one, instead of waiting for the peer.
 // Sequential (statically scheduled) execution uses this: the peer runs on
 // the same goroutine, so blocking could never be satisfied.
-func (q *Queue) SetNonBlocking(v bool) {
-	q.mu.Lock()
-	q.nonBlocking = v
-	q.mu.Unlock()
+func (q *Queue) SetNonBlocking(v bool) { q.nonBlocking.Store(v) }
+
+// signal performs a non-blocking send on a capacity-1 wake channel: if the
+// peer is waiting it wakes exactly that peer; otherwise the token is kept
+// so the peer's next wait returns immediately (no lost wake-up).
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
 }
 
-// waitTimeout waits on cond until the caller's predicate may have changed,
-// or until d elapses. It returns false on timeout. The caller holds q.mu.
-func waitTimeout(cond *sync.Cond, d time.Duration) {
+// waitProducer blocks the producer until the consumer signals progress or
+// d elapses (d <= 0 blocks indefinitely). The reused timer means a timed
+// wait performs no allocation after the first and, unlike the previous
+// time.AfterFunc+Broadcast scheme, a timer pop can never wake the other
+// side's waiter.
+func (q *Queue) waitProducer(d time.Duration) {
 	if d <= 0 {
-		cond.Wait()
+		<-q.notFull
 		return
 	}
-	t := time.AfterFunc(d, func() { cond.Broadcast() })
-	cond.Wait()
-	// A timer wake-up is indistinguishable from a real one; the caller
-	// re-checks its predicate and tracks its own deadline.
-	t.Stop()
-}
-
-// Push appends one unit, blocking while the queue is full. If the blocking
-// exceeds the configured timeout the push proceeds anyway, overwriting
-// undrained data (§5.1: a timeout may cause incorrect data to be
-// transmitted but frame checking still realigns at frame boundaries).
-func (q *Queue) Push(u Unit) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-
-	// A free working set is only needed when starting one; mid-set pushes
-	// touch no shared state.
-	if q.prodOffset == 0 && q.nonBlocking {
-		if !q.canFillLocked() {
-			q.stats.PushTimeouts++
-			q.stats.ForcedOverwrites++
-		}
-	} else if q.prodOffset == 0 {
-		wait := budget(q.cfg.Timeout, q.pushStreak)
-		deadline := time.Time{}
-		if q.cfg.Timeout > 0 {
-			deadline = time.Now().Add(wait)
-		}
-		for !q.canFillLocked() {
-			if q.cfg.Timeout > 0 && !time.Now().Before(deadline) {
-				q.stats.PushTimeouts++
-				q.stats.ForcedOverwrites++
-				q.pushStreak++
-				break // proceed, overwriting undrained data
-			}
-			waitTimeout(q.notFull, wait)
-		}
-	}
-
-	k := uint32(q.cfg.WorkingSets)
-	s := uint32(q.cfg.WorkingSetUnits)
-	slot := (q.prodWS%k)*s + q.prodOffset%s
-	q.buf[slot] = u
-	if u.IsHeader() {
-		q.stats.HeaderStores++
+	t := q.prodTimer
+	if t == nil {
+		t = time.NewTimer(d)
+		q.prodTimer = t
 	} else {
-		q.stats.ItemStores++
+		t.Reset(d)
 	}
-	q.prodOffset++
-	if q.prodOffset >= s {
-		q.publishLocked(s)
+	select {
+	case <-q.notFull:
+		if !t.Stop() {
+			<-t.C
+		}
+	case <-t.C:
 	}
 }
 
-// canFillLocked reports whether the producer may start filling its next
-// working set. The cached consumer-progress view is refreshed (one shared
-// ECC pointer access) only when it says the ring is full.
-func (q *Queue) canFillLocked() bool {
-	if q.prodWS-q.cachedDrained < uint32(q.cfg.WorkingSets) {
+// waitConsumer is waitProducer for the consumer side.
+func (q *Queue) waitConsumer(d time.Duration) {
+	if d <= 0 {
+		<-q.notEmpty
+		return
+	}
+	t := q.consTimer
+	if t == nil {
+		t = time.NewTimer(d)
+		q.consTimer = t
+	} else {
+		t.Reset(d)
+	}
+	select {
+	case <-q.notEmpty:
+		if !t.Stop() {
+			<-t.C
+		}
+	case <-t.C:
+	}
+}
+
+// canFill reports whether the producer may start filling its next working
+// set. The cached consumer-progress view is refreshed (one shared ECC
+// pointer access under mu) only when it says the ring is full.
+func (q *Queue) canFill() bool {
+	k := uint32(q.cfg.WorkingSets)
+	ws := q.prodWS.Load()
+	if ws-q.cachedDrained < k {
 		q.pushStreak = 0
 		return true
 	}
+	q.mu.Lock()
 	d, c := q.drained.load()
-	q.stats.CorrectedPointerErrors += c
-	q.stats.PointerECCOps += 2
+	q.mu.Unlock()
+	q.stats.correctedPointerErrors.Add(c)
+	q.stats.pointerECCOps.Add(2)
 	q.cachedDrained = d
-	if q.prodWS-d < uint32(q.cfg.WorkingSets) {
+	if ws-d < k {
 		q.pushStreak = 0
 		return true
 	}
 	return false
 }
 
-// publishLocked hands the current working set to the consumer. This is the
+// acquireFillSlot runs before the first push into a fresh working set: it
+// waits (bounded by the timeout budget) for a free working set, and on
+// timeout proceeds anyway, overwriting undrained data (§5.1: a timeout may
+// cause incorrect data to be transmitted but frame checking still realigns
+// at frame boundaries).
+func (q *Queue) acquireFillSlot() {
+	if q.nonBlocking.Load() {
+		if !q.canFill() {
+			q.stats.pushTimeouts.Add(1)
+			q.stats.forcedOverwrites.Add(1)
+		}
+		return
+	}
+	if q.canFill() {
+		return
+	}
+	wait := budget(q.cfg.Timeout, q.pushStreak)
+	var deadline time.Time
+	if q.cfg.Timeout > 0 {
+		deadline = time.Now().Add(wait)
+	}
+	for {
+		if q.cfg.Timeout > 0 {
+			now := time.Now()
+			if !now.Before(deadline) {
+				q.stats.pushTimeouts.Add(1)
+				q.stats.forcedOverwrites.Add(1)
+				q.pushStreak++
+				return // proceed, overwriting undrained data
+			}
+			q.waitProducer(deadline.Sub(now))
+		} else {
+			q.waitProducer(0)
+		}
+		if q.canFill() {
+			return
+		}
+	}
+}
+
+// Push appends one unit, blocking while the queue is full. If the blocking
+// exceeds the configured timeout the push proceeds anyway, overwriting
+// undrained data. Mid-working-set pushes are lock-free and touch no shared
+// state.
+func (q *Queue) Push(u Unit) {
+	// A free working set is only needed when starting one.
+	if q.prodOffset.Load() == 0 {
+		q.acquireFillSlot()
+	}
+	s := uint32(q.cfg.WorkingSetUnits)
+	off := q.prodOffset.Load()
+	idx := off
+	if idx >= s { // corrupted offset: wrap like the pre-cache indexing did
+		idx = off % s
+	}
+	q.buf[q.prodBase+idx].Store(uint64(u))
+	if u.IsHeader() {
+		q.stats.headerStores.Add(1)
+	} else {
+		q.stats.itemStores.Add(1)
+	}
+	off++
+	q.prodOffset.Store(off)
+	if off >= s {
+		q.publish(s)
+	}
+}
+
+// publish hands the current working set to the consumer. This is the
 // QM-get-new-workset exchange; per Table 3 it costs 10 single-word ECC
 // set/check operations for the shared pointer access.
-func (q *Queue) publishLocked(n uint32) {
+func (q *Queue) publish(n uint32) {
 	k := uint32(q.cfg.WorkingSets)
-	q.wsLen[q.prodWS%k] = n
+	q.wsLen[q.prodWSIdx].Store(n)
+	q.mu.Lock()
 	f, c := q.filled.load()
-	q.stats.CorrectedPointerErrors += c
 	q.filled.store(f + 1)
-	q.stats.PointerECCOps += 10
-	q.prodWS = f + 1
-	q.prodOffset = 0
-	q.notEmpty.Broadcast()
+	q.mu.Unlock()
+	q.stats.correctedPointerErrors.Add(c)
+	q.stats.pointerECCOps.Add(10)
+	q.prodWS.Store(f + 1)
+	q.prodWSIdx = (f + 1) % k
+	q.prodBase = q.prodWSIdx * uint32(q.cfg.WorkingSetUnits)
+	q.prodOffset.Store(0)
+	signal(q.notEmpty)
 }
 
 // Flush publishes a partially filled working set. The producer calls it
 // when its thread's computation ends so trailing items (and the
 // end-of-computation header) reach the consumer.
 func (q *Queue) Flush() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.prodOffset > 0 {
-		q.publishLocked(q.prodOffset)
+	if n := q.prodOffset.Load(); n > 0 {
+		q.publish(n)
 	}
 }
 
 // Close marks the producer side finished. Blocked and future pops fail
 // fast once all published data is drained.
 func (q *Queue) Close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.notEmpty.Broadcast()
+	q.closed.Store(true)
+	signal(q.notEmpty)
 }
 
-// Pop removes the next unit, blocking while the queue is empty. ok is
-// false if the queue timed out or was closed and fully drained; the caller
-// (the Alignment Manager, or a bare thread pop) decides what to substitute.
-func (q *Queue) Pop() (u Unit, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-
-	if q.nonBlocking {
-		if !q.canDrainLocked() {
-			q.stats.PopTimeouts++
-			return 0, false
-		}
-	}
-	wait := budget(q.cfg.Timeout, q.popStreak)
-	deadline := time.Time{}
-	if q.cfg.Timeout > 0 {
-		deadline = time.Now().Add(wait)
-	}
-	for !q.canDrainLocked() {
-		if q.closed {
-			return 0, false
-		}
-		if q.cfg.Timeout > 0 && !time.Now().Before(deadline) {
-			q.stats.PopTimeouts++
-			q.popStreak++
-			return 0, false
-		}
-		waitTimeout(q.notEmpty, wait)
-	}
-
-	k := uint32(q.cfg.WorkingSets)
-	s := uint32(q.cfg.WorkingSetUnits)
-	slot := (q.consWS%k)*s + q.consOffset%s
-	u = q.buf[slot]
-	if u.IsHeader() {
-		q.stats.HeaderLoads++
-	} else {
-		q.stats.ItemLoads++
-	}
-	q.consOffset++
-	if q.consOffset >= q.wsLen[q.consWS%k] {
-		q.returnWSLocked()
-	}
-	return u, true
-}
-
-// canDrainLocked reports whether the consumer's current working set has
-// been published. The cached producer-progress view is refreshed (one
-// shared ECC pointer access) only when it is exhausted.
-func (q *Queue) canDrainLocked() bool {
-	if int32(q.cachedFilled-q.consWS) > 0 {
+// canDrain reports whether the consumer's current working set has been
+// published. The cached producer-progress view is refreshed (one shared
+// ECC pointer access under mu) only when it is exhausted.
+func (q *Queue) canDrain() bool {
+	ws := q.consWS.Load()
+	if int32(q.cachedFilled-ws) > 0 {
 		q.popStreak = 0
 		return true
 	}
+	q.mu.Lock()
 	f, c := q.filled.load()
-	q.stats.CorrectedPointerErrors += c
-	q.stats.PointerECCOps++
+	q.mu.Unlock()
+	q.stats.correctedPointerErrors.Add(c)
+	q.stats.pointerECCOps.Add(1)
 	q.cachedFilled = f
 	// Comparison is on free-running counters; after a raw-pointer
 	// corruption these can disagree wildly — the consumer may see a huge
 	// backlog (and read garbage from unwritten slots) or see nothing at
 	// all (and time out). That is exactly the failure mode of Fig. 3b;
 	// the timeout path bounds the damage.
-	if int32(f-q.consWS) > 0 {
+	if int32(f-ws) > 0 {
 		q.popStreak = 0
 		return true
 	}
 	return false
 }
 
-// returnWSLocked returns the drained working set to the producer.
-func (q *Queue) returnWSLocked() {
+// acquireDrainSlot waits (bounded by the timeout budget) until the
+// consumer's working set is published. It returns false on timeout or when
+// the queue is closed and fully drained.
+func (q *Queue) acquireDrainSlot() bool {
+	if q.canDrain() {
+		return true
+	}
+	if q.nonBlocking.Load() {
+		q.stats.popTimeouts.Add(1)
+		return false
+	}
+	wait := budget(q.cfg.Timeout, q.popStreak)
+	var deadline time.Time
+	if q.cfg.Timeout > 0 {
+		deadline = time.Now().Add(wait)
+	}
+	for {
+		if q.closed.Load() {
+			return false
+		}
+		if q.cfg.Timeout > 0 {
+			now := time.Now()
+			if !now.Before(deadline) {
+				q.stats.popTimeouts.Add(1)
+				q.popStreak++
+				return false
+			}
+			q.waitConsumer(deadline.Sub(now))
+		} else {
+			q.waitConsumer(0)
+		}
+		if q.canDrain() {
+			return true
+		}
+	}
+}
+
+// Pop removes the next unit, blocking while the queue is empty. ok is
+// false if the queue timed out or was closed and fully drained; the caller
+// (the Alignment Manager, or a bare thread pop) decides what to substitute.
+// Mid-working-set pops are lock-free and touch no shared state.
+func (q *Queue) Pop() (u Unit, ok bool) {
+	if !q.acquireDrainSlot() {
+		return 0, false
+	}
+	s := uint32(q.cfg.WorkingSetUnits)
+	off := q.consOffset.Load()
+	idx := off
+	if idx >= s { // corrupted offset: wrap like the pre-cache indexing did
+		idx = off % s
+	}
+	u = Unit(q.buf[q.consBase+idx].Load())
+	if u.IsHeader() {
+		q.stats.headerLoads.Add(1)
+	} else {
+		q.stats.itemLoads.Add(1)
+	}
+	off++
+	q.consOffset.Store(off)
+	if off >= q.wsLen[q.consWSIdx].Load() {
+		q.returnWS()
+	}
+	return u, true
+}
+
+// returnWS returns the drained working set to the producer (the consumer
+// side's shared pointer exchange; 10 ECC suboperations per Table 3).
+func (q *Queue) returnWS() {
+	q.mu.Lock()
 	d, c := q.drained.load()
-	q.stats.CorrectedPointerErrors += c
 	q.drained.store(d + 1)
-	q.stats.PointerECCOps += 10
-	q.consWS++
-	q.consOffset = 0
-	q.notFull.Broadcast()
+	q.mu.Unlock()
+	q.stats.correctedPointerErrors.Add(c)
+	q.stats.pointerECCOps.Add(10)
+	nw := q.consWS.Load() + 1
+	q.consWS.Store(nw)
+	q.consWSIdx = nw % uint32(q.cfg.WorkingSets)
+	q.consBase = q.consWSIdx * uint32(q.cfg.WorkingSetUnits)
+	q.consOffset.Store(0)
+	signal(q.notFull)
 }
 
 // Len reports the number of published, undrained units (approximate under
-// corruption). Intended for tests and diagnostics.
+// corruption and during concurrent transit). Intended for tests and
+// diagnostics.
 func (q *Queue) Len() int {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	f, _ := q.filled.load()
+	q.mu.Unlock()
 	n := 0
 	k := uint32(q.cfg.WorkingSets)
-	for ws := q.consWS; int32(f-ws) > 0 && ws-q.consWS < uint32(q.cfg.WorkingSets); ws++ {
-		l := q.wsLen[ws%k]
-		if ws == q.consWS {
-			if l >= q.consOffset {
-				n += int(l - q.consOffset)
+	consWS := q.consWS.Load()
+	consOffset := q.consOffset.Load()
+	for ws := consWS; int32(f-ws) > 0 && ws-consWS < k; ws++ {
+		l := q.wsLen[ws%k].Load()
+		if ws == consWS {
+			if l >= consOffset {
+				n += int(l - consOffset)
 			}
 		} else {
 			n += int(l)
@@ -474,33 +652,38 @@ func (q *Queue) Len() int {
 // queue it corrupts the producer/consumer handshake.
 func (q *Queue) CorruptPointer(r *rand.Rand) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if r.Intn(2) == 0 {
 		q.filled.corrupt(r)
 	} else {
 		q.drained.corrupt(r)
 	}
-	q.notEmpty.Broadcast()
-	q.notFull.Broadcast()
+	q.mu.Unlock()
+	signal(q.notEmpty)
+	signal(q.notFull)
 }
 
 // CorruptLocalOffset flips a bit in a local (per-core, register-resident)
 // queue offset. Only meaningful for the unprotected software queue: when
-// CommGuard's QM is present these offsets live in the reliable QIT.
+// CommGuard's QM is present these offsets live in the reliable QIT. The
+// flip is applied with a CAS so it is race-free against the owner's
+// lock-free fast path; a flip that loses the race with an in-flight
+// increment is dropped, like a register write shadowed by the pipeline.
 func (q *Queue) CorruptLocalOffset(r *rand.Rand) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	bit := uint(r.Intn(16)) // offsets are small; flip a low bit
-	if r.Intn(2) == 0 {
-		q.prodOffset ^= 1 << bit
-	} else {
-		q.consOffset ^= 1 << bit
+	mask := uint32(1) << uint(r.Intn(16)) // offsets are small; flip a low bit
+	target := &q.prodOffset
+	if r.Intn(2) != 0 {
+		target = &q.consOffset
+	}
+	for {
+		old := target.Load()
+		if target.CompareAndSwap(old, old^mask) {
+			return
+		}
 	}
 }
 
-// Stats returns a snapshot of the queue's event counters.
+// Stats returns a snapshot of the queue's event counters. Safe to call
+// concurrently with transit; every counter is monotonic.
 func (q *Queue) Stats() Stats {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.stats
+	return q.stats.snapshot()
 }

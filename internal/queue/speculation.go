@@ -122,23 +122,25 @@ func (c *SpecConsumer) Abort() { c.ahead = 0 }
 
 // PeekAt returns the k-th unread published unit without consuming it
 // (k = 0 is what Pop would return next). ok is false if fewer than k+1
-// units are published. It never blocks.
+// units are published. It never blocks. Like canDrain, it pays one shared
+// ECC pointer access for the filled-pointer refresh.
 func (q *Queue) PeekAt(k int) (Unit, bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	f, c := q.filled.load()
-	q.stats.CorrectedPointerErrors += c
-	q.stats.PointerECCOps++
+	q.mu.Unlock()
+	q.stats.correctedPointerErrors.Add(c)
+	q.stats.pointerECCOps.Add(1)
 	kk := uint32(k)
 	wsCount := uint32(q.cfg.WorkingSets)
 	s := uint32(q.cfg.WorkingSetUnits)
-	offset := q.consOffset
-	for ws := q.consWS; int32(f-ws) > 0 && ws-q.consWS < wsCount; ws++ {
-		l := q.wsLen[ws%wsCount]
+	consWS := q.consWS.Load()
+	offset := q.consOffset.Load()
+	for ws := consWS; int32(f-ws) > 0 && ws-consWS < wsCount; ws++ {
+		l := q.wsLen[ws%wsCount].Load()
 		if l > offset {
 			avail := l - offset
 			if kk < avail {
-				return q.buf[(ws%wsCount)*s+(offset+kk)%s], true
+				return Unit(q.buf[(ws%wsCount)*s+(offset+kk)%s].Load()), true
 			}
 			kk -= avail
 		}

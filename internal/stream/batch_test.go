@@ -1,0 +1,78 @@
+package stream
+
+import (
+	"testing"
+
+	"commguard/internal/fault"
+	"commguard/internal/ppu"
+	"commguard/internal/queue"
+)
+
+// stripBatch hides the batch capability of a transport's ports, forcing
+// the engine onto the per-item path. Used to prove the batched fast path
+// is observably identical to per-item transit.
+type stripBatch struct{ inner Transport }
+
+type onlyOut struct{ OutPort }
+type onlyIn struct{ InPort }
+
+func (t stripBatch) Wire(e *Edge, prod, cons *ppu.Core) (OutPort, InPort, *queue.Queue, error) {
+	op, ip, q, err := t.inner.Wire(e, prod, cons)
+	return onlyOut{op}, onlyIn{ip}, q, err
+}
+
+// The engine's batched steady-state transit must produce the same outputs
+// and the same per-queue statistics as per-item transit, in deterministic
+// sequential mode, both error-free and under fault injection.
+func TestEngineBatchMatchesPerItem(t *testing.T) {
+	for _, mtbe := range []float64{0, 300} {
+		run := func(batch bool) ([]uint32, queue.Stats) {
+			g := NewGraph()
+			scale := NewFuncFilter("scale", 4, 4, 25, func(ctx *Ctx) {
+				for k := 0; k < 4; k++ {
+					ctx.Push(0, 3*ctx.Pop(0))
+				}
+			})
+			sink := NewSink("sink", 4)
+			if _, err := g.Chain(NewSource("src", 4, seqData(256)), scale, NewIdentity("id", 2), sink); err != nil {
+				t.Fatal(err)
+			}
+			qcfg := queue.Config{WorkingSets: 4, WorkingSetUnits: 128, ProtectPointers: true, Timeout: 100}
+			var tr Transport = &PlainTransport{Queue: qcfg}
+			if !batch {
+				tr = stripBatch{inner: tr}
+			}
+			cfg := EngineConfig{Transport: tr}
+			if mtbe > 0 {
+				model := fault.DefaultModel(true)
+				cfg.NewInjector = func(core int) *fault.Injector {
+					return fault.NewInjector(mtbe, fault.CoreSeed(11, core), model)
+				}
+			}
+			eng, err := NewEngine(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := eng.RunSequential()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sink.Collected(), stats.QueueTotals()
+		}
+		perItemOut, perItemStats := run(false)
+		batchOut, batchStats := run(true)
+		if len(perItemOut) != len(batchOut) {
+			t.Fatalf("mtbe %v: lengths %d vs %d", mtbe, len(perItemOut), len(batchOut))
+		}
+		for i := range perItemOut {
+			if perItemOut[i] != batchOut[i] {
+				t.Fatalf("mtbe %v: output %d differs: per-item %d, batch %d",
+					mtbe, i, perItemOut[i], batchOut[i])
+			}
+		}
+		if perItemStats != batchStats {
+			t.Errorf("mtbe %v: queue stats diverged\nper-item %+v\nbatch    %+v",
+				mtbe, perItemStats, batchStats)
+		}
+	}
+}

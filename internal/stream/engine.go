@@ -204,11 +204,17 @@ func (e *Engine) execute(sequential bool) (*RunStats, error) {
 		th.onError = e.cfg.OnError
 		for i, edge := range n.In {
 			sh := &inShim{port: ins[edge.ID], rate: edge.PopRate()}
+			if bp, ok := ins[edge.ID].(BatchInPort); ok {
+				sh.batch = bp
+			}
 			sh.clearPlan()
 			th.ins[i] = sh
 		}
 		for o, edge := range n.Out {
 			sh := &outShim{port: outs[edge.ID], rate: edge.PushRate()}
+			if bp, ok := outs[edge.ID].(BatchOutPort); ok {
+				sh.batch = bp
+			}
 			sh.clearPlan()
 			th.outs[o] = sh
 			th.rawQueues = append(th.rawQueues, rawQs[edge.ID])
@@ -579,13 +585,17 @@ func (t *thread) planQueuePtr() {
 // inShim wraps an InPort, applying per-firing fault perturbations and
 // enforcing the declared rate.
 type inShim struct {
-	port InPort
-	rate int
+	port  InPort
+	batch BatchInPort // non-nil when the transport supports batch transit
+	rate  int
 
 	last uint32 // most recently delivered value
 
-	// window holds items prefetched by Peek but not yet consumed by pop.
-	window []uint32
+	// win[winStart:] holds items prefetched (by a clean firing's batch
+	// transit, or by Peek lookahead) but not yet consumed by pop. The
+	// backing array is reused across firings.
+	win      []uint32
+	winStart int
 
 	// Armed perturbations (cleared per firing).
 	flipAt      int // pop index whose value gets a bit flip; -1 = none
@@ -597,7 +607,37 @@ type inShim struct {
 	popped int
 }
 
-func (s *inShim) beginFiring() { s.popped = 0 }
+// beginFiring resets the pop counter and, for a clean firing (no armed
+// perturbation) on a batch-capable transport, prefetches the whole
+// firing's pops in one guarded-transit call. Batch transit is equivalent
+// to per-item popping, so only perturbations that change *whether* units
+// are consumed force the per-item path.
+func (s *inShim) beginFiring() {
+	s.popped = 0
+	if s.batch == nil || s.rate <= 0 {
+		return
+	}
+	if s.flipAt >= 0 || s.slipAt >= 0 || s.extraPops > 0 || s.starvedPops > 0 {
+		return
+	}
+	need := s.rate - (len(s.win) - s.winStart)
+	if need <= 0 {
+		return
+	}
+	if s.winStart > 0 { // compact the leftover to reuse the array
+		n := copy(s.win, s.win[s.winStart:])
+		s.win = s.win[:n]
+		s.winStart = 0
+	}
+	base := len(s.win)
+	if cap(s.win) < base+need {
+		grown := make([]uint32, base, base+need)
+		copy(grown, s.win)
+		s.win = grown
+	}
+	s.win = s.win[:base+need]
+	s.batch.PopN(s.win[base:])
+}
 
 func (s *inShim) clearPlan() {
 	s.flipAt, s.slipAt = -1, -1
@@ -607,17 +647,21 @@ func (s *inShim) clearPlan() {
 // peek implements StreamIt's lookahead: items are prefetched into the
 // window and later consumed by pop in order.
 func (s *inShim) peek(off int) uint32 {
-	for len(s.window) <= off {
-		s.window = append(s.window, s.port.Pop())
+	for len(s.win)-s.winStart <= off {
+		s.win = append(s.win, s.port.Pop())
 	}
-	return s.window[off]
+	return s.win[s.winStart+off]
 }
 
-// next consumes one item, draining the peek window first.
+// next consumes one item, draining the prefetch/peek window first.
 func (s *inShim) next() uint32 {
-	if len(s.window) > 0 {
-		v := s.window[0]
-		s.window = s.window[1:]
+	if s.winStart < len(s.win) {
+		v := s.win[s.winStart]
+		s.winStart++
+		if s.winStart == len(s.win) {
+			s.win = s.win[:0]
+			s.winStart = 0
+		}
 		return v
 	}
 	return s.port.Pop()
@@ -659,8 +703,9 @@ func (s *inShim) endFiring() int {
 
 // outShim wraps an OutPort symmetrically.
 type outShim struct {
-	port OutPort
-	rate int
+	port  OutPort
+	batch BatchOutPort // non-nil when the transport supports batch transit
+	rate  int
 
 	last uint32
 
@@ -669,10 +714,21 @@ type outShim struct {
 	extraPushes   int // duplicates pushed after work
 	droppedPushes int // trailing pushes suppressed
 
-	pushed int
+	pushed   int
+	batching bool     // this firing buffers pushes for one batch transit
+	obuf     []uint32 // buffered pushes (array reused across firings)
 }
 
-func (s *outShim) beginFiring() { s.pushed = 0 }
+// beginFiring resets the push counter and decides whether this firing's
+// pushes are buffered and transmitted in one batch call at endFiring.
+// Only clean firings batch; any armed perturbation takes the per-item
+// path so drop/duplicate/flip behavior is untouched.
+func (s *outShim) beginFiring() {
+	s.pushed = 0
+	s.batching = s.batch != nil && s.rate > 0 &&
+		s.flipAt < 0 && s.extraPushes == 0 && s.droppedPushes == 0
+	s.obuf = s.obuf[:0]
+}
 
 func (s *outShim) clearPlan() {
 	s.flipAt = -1
@@ -682,6 +738,11 @@ func (s *outShim) clearPlan() {
 func (s *outShim) push(v uint32) {
 	idx := s.pushed
 	s.pushed++
+	if s.batching {
+		s.last = v
+		s.obuf = append(s.obuf, v)
+		return
+	}
 	if idx == s.flipAt {
 		v ^= 1 << uint(s.flipBit)
 	}
@@ -695,6 +756,13 @@ func (s *outShim) push(v uint32) {
 }
 
 func (s *outShim) endFiring() int {
+	if s.batching {
+		if len(s.obuf) > 0 {
+			s.batch.PushN(s.obuf)
+			s.obuf = s.obuf[:0]
+		}
+		s.batching = false
+	}
 	produced := s.pushed - minInt(s.droppedPushes, s.pushed)
 	for i := 0; i < s.extraPushes; i++ {
 		// Over-run: garbage extras from the stale register (AE_IE).

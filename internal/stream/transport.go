@@ -22,6 +22,22 @@ type InPort interface {
 	Pop() uint32
 }
 
+// BatchOutPort is an optional extension of OutPort: PushN transmits a
+// whole slice of items in one guarded-transit call, equivalent to calling
+// Push per element. The engine uses it for steady-state firings of filters
+// with static rates.
+type BatchOutPort interface {
+	OutPort
+	PushN(vs []uint32)
+}
+
+// BatchInPort is an optional extension of InPort: PopN fills dst with what
+// len(dst) Pop calls would deliver, in one guarded-transit call.
+type BatchInPort interface {
+	InPort
+	PopN(dst []uint32)
+}
+
 // Transport wires one edge of the graph into producer/consumer endpoints.
 // The PPU cores of the two endpoint threads are provided so protection
 // modules (CommGuard's HI and AM) can subscribe to frame-progress events.
@@ -51,6 +67,9 @@ func (t *PlainTransport) Wire(e *Edge, prod, cons *ppu.Core) (OutPort, InPort, *
 type plainOut struct{ q *queue.Queue }
 
 func (p *plainOut) Push(v uint32) { p.q.Push(queue.DataUnit(v)) }
+func (p *plainOut) PushN(vs []uint32) {
+	p.q.PushDataN(vs)
+}
 func (p *plainOut) End() {
 	p.q.Flush()
 	p.q.Close()
@@ -69,4 +88,31 @@ func (p *plainIn) Pop() uint32 {
 	// it would be consumed as data (there is no HI in plain transports, so
 	// this only happens in hand-built tests).
 	return u.Payload()
+}
+
+// PopN fills dst exactly as len(dst) Pop calls would: data payloads
+// stream through batch transit; a header or a failed pop resolves that
+// one element the per-item way (payload-as-data, or 0) and the batch
+// resumes.
+func (p *plainIn) PopN(dst []uint32) {
+	i := 0
+	for i < len(dst) {
+		n, stop := p.q.PopDataN(dst[i:])
+		i += n
+		if i >= len(dst) {
+			break
+		}
+		switch stop {
+		case queue.PopStopHeader:
+			if u, ok := p.q.Pop(); ok {
+				dst[i] = u.Payload()
+			} else {
+				dst[i] = 0
+			}
+			i++
+		case queue.PopStopFail:
+			dst[i] = 0
+			i++
+		}
+	}
 }
