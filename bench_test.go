@@ -13,6 +13,7 @@ import (
 	"commguard/internal/commguard"
 	"commguard/internal/experiments"
 	"commguard/internal/fault"
+	"commguard/internal/obs"
 	"commguard/internal/queue"
 	"commguard/internal/sim"
 )
@@ -373,4 +374,65 @@ func BenchmarkAblationClassSensitivity(b *testing.B) {
 		}
 	}
 	b.ReportMetric(tripAdvantage, "dB-advantage-on-trips")
+}
+
+// BenchmarkTraceOverhead compares guarded per-item transit with tracing
+// disabled (nil rings, the default) against tracing enabled (per-core
+// obs rings wired into the queue and AM). Event sites sit only on frame
+// boundaries and working-set exchanges, so the two sub-benchmarks should
+// be within noise of each other — and of BenchmarkQueueTransfer/GuardedTransit.
+func BenchmarkTraceOverhead(b *testing.B) {
+	qcfg := queue.Config{WorkingSets: 8, WorkingSetUnits: 1024, ProtectPointers: true, Timeout: 0}
+	run := func(b *testing.B, tracer *obs.Tracer) {
+		q := queue.MustNew(0, qcfg)
+		q.SetTrace(tracer.Ring(0), tracer.Ring(1))
+		am := commguard.NewAlignmentManager(q, 0)
+		am.SetTrace(tracer.Ring(1))
+		am.NewFrameComputation(0)
+		go func() {
+			hi := commguard.NewHeaderInserter(q)
+			hi.SetTrace(tracer.Ring(0))
+			hi.NewFrameComputation(0)
+			for {
+				q.Push(queue.DataUnit(1))
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			am.Pop()
+		}
+	}
+	b.Run("Disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("Enabled", func(b *testing.B) { run(b, obs.NewTracer(2, 1<<12)) })
+}
+
+// TestTraceDisabledNoAllocs pins the zero-allocation contract of the
+// guarded pop path, with tracing disabled (the nil-ring branch) and
+// enabled (in-place ring writes).
+func TestTraceDisabledNoAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		tracer *obs.Tracer
+	}{
+		{"disabled", nil},
+		{"enabled", obs.NewTracer(1, 1 << 10)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			q := queue.MustNew(0, queue.Config{WorkingSets: 4, WorkingSetUnits: 64, ProtectPointers: true, Timeout: 0})
+			q.SetTrace(tc.tracer.Ring(0), tc.tracer.Ring(0))
+			hi := commguard.NewHeaderInserter(q)
+			hi.SetTrace(tc.tracer.Ring(0))
+			hi.NewFrameComputation(0)
+			for i := 0; i < 128; i++ {
+				q.Push(queue.DataUnit(uint32(i)))
+			}
+			q.Flush()
+			am := commguard.NewAlignmentManager(q, 0)
+			am.SetTrace(tc.tracer.Ring(0))
+			am.NewFrameComputation(0)
+			if allocs := testing.AllocsPerRun(100, func() { am.Pop() }); allocs != 0 {
+				t.Errorf("guarded pop allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
 }

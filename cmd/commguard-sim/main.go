@@ -31,12 +31,12 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-core statistics")
 		outPath    = flag.String("out", "", "dump the decoded output (jpeg: .ppm image; mp3/audio apps: .wav)")
 		frames     = flag.Bool("frames", false, "print a per-frame damage map vs the reference (the Fig. 7 view)")
-		trace      = flag.Bool("trace", false, "print the applied-error timeline (core, class, frame, instruction)")
+		trace      = flag.String("trace", "", "record an event trace and write <base>.trace.json (Perfetto), <base>.jsonl (diag schema), <base>.snapshot.json (telemetry); also prints the applied-error timeline and AM state timelines")
 		sequential = flag.Bool("sequential", false, "bit-reproducible single-goroutine execution (static schedule)")
 	)
 	flag.Parse()
 
-	if err := run(*appName, *protection, *mtbe, *seed, *scale, *verbose, *outPath, *frames, *trace, *sequential); err != nil {
+	if err := run(*appName, *protection, *mtbe, *seed, *scale, *verbose, *outPath, *trace, *frames, *sequential); err != nil {
 		fmt.Fprintln(os.Stderr, "commguard-sim:", err)
 		os.Exit(1)
 	}
@@ -56,7 +56,7 @@ func parseProtection(s string) (sim.Protection, error) {
 	return 0, fmt.Errorf("unknown protection %q", s)
 }
 
-func run(appName, protection string, mtbe float64, seed int64, scale int, verbose bool, outPath string, frames, trace, sequential bool) error {
+func run(appName, protection string, mtbe float64, seed int64, scale int, verbose bool, outPath, tracePath string, frames, sequential bool) error {
 	b, ok := apps.ByName(appName)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q", appName)
@@ -65,7 +65,11 @@ func run(appName, protection string, mtbe float64, seed int64, scale int, verbos
 	if err != nil {
 		return err
 	}
-	cfg := sim.Config{Protection: prot, MTBE: mtbe, Seed: seed, FrameScale: scale, Trace: trace, Sequential: sequential}
+	tracing := tracePath != ""
+	cfg := sim.Config{Protection: prot, MTBE: mtbe, Seed: seed, FrameScale: scale, Trace: tracing, Sequential: sequential}
+	if tracing {
+		cfg.TraceEvents = -1 // default ring capacity
+	}
 	res, err := sim.RunBenchmark(b, cfg)
 	if err != nil {
 		return err
@@ -111,11 +115,14 @@ func run(appName, protection string, mtbe float64, seed int64, scale int, verbos
 		fmt.Printf("timeouts: %d push, %d pop; forced overwrites: %d; corrected pointer errors: %d\n",
 			qt.PushTimeouts, qt.PopTimeouts, qt.ForcedOverwrites, qt.CorrectedPointerErrors)
 	}
-	if trace {
+	if tracing {
 		fmt.Printf("\nerror timeline (%d events):\n", len(res.Errors))
 		for _, ev := range res.Errors {
 			fmt.Printf("  core %-2d %-24s frame %-5d instr %-10d %s\n",
 				ev.Core, ev.Node, ev.Frame, ev.Instructions, ev.Class)
+		}
+		if err := writeTrace(tracePath, res, cfg); err != nil {
+			return err
 		}
 	}
 	if frames {
@@ -141,6 +148,39 @@ func run(appName, protection string, mtbe float64, seed int64, scale int, verbos
 			return err
 		}
 		fmt.Printf("output         written to %s\n", outPath)
+	}
+	return nil
+}
+
+// writeTrace writes the run's event-trace artifacts next to base and
+// prints the per-consumer AM state timelines.
+func writeTrace(base string, res *sim.Result, cfg sim.Config) error {
+	if res.Trace == nil {
+		return fmt.Errorf("no trace was recorded")
+	}
+	paths, err := res.Trace.WriteFiles(base)
+	if err != nil {
+		return err
+	}
+	snapPath := base + ".snapshot.json"
+	sf, err := os.Create(snapPath)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	if err := res.Snapshot(cfg).WriteJSON(sf); err != nil {
+		return err
+	}
+	paths = append(paths, snapPath)
+
+	fmt.Printf("\ntrace          %d events (%d dropped) -> %s\n",
+		len(res.Trace.Events), res.Trace.Dropped, strings.Join(paths, ", "))
+	seqs := res.Trace.AMSequences()
+	if len(seqs) > 0 {
+		fmt.Printf("\nAM state timelines (%s):\n", viz.TimelineLegend())
+		for _, seq := range seqs {
+			fmt.Printf("  q%-3d %-32s %s\n", seq.Queue, seq.Name, viz.StateTimeline(seq.States))
+		}
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"commguard/internal/experiments"
+	"commguard/internal/obs"
 )
 
 func main() {
@@ -23,7 +24,10 @@ func main() {
 		seeds  = flag.Int("seeds", 0, "override seeds per point (paper: 5)")
 		csvDir = flag.String("csv", "", "with -fig all: also write per-figure CSVs to this directory")
 		mdPath = flag.String("md", "", "with -fig all: also write a Markdown report to this path")
-		bench  = flag.String("benchjson", "", "measure hot-path transit variants plus a RunAll wall-clock and write the JSON snapshot to this path (combine with -quick for the reduced sweep)")
+		bench   = flag.String("benchjson", "", "measure hot-path transit variants plus a RunAll wall-clock and write the JSON snapshot to this path (combine with -quick for the reduced sweep)")
+		verbose = flag.Bool("v", false, "print per-figure start/finish lines with elapsed time and job counts to stderr")
+		trace   = flag.String("trace", "", "record an event trace of Figure 7's representative run and write <base>.trace.json/.jsonl/.snapshot.json")
+		listen  = flag.String("listen", "", "serve live sweep progress counters over HTTP at this address (GET /debug/vars), e.g. :6060")
 	)
 	flag.Parse()
 
@@ -35,6 +39,15 @@ func main() {
 		opts.Seeds = *seeds
 	}
 	opts.Out = os.Stdout
+	opts.Verbose = *verbose
+	opts.TracePath = *trace
+	if *listen != "" {
+		opts.Progress = obs.Live()
+		obs.ListenAndServe(*listen, func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format, a...)
+		})
+		fmt.Fprintf(os.Stderr, "progress counters at http://%s/debug/vars\n", *listen)
+	}
 
 	if *bench != "" {
 		res, err := experiments.WriteHotpathJSON(*bench, opts, 4_000_000)

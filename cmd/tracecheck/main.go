@@ -1,0 +1,79 @@
+// Command tracecheck validates observability artifacts against the shared
+// internal/diag schema: trace JSONL streams, Chrome trace-event JSON, and
+// run telemetry snapshots. CI runs it over the artifacts a traced
+// commguard-sim run produces.
+//
+// Usage:
+//
+//	tracecheck run.jsonl run.trace.json run.snapshot.json
+//
+// The file kind is chosen by suffix: .jsonl (trace event stream),
+// .trace.json (Chrome trace-event JSON), .snapshot.json (telemetry
+// snapshot). Exit status is non-zero if any file fails validation.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"commguard/internal/diag"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <file>...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	switch {
+	case strings.HasSuffix(path, ".jsonl"):
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := diag.ValidateTraceJSONL(f)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("no events")
+		}
+		fmt.Printf("%s: ok (%d events)\n", path, n)
+		return nil
+	case strings.HasSuffix(path, ".trace.json"):
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := diag.ValidateChromeTrace(data); err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (chrome trace)\n", path)
+		return nil
+	case strings.HasSuffix(path, ".snapshot.json"):
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := diag.ValidateSnapshot(data); err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (snapshot)\n", path)
+		return nil
+	}
+	return fmt.Errorf("unknown artifact kind (want .jsonl, .trace.json or .snapshot.json)")
+}

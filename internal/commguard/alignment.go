@@ -2,6 +2,7 @@ package commguard
 
 import (
 	"commguard/internal/ecc"
+	"commguard/internal/obs"
 	"commguard/internal/queue"
 )
 
@@ -88,6 +89,14 @@ type AlignmentManager struct {
 	// (defensive; realignment normally completes within one frame).
 	maxSpin int
 
+	// trace records FSM transitions into the consumer core's ring (nil =
+	// off); trigger carries the frame ID of the event that caused the
+	// transition being recorded (header FC, or active-fc for item/rollover
+	// triggered ones).
+	trace   *obs.Ring
+	qid     int32
+	trigger uint32
+
 	ops   OpCounters
 	stats AMStats
 }
@@ -108,6 +117,13 @@ func NewAlignmentManagerScaled(q *queue.Queue, pad uint32, scale int) *Alignment
 	return &AlignmentManager{q: q, pad: pad, domain: newFrameDomain(scale), state: RcvCmp, maxSpin: 1 << 20}
 }
 
+// SetTrace attaches the consumer core's event ring; every FSM transition
+// is recorded with the frame ID that triggered it (nil disables tracing).
+func (am *AlignmentManager) SetTrace(r *obs.Ring) {
+	am.trace = r
+	am.qid = int32(am.q.ID())
+}
+
 // State exposes the current FSM state (for tests and diagnostics).
 func (am *AlignmentManager) State() AMState { return am.state }
 
@@ -120,6 +136,7 @@ func (am *AlignmentManager) setState(s AMState) {
 	if s == RcvCmp && (am.state == Disc || am.state == DiscFr || am.state == Pdg) {
 		am.stats.Realignments++
 	}
+	am.trace.AMTransition(am.qid, uint8(am.state), uint8(s), am.activeFC, am.trigger)
 	am.state = s
 	am.stats.StateEntries[s]++
 }
@@ -136,6 +153,7 @@ func (am *AlignmentManager) NewFrameComputation(uint32) {
 	}
 	am.ops.FSMCounter++
 	am.activeFC = fc
+	am.trigger = fc
 	if !am.started {
 		am.started = true
 		am.setState(ExpHdr)
@@ -256,7 +274,9 @@ func (am *AlignmentManager) deliverItem() bool {
 		return true
 	case ExpHdr:
 		// "Received item or past header -> DiscFr": the expected header is
-		// missing, so the queue is behind by at least part of a frame.
+		// missing, so the queue is behind by at least part of a frame. The
+		// trigger is the active frame whose header failed to appear.
+		am.trigger = am.activeFC
 		am.setState(DiscFr)
 		return false
 	default: // DiscFr, Disc
@@ -266,6 +286,7 @@ func (am *AlignmentManager) deliverItem() bool {
 
 // onHeader applies Table 1's header transitions. id has been ECC-checked.
 func (am *AlignmentManager) onHeader(id uint32) {
+	am.trigger = id
 	if id == queue.EOCHeaderID {
 		// Producer finished: everything the thread still pops is padding.
 		am.eocSeen = true

@@ -1,6 +1,9 @@
 package commguard
 
-import "commguard/internal/queue"
+import (
+	"commguard/internal/obs"
+	"commguard/internal/queue"
+)
 
 // HeaderInserter is the producer-side CommGuard module (§4.1). It
 // subscribes to the producer core's frame-progress events (ppu.FrameListener)
@@ -11,6 +14,11 @@ type HeaderInserter struct {
 	domain frameDomain
 	ops    OpCounters
 	stats  HIStats
+
+	// trace records header insertions into the producer core's ring (nil =
+	// tracing off).
+	trace *obs.Ring
+	qid   int32
 }
 
 // HIStats records the Header Inserter's activity.
@@ -34,6 +42,12 @@ func NewHeaderInserterScaled(q *queue.Queue, scale int) *HeaderInserter {
 	return &HeaderInserter{q: q, domain: newFrameDomain(scale)}
 }
 
+// SetTrace attaches the producer core's event ring (nil disables tracing).
+func (hi *HeaderInserter) SetTrace(r *obs.Ring) {
+	hi.trace = r
+	hi.qid = int32(hi.q.ID())
+}
+
 // NewFrameComputation implements ppu.FrameListener: the producer rolled
 // over to a new frame computation. The edge's frame domain decides whether
 // this starts a new domain frame; if so, a header carrying the domain
@@ -51,6 +65,7 @@ func (hi *HeaderInserter) NewFrameComputation(uint32) {
 	hi.ops.FSMCounter++
 	hi.ops.HeaderBit++
 	hi.ops.ECC++
+	hi.trace.HIHeader(hi.qid, id)
 	hi.q.Push(queue.HeaderUnit(id))
 	hi.stats.HeadersInserted++
 }
@@ -72,6 +87,7 @@ func (hi *HeaderInserter) EndOfComputation() {
 	hi.ops.FSMCounter++
 	hi.ops.HeaderBit++
 	hi.ops.ECC++
+	hi.trace.HIEOC(hi.qid)
 	hi.q.Push(queue.HeaderUnit(queue.EOCHeaderID))
 	hi.stats.EOCInserted++
 	hi.q.Flush()

@@ -1,0 +1,151 @@
+package commguard
+
+import (
+	"testing"
+
+	"commguard/internal/obs"
+	"commguard/internal/queue"
+)
+
+// amTransition is one decoded KindAMTransition event.
+type amTransition struct {
+	from, to    AMState
+	fc, trigger uint32
+}
+
+func collectTransitions(t *testing.T, tracer *obs.Tracer) []amTransition {
+	t.Helper()
+	tr := tracer.Collect([]string{"consumer"}, []string{"edge"})
+	var out []amTransition
+	for _, e := range tr.Events {
+		if e.Kind != obs.KindAMTransition {
+			continue
+		}
+		out = append(out, amTransition{
+			from:    AMState(e.Arg >> 8),
+			to:      AMState(e.Arg & 0xFF),
+			fc:      e.FC,
+			trigger: uint32(e.Arg2),
+		})
+	}
+	return out
+}
+
+// Golden misalignment scenario: a canonical stream with one extra item in
+// frame 1 and all of frame 2 dropped must walk the AM through the exact
+// Table 1 transition sequence — pinned here event by event, with the
+// header FC (or active-fc, for item-triggered transitions) that caused
+// each one.
+func TestGoldenMisalignmentTransitionTrace(t *testing.T) {
+	q := amQueue(t)
+	am := NewAlignmentManager(q, 0xAB)
+	tracer := obs.NewTracer(1, 64)
+	am.SetTrace(tracer.Ring(0))
+
+	load(q,
+		// Frame 0: clean.
+		queue.HeaderUnit(0), queue.DataUnit(10), queue.DataUnit(11),
+		// Frame 1: one extra item (22) — the consumer pops only two.
+		queue.HeaderUnit(1), queue.DataUnit(20), queue.DataUnit(21), queue.DataUnit(22),
+		// Frame 2 lost entirely; frame 3 follows.
+		queue.HeaderUnit(3), queue.DataUnit(40), queue.DataUnit(41),
+	)
+
+	var got []uint32
+	for frame := uint32(0); frame < 4; frame++ {
+		am.NewFrameComputation(frame)
+		got = append(got, am.Pop(), am.Pop())
+	}
+	want := []uint32{10, 11, 20, 21, 0xAB, 0xAB, 40, 41}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("delivered[%d] = %d, want %d (all: %v)", i, got[i], v, got)
+		}
+	}
+
+	transitions := collectTransitions(t, tracer)
+	wantTr := []amTransition{
+		// Frame 0 starts; its header arrives as expected.
+		{RcvCmp, ExpHdr, 0, 0},
+		{ExpHdr, RcvCmp, 0, 0},
+		// Frame 1 likewise.
+		{RcvCmp, ExpHdr, 1, 1},
+		{ExpHdr, RcvCmp, 1, 1},
+		// Frame 2 starts, but an item (frame 1's extra) arrives where the
+		// header should be: Table 1 "Received item or past header -> DiscFr".
+		{RcvCmp, ExpHdr, 2, 2},
+		{ExpHdr, DiscFr, 2, 2},
+		// While discarding, frame 3's header shows frame 2 is lost:
+		// "Received future header -> Pdg".
+		{DiscFr, Pdg, 2, 3},
+		// The thread's frame computation catches up with the pending
+		// header: "New frame computation matched header -> RcvCmp".
+		{Pdg, RcvCmp, 3, 3},
+	}
+	if len(transitions) != len(wantTr) {
+		t.Fatalf("recorded %d transitions, want %d: %+v", len(transitions), len(wantTr), transitions)
+	}
+	for i, w := range wantTr {
+		if transitions[i] != w {
+			t.Errorf("transition %d = %v->%v fc=%d trig=%d, want %v->%v fc=%d trig=%d",
+				i, transitions[i].from, transitions[i].to, transitions[i].fc, transitions[i].trigger,
+				w.from, w.to, w.fc, w.trigger)
+		}
+	}
+
+	st := am.Stats()
+	if st.Realignments != 1 {
+		t.Errorf("Realignments = %d, want 1", st.Realignments)
+	}
+	if st.DiscardedItems != 1 { // the extra item 22
+		t.Errorf("DiscardedItems = %d, want 1", st.DiscardedItems)
+	}
+	if st.PaddedItems != 2 {
+		t.Errorf("PaddedItems = %d, want 2", st.PaddedItems)
+	}
+}
+
+// The HI's insertions land in the producer ring with the frame IDs pushed.
+func TestHIHeaderTrace(t *testing.T) {
+	q := amQueue(t)
+	hi := NewHeaderInserter(q)
+	tracer := obs.NewTracer(1, 16)
+	hi.SetTrace(tracer.Ring(0))
+
+	hi.NewFrameComputation(0)
+	q.Push(queue.DataUnit(1))
+	hi.NewFrameComputation(1)
+	q.Push(queue.DataUnit(2))
+	hi.EndOfComputation()
+
+	tr := tracer.Collect([]string{"producer"}, []string{"edge"})
+	var headers []uint32
+	eocs := 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case obs.KindHIHeader:
+			headers = append(headers, e.FC)
+		case obs.KindHIEOC:
+			eocs++
+		}
+	}
+	if len(headers) != 2 || headers[0] != 0 || headers[1] != 1 {
+		t.Errorf("traced header IDs = %v, want [0 1]", headers)
+	}
+	if eocs != 1 {
+		t.Errorf("traced EOC insertions = %d, want 1", eocs)
+	}
+}
+
+// obs duplicates the AM state name table (it cannot import this package);
+// pin the copy against the source of truth.
+func TestObsAMStateNamesMatch(t *testing.T) {
+	for s := RcvCmp; s <= Pdg; s++ {
+		if got := obs.AMStateName(uint8(s)); got != s.String() {
+			t.Errorf("obs.AMStateName(%d) = %q, want %q", s, got, s.String())
+		}
+	}
+	if obs.AMStateName(99) != "invalid" {
+		t.Error("out-of-range state should name as invalid")
+	}
+}

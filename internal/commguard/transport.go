@@ -51,8 +51,10 @@ func (t *Transport) Wire(e *stream.Edge, prod, cons *ppu.Core) (stream.OutPort, 
 		}
 	}
 	hi := NewHeaderInserterScaled(q, scale)
+	hi.SetTrace(prod.TraceRing())
 	prod.Subscribe(hi)
 	am := NewAlignmentManagerScaled(q, t.Pad, scale)
+	am.SetTrace(cons.TraceRing())
 	cons.Subscribe(am)
 
 	t.mu.Lock()

@@ -68,7 +68,7 @@ func CritWeighting(o Options, mtbe float64) ([]CritRow, error) {
 		weighted float64
 	}
 	results := make([]outcome, len(jobs))
-	err = runJobs(o.parallel(), len(jobs), func(i int) error {
+	err = o.runJobs("crit-weighting", len(jobs), func(i int) error {
 		j := jobs[i]
 		b := builders[j.builder]
 		ref, err := rc.get(b)

@@ -13,9 +13,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"commguard/internal/apps"
 	"commguard/internal/metrics"
+	"commguard/internal/obs"
 	"commguard/internal/sim"
 )
 
@@ -41,12 +43,25 @@ type Options struct {
 	Parallel int
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
+	// Verbose prints per-figure start/finish lines (elapsed time, job
+	// counts) to stderr so long sweeps are not silent.
+	Verbose bool
+	// TracePath, when non-empty, makes Figure7 record an obs event trace of
+	// its representative run and write <TracePath>.trace.json/.jsonl/
+	// .snapshot.json.
+	TracePath string
+	// Progress, when non-nil, publishes live phase/job counters (the
+	// expvar registry behind -listen). Nil disables publishing.
+	Progress *obs.Progress
 
 	// refs is the shared reference/baseline cache. RunAll installs one
 	// before the first figure so error-free baselines are computed once
 	// across the whole regeneration; a standalone FigureN call sees nil
 	// and creates its own.
 	refs *referenceCache
+	// jobsDone counts completed sweep jobs across figures (shared by
+	// pointer so RunAll's verbose lines can report per-figure deltas).
+	jobsDone *atomic.Int64
 }
 
 // DefaultOptions mirrors the paper's sweep. Parallel is left at the
@@ -83,6 +98,21 @@ func (o Options) parallel() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.Parallel
+}
+
+// runJobs schedules a named sweep through the worker pool, publishing the
+// phase and its job counters to the live progress registry (no-op when
+// Progress is nil) and counting completions for the verbose summary.
+func (o Options) runJobs(phase string, n int, job func(i int) error) error {
+	o.Progress.StartPhase(phase, n)
+	return runJobs(o.parallel(), n, func(i int) error {
+		err := job(i)
+		o.Progress.JobDone()
+		if o.jobsDone != nil {
+			o.jobsDone.Add(1)
+		}
+		return err
+	})
 }
 
 // refCache returns the shared reference cache, or a fresh one when the
@@ -274,7 +304,7 @@ func sweepQuality(o Options, b apps.Builder, scales []int) (*QualitySeries, erro
 		}
 	}
 	results := make([]outcome, len(jobs))
-	err = runJobs(o.parallel(), len(jobs), func(i int) error {
+	err = o.runJobs("sweep "+b.Name, len(jobs), func(i int) error {
 		j := jobs[i]
 		inst, err := b.New()
 		if err != nil {

@@ -27,7 +27,7 @@ func Figure12(o Options) ([]Fig12Row, error) {
 	fmt.Fprintf(w, "%-16s %10s %10s\n", "benchmark", "loads", "stores")
 	builders := o.builders()
 	rows := make([]Fig12Row, len(builders))
-	err := runJobs(o.parallel(), len(builders), func(i int) error {
+	err := o.runJobs("Figure 12", len(builders), func(i int) error {
 		b := builders[i]
 		inst, err := b.New()
 		if err != nil {
@@ -93,7 +93,7 @@ func Figure14(o Options) ([]Fig14Row, error) {
 	fmt.Fprintf(w, "%-16s %12s %8s %12s %8s\n", "benchmark", "FSM/counter", "ECC", "header-bit", "total")
 	builders := o.builders()
 	rows := make([]Fig14Row, len(builders))
-	err := runJobs(o.parallel(), len(builders), func(i int) error {
+	err := o.runJobs("Figure 14", len(builders), func(i int) error {
 		b := builders[i]
 		inst, err := b.New()
 		if err != nil {

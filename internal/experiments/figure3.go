@@ -54,7 +54,7 @@ func Figure3(o Options) ([]Fig3Row, error) {
 		complete bool
 	}
 	results := make([]outcome, len(jobs))
-	err = runJobs(o.parallel(), len(jobs), func(i int) error {
+	err = o.runJobs("Figure 3", len(jobs), func(i int) error {
 		j := jobs[i]
 		inst, err := b.New()
 		if err != nil {

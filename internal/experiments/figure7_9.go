@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"strings"
 
 	"commguard/internal/sim"
 )
@@ -34,9 +36,33 @@ func Figure7(o Options) (*Fig7Result, error) {
 		return nil, err
 	}
 	const mtbe = 512e3
-	res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard, MTBE: mtbe, Seed: 2015}, ref)
+	cfg := sim.Config{Protection: sim.CommGuard, MTBE: mtbe, Seed: 2015}
+	if o.TracePath != "" {
+		cfg.TraceEvents = -1
+	}
+	res, err := sim.Run(inst, cfg, ref)
 	if err != nil {
 		return nil, err
+	}
+	if o.TracePath != "" && res.Trace != nil {
+		paths, err := res.Trace.WriteFiles(o.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		snapPath := o.TracePath + ".snapshot.json"
+		sf, err := os.Create(snapPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := res.Snapshot(cfg).WriteJSON(sf); err != nil {
+			sf.Close()
+			return nil, err
+		}
+		if err := sf.Close(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(o.out(), "trace: %d events -> %s, %s\n",
+			len(res.Trace.Events), strings.Join(paths, ", "), snapPath)
 	}
 	r := &Fig7Result{MTBE: mtbe, PSNR: res.Quality}
 	if res.Guard != nil {
@@ -72,7 +98,7 @@ func Figure9(o Options) ([]Fig9Point, error) {
 	}
 	mtbes := []float64{128e3, 512e3, 2048e3, 8192e3}
 	points := make([]Fig9Point, len(mtbes))
-	err = runJobs(o.parallel(), len(mtbes), func(i int) error {
+	err = o.runJobs("Figure 9", len(mtbes), func(i int) error {
 		inst, err := b.New()
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"commguard/internal/commguard"
+	"commguard/internal/obs"
 	"commguard/internal/queue"
 )
 
@@ -26,6 +27,9 @@ type HotpathVariant struct {
 
 // HotpathResult is the BENCH_hotpath.json payload.
 type HotpathResult struct {
+	// Manifest stamps provenance (go version, GOMAXPROCS, commit) so the
+	// BENCH_* trajectory is self-describing across machines and PRs.
+	Manifest      obs.Manifest     `json:"manifest"`
 	Variants      []HotpathVariant `json:"variants"`
 	RunAllSeconds float64          `json:"runall_seconds"`
 	Profile       string           `json:"profile"`
@@ -69,7 +73,8 @@ func HotpathBench(o Options, items int) (*HotpathResult, error) {
 	if items < hotpathChunk {
 		items = hotpathChunk
 	}
-	res := &HotpathResult{Profile: "full"}
+	res := &HotpathResult{Profile: "full", Manifest: obs.NewManifest()}
+	res.Manifest.ConfigHash = obs.ConfigHash(hotpathQueueConfig())
 	if o.Quick {
 		res.Profile = "quick"
 	}

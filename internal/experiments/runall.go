@@ -1,6 +1,11 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+)
 
 // AllResults bundles every regenerated figure.
 type AllResults struct {
@@ -23,11 +28,23 @@ func RunAll(o Options) (*AllResults, error) {
 	if o.refs == nil {
 		o.refs = newReferenceCache()
 	}
+	if o.jobsDone == nil {
+		o.jobsDone = new(atomic.Int64)
+	}
 	all := &AllResults{}
 	w := o.out()
 	step := func(name string, f func() error) error {
 		fmt.Fprintf(w, "\n=== %s ===\n", name)
-		return f()
+		if !o.Verbose {
+			return f()
+		}
+		fmt.Fprintf(os.Stderr, "%s: start\n", name)
+		start := time.Now()
+		before := o.jobsDone.Load()
+		err := f()
+		fmt.Fprintf(os.Stderr, "%s: done in %s (%d jobs)\n",
+			name, time.Since(start).Round(time.Millisecond), o.jobsDone.Load()-before)
+		return err
 	}
 	var err error
 	if err = step("Figure 3", func() error { all.Fig3, err = Figure3(o); return err }); err != nil {

@@ -55,7 +55,7 @@ func ClassSensitivity(o Options, benchmark string, mtbe float64) ([]SensitivityR
 		loss    float64
 	}
 	results := make([]outcome, len(jobs))
-	err = runJobs(o.parallel(), len(jobs), func(i int) error {
+	err = o.runJobs("class-sensitivity", len(jobs), func(i int) error {
 		j := jobs[i]
 		var model fault.Model
 		model.Weights[classes[j.class]] = 1

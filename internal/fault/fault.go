@@ -133,6 +133,16 @@ func (c Counts) Total() uint64 {
 	return n
 }
 
+// ByName returns the per-class tallies keyed by class name, the shape the
+// telemetry snapshot serializes.
+func (c Counts) ByName() map[string]uint64 {
+	m := make(map[string]uint64, numClasses)
+	for cls, v := range c {
+		m[Class(cls).String()] = v
+	}
+	return m
+}
+
 // Injector schedules errors for one core. Inter-error gaps are drawn from
 // an exponential distribution with the configured mean (the paper: "Each
 // error injector picks a random target cycle in the future following the

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"commguard/internal/diag"
+)
+
+// Exporters: the merged Trace renders as Chrome trace-event JSON (Perfetto,
+// chrome://tracing), as a diag-schema JSONL stream, and as per-consumer AM
+// state sequences for viz timelines.
+
+// Chrome trace-event track layout: cores and queues are two synthetic
+// processes so Perfetto shows one track ("thread") per core and per queue.
+const (
+	chromeCoresPID  = 1
+	chromeQueuesPID = 2
+)
+
+// chromeEvent is one entry of the trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeName renders the human-visible event title.
+func chromeName(e Event) string {
+	switch e.Kind {
+	case KindAMTransition:
+		return fmt.Sprintf("%s %s→%s", e.Kind, AMStateName(uint8(e.Arg>>8)), AMStateName(uint8(e.Arg)))
+	case KindFault:
+		return fmt.Sprintf("%s %s", e.Kind, FaultClassName(e.Arg))
+	case KindFrameStart, KindHIHeader:
+		return fmt.Sprintf("%s %d", e.Kind, e.FC)
+	}
+	return e.Kind.String()
+}
+
+// args renders the kind-specific payload as scalar key/values, shared by
+// the Chrome and JSONL exporters.
+func (e Event) args() map[string]any {
+	a := map[string]any{}
+	switch e.Kind {
+	case KindFrameStart:
+		a["fc"] = e.FC
+	case KindWatchdog:
+		a["bound"] = e.Arg
+	case KindFault:
+		a["class"] = FaultClassName(e.Arg)
+		a["frame"] = e.FC
+		a["instructions"] = e.Arg2
+	case KindAMTransition:
+		a["from"] = AMStateName(uint8(e.Arg >> 8))
+		a["to"] = AMStateName(uint8(e.Arg))
+		a["fc"] = e.FC
+		a["trigger"] = uint32(e.Arg2)
+	case KindHIHeader:
+		a["fc"] = e.FC
+	case KindQueuePublish:
+		a["ws"] = e.Arg
+		a["units"] = e.Arg2
+	case KindQueueReturn:
+		a["ws"] = e.Arg
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	return a
+}
+
+// track places the event on its Chrome track: queue-scoped events on the
+// queue's track, everything else on the emitting core's.
+func (e Event) track() (pid, tid int) {
+	if e.Queue >= 0 {
+		return chromeQueuesPID, int(e.Queue)
+	}
+	return chromeCoresPID, int(e.Core)
+}
+
+// WriteChrome emits the trace as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) and chrome://tracing: instant events on one
+// track per core plus one per queue, with metadata records naming them.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(t.Events)+len(t.Cores)+len(t.Queues)+2)
+	meta := func(pid, tid int, key, name string) {
+		events = append(events, chromeEvent{
+			Name: key, Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": name},
+		})
+	}
+	meta(chromeCoresPID, 0, "process_name", "cores")
+	meta(chromeQueuesPID, 0, "process_name", "queues")
+	for i, name := range t.Cores {
+		meta(chromeCoresPID, i, "thread_name", fmt.Sprintf("core %d: %s", i, name))
+	}
+	for i, name := range t.Queues {
+		meta(chromeQueuesPID, i, "thread_name", fmt.Sprintf("queue %d: %s", i, name))
+	}
+	for _, e := range t.Events {
+		pid, tid := e.track()
+		events = append(events, chromeEvent{
+			Name: chromeName(e),
+			Ph:   "i",
+			S:    "t",
+			TS:   float64(e.Nanos) / 1e3,
+			PID:  pid,
+			TID:  tid,
+			Args: e.args(),
+		})
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false) // keep "src -> dst" track names readable
+	return enc.Encode(doc)
+}
+
+// WriteJSONL emits the trace as one diag.TraceEvent JSON object per line,
+// the schema ValidateTraceJSONL checks.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for _, e := range t.Events {
+		ev := diag.TraceEvent{
+			TS:       e.Nanos,
+			Kind:     e.Kind.String(),
+			Core:     int(e.Core),
+			CoreName: t.CoreName(e.Core),
+			Args:     e.args(),
+		}
+		if e.Queue >= 0 {
+			q := int(e.Queue)
+			ev.Queue = &q
+			ev.QueueName = t.QueueName(e.Queue)
+		}
+		if err := enc.Encode(&ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AMSequence is the ordered FSM state history of one queue's Alignment
+// Manager (the consumer-side view of one edge).
+type AMSequence struct {
+	Queue    int
+	Name     string // the edge label
+	Consumer int    // the consumer core the AM sits on
+	// States is the sequence of states entered, starting from the state
+	// the first recorded transition left.
+	States []string
+}
+
+// AMSequences extracts per-queue Alignment Manager state histories from
+// the trace, ordered by queue ID. Feed States to viz.StateTimeline for a
+// text rendering.
+func (t *Trace) AMSequences() []AMSequence {
+	byQueue := map[int32]*AMSequence{}
+	var order []int32
+	for _, e := range t.Events {
+		if e.Kind != KindAMTransition {
+			continue
+		}
+		seq, ok := byQueue[e.Queue]
+		if !ok {
+			seq = &AMSequence{
+				Queue:    int(e.Queue),
+				Name:     t.QueueName(e.Queue),
+				Consumer: int(e.Core),
+				States:   []string{AMStateName(uint8(e.Arg >> 8))},
+			}
+			byQueue[e.Queue] = seq
+			order = append(order, e.Queue)
+		}
+		seq.States = append(seq.States, AMStateName(uint8(e.Arg)))
+	}
+	out := make([]AMSequence, 0, len(order))
+	for _, q := range order {
+		out = append(out, *byQueue[q])
+	}
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Queue < out[i].Queue {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// WriteFiles writes the trace's standard artifact pair next to base:
+// base.trace.json (Chrome trace-event JSON) and base.jsonl (diag-schema
+// JSONL). It returns the paths written.
+func (t *Trace) WriteFiles(base string) ([]string, error) {
+	chromePath := base + ".trace.json"
+	jsonlPath := base + ".jsonl"
+	cf, err := os.Create(chromePath)
+	if err != nil {
+		return nil, err
+	}
+	defer cf.Close()
+	if err := t.WriteChrome(cf); err != nil {
+		return nil, err
+	}
+	jf, err := os.Create(jsonlPath)
+	if err != nil {
+		return nil, err
+	}
+	defer jf.Close()
+	if err := t.WriteJSONL(jf); err != nil {
+		return nil, err
+	}
+	return []string{chromePath, jsonlPath}, nil
+}

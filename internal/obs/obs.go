@@ -1,0 +1,349 @@
+// Package obs is the observability substrate for simulation runs: a
+// low-overhead event tracer plus a unified telemetry snapshot.
+//
+// The tracer records *when and in what order* the guard modules acted —
+// AM FSM transitions (Table 1), HI header insertions, queue working-set
+// exchanges and timeouts (§5.1), PPU frame starts and watchdog fires, and
+// every injected fault manifestation — where the per-package Stats structs
+// only report end-of-run aggregates. Records land in per-core ring buffers:
+// one ring per core, written only by that core's goroutine, fixed-size
+// records, an atomic cursor, and zero allocation on the hot path. A nil
+// ring (tracing disabled) costs exactly one branch per would-be event, and
+// no event site sits on the per-item transit fast path — only on frame
+// boundaries, working-set exchanges, timeouts and realignments.
+//
+// At run end the rings merge into a Trace, exportable as Chrome
+// trace-event JSON (loadable in Perfetto, one track per core and per
+// queue), as a JSONL stream conforming to the internal/diag trace schema,
+// and as per-consumer AM state timelines for internal/viz.
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates traced event types.
+type Kind uint8
+
+const (
+	// KindInvalid marks an unused record slot.
+	KindInvalid Kind = iota
+	// KindFrameStart: the core's active-fc rolled over; FC is the new
+	// frame counter.
+	KindFrameStart
+	// KindCoreEOC: the core's outermost scope exited.
+	KindCoreEOC
+	// KindWatchdog: the PPU loop guard refused an iteration; Arg is the
+	// bound that was exhausted.
+	KindWatchdog
+	// KindFault: an injected error manifested; Arg is the fault class
+	// (fault.Class numbering), FC the core's frame, Arg2 the committed
+	// instruction count at injection.
+	KindFault
+	// KindAMTransition: the Alignment Manager changed FSM state; Arg packs
+	// from<<8|to (commguard.AMState numbering), FC is the consumer's
+	// active-fc, Arg2 the header FC (or active-fc for item/rollover
+	// triggered transitions) that triggered it.
+	KindAMTransition
+	// KindHIHeader: the Header Inserter pushed a frame header; Arg is the
+	// header's frame ID.
+	KindHIHeader
+	// KindHIEOC: the Header Inserter pushed the end-of-computation header.
+	KindHIEOC
+	// KindQueuePublish: the producer published a working set; Arg is the
+	// working-set sequence number, Arg2 the published unit count.
+	KindQueuePublish
+	// KindQueueReturn: the consumer returned a drained working set; Arg is
+	// the working-set sequence number.
+	KindQueueReturn
+	// KindQueuePushTimeout: a blocking push gave up and overwrote.
+	KindQueuePushTimeout
+	// KindQueuePopTimeout: a blocking pop gave up (§5.1 timeout).
+	KindQueuePopTimeout
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindInvalid:          "invalid",
+	KindFrameStart:       "frame-start",
+	KindCoreEOC:          "core-eoc",
+	KindWatchdog:         "watchdog",
+	KindFault:            "fault",
+	KindAMTransition:     "am-transition",
+	KindHIHeader:         "hi-header",
+	KindHIEOC:            "hi-eoc",
+	KindQueuePublish:     "queue-publish",
+	KindQueueReturn:      "queue-return",
+	KindQueuePushTimeout: "queue-push-timeout",
+	KindQueuePopTimeout:  "queue-pop-timeout",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// amStateNames mirrors commguard.AMState's String values; obs cannot
+// import commguard (commguard records through obs), so the table is
+// duplicated here and pinned against the source of truth by a test.
+var amStateNames = [5]string{"RcvCmp", "ExpHdr", "DiscFr", "Disc", "Pdg"}
+
+// AMStateName names an Alignment Manager FSM state recorded in a
+// KindAMTransition event.
+func AMStateName(s uint8) string {
+	if int(s) < len(amStateNames) {
+		return amStateNames[s]
+	}
+	return "invalid"
+}
+
+// faultClassNames mirrors fault.Class's String values (same pinning test).
+var faultClassNames = [6]string{"none", "data-bitflip", "control-trip", "control-frame", "addr-slip", "queue-ptr"}
+
+// FaultClassName names a fault manifestation class recorded in a
+// KindFault event.
+func FaultClassName(c uint64) string {
+	if c < uint64(len(faultClassNames)) {
+		return faultClassNames[c]
+	}
+	return "invalid"
+}
+
+// NoQueue is the Queue value of events not scoped to a queue.
+const NoQueue int32 = -1
+
+// Event is one fixed-size trace record.
+type Event struct {
+	// Nanos is the event time in nanoseconds since the tracer started.
+	Nanos int64
+	// Kind selects the event type and the meaning of the fields below.
+	Kind Kind
+	// Core is the emitting core (ring owner).
+	Core int32
+	// Queue is the queue the event concerns, or NoQueue.
+	Queue int32
+	// FC is the frame-counter context (meaning per Kind).
+	FC uint32
+	// Arg and Arg2 are per-Kind payload words.
+	Arg  uint64
+	Arg2 uint64
+}
+
+// Ring is one core's event buffer. Exactly one goroutine (the owning
+// core's) writes it; merging happens after the run has joined. All record
+// methods are safe on a nil receiver — a nil Ring is tracing disabled, at
+// the cost of a single branch.
+type Ring struct {
+	core  int32
+	start time.Time
+	buf   []Event
+	// pos counts records ever written; the slot index is pos % len(buf).
+	// Atomic so a concurrent Stats-style observer never races the writer;
+	// ordering guarantees come from the run's goroutine join.
+	pos atomic.Uint64
+}
+
+func (r *Ring) record(k Kind, queue int32, fc uint32, arg, arg2 uint64) {
+	p := r.pos.Load()
+	e := &r.buf[p%uint64(len(r.buf))]
+	e.Nanos = int64(time.Since(r.start))
+	e.Kind, e.Core, e.Queue, e.FC, e.Arg, e.Arg2 = k, r.core, queue, fc, arg, arg2
+	r.pos.Store(p + 1)
+}
+
+// FrameStart records an active-fc rollover to fc.
+func (r *Ring) FrameStart(fc uint32) {
+	if r == nil {
+		return
+	}
+	r.record(KindFrameStart, NoQueue, fc, 0, 0)
+}
+
+// EndOfComputation records the core's outermost scope exit.
+func (r *Ring) EndOfComputation() {
+	if r == nil {
+		return
+	}
+	r.record(KindCoreEOC, NoQueue, 0, 0, 0)
+}
+
+// Watchdog records a loop-guard refusal after bound permitted iterations.
+func (r *Ring) Watchdog(bound int) {
+	if r == nil {
+		return
+	}
+	r.record(KindWatchdog, NoQueue, 0, uint64(bound), 0)
+}
+
+// Fault records one injected manifestation of the given class at the
+// core's current frame and committed instruction count.
+func (r *Ring) Fault(class uint64, frame uint32, instructions uint64) {
+	if r == nil {
+		return
+	}
+	r.record(KindFault, NoQueue, frame, class, instructions)
+}
+
+// AMTransition records an Alignment Manager FSM state change on queue,
+// from state from to state to, with the consumer's active-fc and the
+// frame ID that triggered the transition.
+func (r *Ring) AMTransition(queue int32, from, to uint8, fc, trigger uint32) {
+	if r == nil {
+		return
+	}
+	r.record(KindAMTransition, queue, fc, uint64(from)<<8|uint64(to), uint64(trigger))
+}
+
+// HIHeader records a frame-header insertion carrying id on queue.
+func (r *Ring) HIHeader(queue int32, id uint32) {
+	if r == nil {
+		return
+	}
+	r.record(KindHIHeader, queue, id, 0, 0)
+}
+
+// HIEOC records an end-of-computation header insertion on queue.
+func (r *Ring) HIEOC(queue int32) {
+	if r == nil {
+		return
+	}
+	r.record(KindHIEOC, queue, 0, 0, 0)
+}
+
+// QueuePublish records the producer publishing working set ws with n units.
+func (r *Ring) QueuePublish(queue int32, ws, n uint32) {
+	if r == nil {
+		return
+	}
+	r.record(KindQueuePublish, queue, 0, uint64(ws), uint64(n))
+}
+
+// QueueReturn records the consumer returning drained working set ws.
+func (r *Ring) QueueReturn(queue int32, ws uint32) {
+	if r == nil {
+		return
+	}
+	r.record(KindQueueReturn, queue, 0, uint64(ws), 0)
+}
+
+// PushTimeout records a blocking push that gave up and overwrote.
+func (r *Ring) PushTimeout(queue int32) {
+	if r == nil {
+		return
+	}
+	r.record(KindQueuePushTimeout, queue, 0, 0, 0)
+}
+
+// PopTimeout records a blocking pop that gave up.
+func (r *Ring) PopTimeout(queue int32) {
+	if r == nil {
+		return
+	}
+	r.record(KindQueuePopTimeout, queue, 0, 0, 0)
+}
+
+// events returns the ring's records oldest-first plus the count of
+// overwritten (dropped) records. Call only after the writer has stopped.
+func (r *Ring) events() ([]Event, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	p := r.pos.Load()
+	n := uint64(len(r.buf))
+	if p <= n {
+		return r.buf[:p], 0
+	}
+	head := p % n
+	out := make([]Event, 0, n)
+	out = append(out, r.buf[head:]...)
+	out = append(out, r.buf[:head]...)
+	return out, p - n
+}
+
+// DefaultEventsPerCore is the ring capacity used when a caller enables
+// tracing without choosing one. At the guard modules' event granularity
+// (frames, exchanges, timeouts, realignments) it covers thousands of
+// frames per core.
+const DefaultEventsPerCore = 1 << 14
+
+// Tracer owns one Ring per core of a run.
+type Tracer struct {
+	start time.Time
+	rings []*Ring
+}
+
+// NewTracer creates a tracer for cores cores with the given per-core ring
+// capacity (values < 1 use DefaultEventsPerCore).
+func NewTracer(cores, eventsPerCore int) *Tracer {
+	if eventsPerCore < 1 {
+		eventsPerCore = DefaultEventsPerCore
+	}
+	t := &Tracer{start: time.Now(), rings: make([]*Ring, cores)}
+	for i := range t.rings {
+		t.rings[i] = &Ring{core: int32(i), start: t.start, buf: make([]Event, eventsPerCore)}
+	}
+	return t
+}
+
+// Ring returns core's ring. A nil tracer or out-of-range core returns nil,
+// which every record method accepts (tracing disabled).
+func (t *Tracer) Ring(core int) *Ring {
+	if t == nil || core < 0 || core >= len(t.rings) {
+		return nil
+	}
+	return t.rings[core]
+}
+
+// Trace is the merged, ordered event stream of one run plus the track
+// names the exporters label cores and queues with.
+type Trace struct {
+	// Cores[i] names core track i (the node running there); Queues[i]
+	// names queue track i (its edge, "src -> dst").
+	Cores  []string
+	Queues []string
+	// Events is the merged stream, ordered by time (ties broken by core).
+	Events []Event
+	// Dropped counts records lost to ring overwrites across all cores.
+	Dropped uint64
+}
+
+// Collect merges the rings into a single time-ordered Trace. Call after
+// the run's goroutines have joined. A nil tracer returns nil.
+func (t *Tracer) Collect(cores, queues []string) *Trace {
+	if t == nil {
+		return nil
+	}
+	tr := &Trace{Cores: cores, Queues: queues}
+	for _, r := range t.rings {
+		evs, dropped := r.events()
+		tr.Events = append(tr.Events, evs...)
+		tr.Dropped += dropped
+	}
+	sort.SliceStable(tr.Events, func(i, j int) bool {
+		if tr.Events[i].Nanos != tr.Events[j].Nanos {
+			return tr.Events[i].Nanos < tr.Events[j].Nanos
+		}
+		return tr.Events[i].Core < tr.Events[j].Core
+	})
+	return tr
+}
+
+// CoreName returns the label for core track i.
+func (t *Trace) CoreName(i int32) string {
+	if i >= 0 && int(i) < len(t.Cores) {
+		return t.Cores[i]
+	}
+	return ""
+}
+
+// QueueName returns the label for queue track i.
+func (t *Trace) QueueName(i int32) string {
+	if i >= 0 && int(i) < len(t.Queues) {
+		return t.Queues[i]
+	}
+	return ""
+}

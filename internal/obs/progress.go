@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+)
+
+// Live progress: long sweeps publish per-figure counters through the
+// stdlib expvar registry so an operator can watch a multi-hour RunAll from
+// a browser (or `curl /debug/vars`) instead of a silent terminal.
+
+// Progress publishes sweep progress counters. The zero value is unusable;
+// use Live(). All methods are safe for concurrent use and safe on a nil
+// receiver (progress reporting disabled).
+type Progress struct {
+	mu    sync.Mutex
+	vars  *expvar.Map
+	phase *expvar.String
+	done  *expvar.Int
+	total *expvar.Int
+}
+
+var (
+	liveOnce sync.Once
+	live     *Progress
+)
+
+// Live returns the process-wide progress publisher, registering the
+// "commguard" expvar map on first use (expvar names are process-global,
+// so the registry is a singleton).
+func Live() *Progress {
+	liveOnce.Do(func() {
+		p := &Progress{
+			vars:  expvar.NewMap("commguard"),
+			phase: new(expvar.String),
+			done:  new(expvar.Int),
+			total: new(expvar.Int),
+		}
+		p.vars.Set("phase", p.phase)
+		p.vars.Set("jobs_done", p.done)
+		p.vars.Set("jobs_total", p.total)
+		live = p
+	})
+	return live
+}
+
+// StartPhase marks a new named phase (figure, sweep) with total pending
+// jobs, resetting the job counters.
+func (p *Progress) StartPhase(name string, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.phase.Set(name)
+	p.done.Set(0)
+	p.total.Set(int64(total))
+}
+
+// JobDone increments the completed-job counter of the current phase.
+func (p *Progress) JobDone() {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+}
+
+// Counts returns the current phase's (done, total) job counters.
+func (p *Progress) Counts() (done, total int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.done.Value(), p.total.Value()
+}
+
+// ListenAndServe serves the expvar endpoint (GET /debug/vars) on addr in
+// a background goroutine, returning once the listener is requested. Serve
+// errors (port in use...) are reported through errf.
+func ListenAndServe(addr string, errf func(format string, args ...any)) {
+	go func() {
+		// expvar self-registers its handler on http.DefaultServeMux.
+		if err := http.ListenAndServe(addr, nil); err != nil && errf != nil {
+			errf("obs: listen %s: %v\n", addr, err)
+		}
+	}()
+}

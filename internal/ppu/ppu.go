@@ -17,7 +17,11 @@
 // scope exits.
 package ppu
 
-import "fmt"
+import (
+	"fmt"
+
+	"commguard/internal/obs"
+)
 
 // FrameListener receives frame-progress events from the protection module.
 // CommGuard's per-queue Header Inserters and Alignment Managers register as
@@ -57,6 +61,11 @@ type Core struct {
 
 	listeners []FrameListener
 	stats     Stats
+
+	// trace is this core's event ring (nil = tracing off). Frame starts,
+	// EOC, and watchdog fires are recorded here; the guard modules attached
+	// to the core share the same ring via TraceRing.
+	trace *obs.Ring
 }
 
 // NewCore creates the protection module for core id. frameScale >= 1
@@ -81,6 +90,14 @@ func MustNewCore(id, frameScale int) *Core {
 
 // ID returns the core identifier.
 func (c *Core) ID() int { return c.id }
+
+// SetTraceRing attaches the core's event ring (nil disables tracing).
+func (c *Core) SetTraceRing(r *obs.Ring) { c.trace = r }
+
+// TraceRing returns the core's event ring (nil when tracing is off). The
+// guard modules of queues attached to this core record into the same ring,
+// keeping each ring single-writer.
+func (c *Core) TraceRing() *obs.Ring { return c.trace }
 
 // Subscribe registers a frame listener. Listeners added after computation
 // started still see subsequent events.
@@ -114,6 +131,7 @@ func (c *Core) EndScope() error {
 	c.scopes = c.scopes[:len(c.scopes)-1]
 	if len(c.scopes) == 0 && !c.done {
 		c.done = true
+		c.trace.EndOfComputation()
 		for _, l := range c.listeners {
 			l.EndOfComputation()
 		}
@@ -143,6 +161,7 @@ func (c *Core) BeginFrameComputation() bool {
 		c.activeFC++
 	}
 	c.stats.Frames++
+	c.trace.FrameStart(c.activeFC)
 	for _, l := range c.listeners {
 		l.NewFrameComputation(c.activeFC)
 	}
@@ -160,12 +179,13 @@ func (c *Core) BeginFrameComputation() bool {
 type LoopGuard struct {
 	core  *Core
 	left  int
+	bound int
 	fired bool
 }
 
 // LoopGuard creates a watchdog allowing at most bound iterations.
 func (c *Core) LoopGuard(bound int) *LoopGuard {
-	return &LoopGuard{core: c, left: bound}
+	return &LoopGuard{core: c, left: bound, bound: bound}
 }
 
 // Next consumes one iteration permit. The first refusal is counted as a
@@ -175,6 +195,7 @@ func (g *LoopGuard) Next() bool {
 		if !g.fired {
 			g.core.stats.LoopBoundViolations++
 			g.fired = true
+			g.core.trace.Watchdog(g.bound)
 		}
 		return false
 	}

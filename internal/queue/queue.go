@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"commguard/internal/ecc"
+	"commguard/internal/obs"
 )
 
 // Config describes the geometry and protection level of one queue.
@@ -269,6 +270,12 @@ type Queue struct {
 	_            [40]byte
 
 	stats atomicStats
+
+	// traceProd/traceCons record this queue's slow-path events (working-set
+	// publish/return, timeouts) into the owning side's core ring. Nil when
+	// tracing is off; every emit sits on a slow path, never per item.
+	traceProd *obs.Ring
+	traceCons *obs.Ring
 }
 
 // backoffFloor is the minimum blocking budget under repeated starvation.
@@ -322,6 +329,13 @@ func (q *Queue) ID() int { return q.id }
 
 // Capacity returns the total units the queue's region holds.
 func (q *Queue) Capacity() int { return q.cfg.WorkingSets * q.cfg.WorkingSetUnits }
+
+// SetTrace attaches the producer-side and consumer-side event rings. Call
+// before transit starts; either ring may be nil (that side untraced).
+func (q *Queue) SetTrace(prod, cons *obs.Ring) {
+	q.traceProd = prod
+	q.traceCons = cons
+}
 
 // SetNonBlocking makes Pop fail immediately on an empty queue and Push
 // overwrite immediately on a full one, instead of waiting for the peer.
@@ -420,6 +434,7 @@ func (q *Queue) acquireFillSlot() {
 		if !q.canFill() {
 			q.stats.pushTimeouts.Add(1)
 			q.stats.forcedOverwrites.Add(1)
+			q.traceProd.PushTimeout(int32(q.id))
 		}
 		return
 	}
@@ -438,6 +453,7 @@ func (q *Queue) acquireFillSlot() {
 				q.stats.pushTimeouts.Add(1)
 				q.stats.forcedOverwrites.Add(1)
 				q.pushStreak++
+				q.traceProd.PushTimeout(int32(q.id))
 				return // proceed, overwriting undrained data
 			}
 			q.waitProducer(deadline.Sub(now))
@@ -484,6 +500,7 @@ func (q *Queue) Push(u Unit) {
 func (q *Queue) publish(n uint32) {
 	k := uint32(q.cfg.WorkingSets)
 	q.wsLen[q.prodWSIdx].Store(n)
+	q.traceProd.QueuePublish(int32(q.id), q.prodWS.Load(), n)
 	q.mu.Lock()
 	f, c := q.filled.load()
 	q.filled.store(f + 1)
@@ -549,6 +566,7 @@ func (q *Queue) acquireDrainSlot() bool {
 	}
 	if q.nonBlocking.Load() {
 		q.stats.popTimeouts.Add(1)
+		q.traceCons.PopTimeout(int32(q.id))
 		return false
 	}
 	wait := budget(q.cfg.Timeout, q.popStreak)
@@ -565,6 +583,7 @@ func (q *Queue) acquireDrainSlot() bool {
 			if !now.Before(deadline) {
 				q.stats.popTimeouts.Add(1)
 				q.popStreak++
+				q.traceCons.PopTimeout(int32(q.id))
 				return false
 			}
 			q.waitConsumer(deadline.Sub(now))
@@ -608,6 +627,7 @@ func (q *Queue) Pop() (u Unit, ok bool) {
 // returnWS returns the drained working set to the producer (the consumer
 // side's shared pointer exchange; 10 ECC suboperations per Table 3).
 func (q *Queue) returnWS() {
+	q.traceCons.QueueReturn(int32(q.id), q.consWS.Load())
 	q.mu.Lock()
 	d, c := q.drained.load()
 	q.drained.store(d + 1)

@@ -21,6 +21,7 @@ import (
 	"commguard/internal/apps"
 	"commguard/internal/commguard"
 	"commguard/internal/fault"
+	"commguard/internal/obs"
 	"commguard/internal/queue"
 	"commguard/internal/stream"
 )
@@ -83,6 +84,10 @@ type Config struct {
 	CritFractions map[string]float64
 	// Trace records every applied error manifestation in Result.Errors.
 	Trace bool
+	// TraceEvents enables the internal/obs event tracer: > 0 sets the
+	// per-core ring capacity, < 0 uses obs.DefaultEventsPerCore, 0 disables
+	// tracing (no rings allocated, every emit site a single nil branch).
+	TraceEvents int
 	// Sequential executes the graph on a single goroutine following the
 	// static schedule: error-prone runs become bit-reproducible (the
 	// concurrent engine's realignment details depend on goroutine
@@ -117,6 +122,9 @@ type Result struct {
 	// Guard carries CommGuard module statistics (nil unless Protection ==
 	// CommGuard).
 	Guard *commguard.Stats
+	// Trace is the merged event stream (nil unless Config.TraceEvents was
+	// set), with core tracks named after nodes and queue tracks after edges.
+	Trace *obs.Trace
 }
 
 // DataLossRatio returns Fig. 8's measure for a CommGuard run: padded +
@@ -216,6 +224,15 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 		Transport:  transport,
 		FrameScale: cfg.FrameScale,
 	}
+	var tracer *obs.Tracer
+	if cfg.TraceEvents != 0 {
+		capacity := cfg.TraceEvents
+		if capacity < 0 {
+			capacity = obs.DefaultEventsPerCore
+		}
+		tracer = obs.NewTracer(len(inst.Graph.Nodes), capacity)
+		engCfg.Tracer = tracer
+	}
 	var traceMu sync.Mutex
 	var traced []stream.ErrorEvent
 	if cfg.Trace {
@@ -293,6 +310,17 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 	if guard != nil {
 		gs := guard.Stats()
 		res.Guard = &gs
+	}
+	if tracer != nil {
+		coreNames := make([]string, len(inst.Graph.Nodes))
+		for i, n := range inst.Graph.Nodes {
+			coreNames[i] = n.Name()
+		}
+		queueNames := make([]string, len(inst.Graph.Edges))
+		for _, e := range inst.Graph.Edges {
+			queueNames[e.ID] = e.Src.Name() + " -> " + e.Dst.Name()
+		}
+		res.Trace = tracer.Collect(coreNames, queueNames)
 	}
 
 	ref := inst.Reference

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math"
+
+	"commguard/internal/obs"
+)
+
+// Manifest builds the provenance record of this run for telemetry
+// artifacts: the run knobs plus toolchain facts and a hash of the full
+// configuration.
+func (r *Result) Manifest(cfg Config) obs.Manifest {
+	m := obs.NewManifest()
+	m.App = r.App
+	m.Protection = r.Protection.String()
+	m.Seed = r.Seed
+	if r.MTBE > 0 {
+		m.MTBE = uint64(r.MTBE)
+	}
+	m.FrameScale = r.FrameScale
+	m.ConfigHash = obs.ConfigHash(cfg)
+	return m
+}
+
+// Snapshot assembles the unified telemetry document of this run: every
+// subsystem's Stats struct registered as one section, under the run's
+// manifest. The document satisfies diag.ValidateSnapshot.
+func (r *Result) Snapshot(cfg Config) *obs.Snapshot {
+	s := obs.NewSnapshot(r.Manifest(cfg))
+	quality := map[string]any{"metric": r.Metric}
+	if !math.IsNaN(r.Quality) {
+		quality["db"] = r.Quality
+	}
+	quality["output_len"] = len(r.Output)
+	s.Add("quality", quality)
+	if r.Run != nil {
+		s.Add("run", map[string]any{
+			"iterations":         r.Run.Iterations,
+			"elapsed_ns":         r.Run.Elapsed.Nanoseconds(),
+			"total_instructions": r.Run.TotalInstructions(),
+		})
+		s.Add("cores", r.Run.Cores)
+		s.Add("queues", r.Run.Queues)
+		s.Add("queue_totals", r.Run.QueueTotals())
+		var faults map[string]uint64
+		for _, c := range r.Run.Cores {
+			if faults == nil {
+				faults = c.Errors.ByName()
+				continue
+			}
+			for k, v := range c.Errors.ByName() {
+				faults[k] += v
+			}
+		}
+		if faults != nil {
+			s.Add("faults", faults)
+		}
+	}
+	if r.Guard != nil {
+		s.Add("guard", r.Guard)
+	}
+	if r.Trace != nil {
+		s.Add("trace", map[string]any{
+			"events":  len(r.Trace.Events),
+			"dropped": r.Trace.Dropped,
+			"cores":   len(r.Trace.Cores),
+			"queues":  len(r.Trace.Queues),
+		})
+	}
+	return s
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"commguard/internal/fault"
+	"commguard/internal/obs"
 	"commguard/internal/ppu"
 	"commguard/internal/queue"
 )
@@ -28,6 +29,11 @@ type EngineConfig struct {
 	// instruction count at that moment. Called from node goroutines;
 	// implementations must be safe for concurrent use.
 	OnError func(ev ErrorEvent)
+	// Tracer, when non-nil, records per-core event streams (frame starts,
+	// guard-module actions, queue slow-path events, fault manifestations).
+	// Core IDs equal node IDs; ring i belongs exclusively to node i's
+	// goroutine.
+	Tracer *obs.Tracer
 }
 
 // ErrorEvent describes one applied error manifestation for tracing.
@@ -179,6 +185,9 @@ func (e *Engine) execute(sequential bool) (*RunStats, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Attach the trace ring before transports wire the guard modules,
+		// so HI/AM pick the ring up from the core (nil tracer = nil ring).
+		c.SetTraceRing(e.cfg.Tracer.Ring(i))
 		cores[i] = c
 	}
 
@@ -192,6 +201,12 @@ func (e *Engine) execute(sequential bool) (*RunStats, error) {
 			return nil, err
 		}
 		outs[edge.ID], ins[edge.ID], rawQs[edge.ID] = op, ip, q
+		if q != nil {
+			// Slow-path queue events land in the owning side's core ring:
+			// publish/push-timeout on the producer's, return/pop-timeout on
+			// the consumer's, keeping every ring single-writer.
+			q.SetTrace(cores[edge.Src.ID].TraceRing(), cores[edge.Dst.ID].TraceRing())
+		}
 	}
 
 	threads := make([]*thread, len(e.g.Nodes))
@@ -338,17 +353,19 @@ type thread struct {
 	rawQueues []*queue.Queue
 	stats     CoreStats
 	onError   func(ErrorEvent)
+	trace     *obs.Ring
 }
 
 func newThread(n *Node, core *ppu.Core, mult int, inj *fault.Injector) *thread {
 	return &thread{
-		node: n,
-		core: core,
-		inj:  inj,
-		mult: mult,
-		cost: DefaultFiringCost(n.F),
-		ins:  make([]*inShim, len(n.In)),
-		outs: make([]*outShim, len(n.Out)),
+		node:  n,
+		core:  core,
+		inj:   inj,
+		mult:  mult,
+		cost:  DefaultFiringCost(n.F),
+		ins:   make([]*inShim, len(n.In)),
+		outs:  make([]*outShim, len(n.Out)),
+		trace: core.TraceRing(),
 	}
 }
 
@@ -408,6 +425,7 @@ func (t *thread) fireWithFaults(ctx *Ctx) {
 
 	skip, repeat := false, false
 	for _, c := range classes {
+		t.trace.Fault(uint64(c), t.core.ActiveFC(), t.core.Stats().Instructions)
 		if t.onError != nil {
 			t.onError(ErrorEvent{
 				Core:         t.core.ID(),

@@ -1,0 +1,36 @@
+package viz
+
+import "strings"
+
+// stateGlyphs maps Alignment Manager FSM state names to one character
+// each: '.' for normal delivery, 'h' while a header is expected at a
+// frame boundary, and capital letters for the erroneous states (Table 1).
+var stateGlyphs = map[string]byte{
+	"RcvCmp": '.',
+	"ExpHdr": 'h',
+	"DiscFr": 'F',
+	"Disc":   'D',
+	"Pdg":    'P',
+}
+
+// StateTimeline renders a sequence of AM FSM state names as one character
+// per state entered, the text analogue of a per-consumer alignment
+// timeline: runs of '.' are clean frames, 'F'/'D'/'P' mark discard and
+// padding episodes. Unknown state names render as '?'.
+func StateTimeline(states []string) string {
+	var b strings.Builder
+	b.Grow(len(states))
+	for _, s := range states {
+		if g, ok := stateGlyphs[s]; ok {
+			b.WriteByte(g)
+		} else {
+			b.WriteByte('?')
+		}
+	}
+	return b.String()
+}
+
+// TimelineLegend explains the StateTimeline glyphs.
+func TimelineLegend() string {
+	return ". RcvCmp   h ExpHdr   F DiscFr   D Disc   P Pdg"
+}

@@ -78,3 +78,18 @@ func TestFrameMapEdgeCases(t *testing.T) {
 		t.Error("fully missing output should be dashes")
 	}
 }
+
+func TestStateTimeline(t *testing.T) {
+	got := StateTimeline([]string{"RcvCmp", "ExpHdr", "RcvCmp", "DiscFr", "Pdg", "Disc", "bogus"})
+	if got != ".h.FPD?" {
+		t.Errorf("StateTimeline = %q, want \".h.FPD?\"", got)
+	}
+	if StateTimeline(nil) != "" {
+		t.Error("empty sequence should render empty")
+	}
+	for _, name := range []string{"RcvCmp", "ExpHdr", "DiscFr", "Disc", "Pdg"} {
+		if !strings.Contains(TimelineLegend(), name) {
+			t.Errorf("legend missing %s", name)
+		}
+	}
+}
