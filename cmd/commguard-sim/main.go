@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -92,7 +93,11 @@ func run(appName, protection string, mtbe float64, seed int64, scale int, verbos
 	}
 	fmt.Printf("errors         %d injected\n", injected)
 	if prot != sim.ErrorFree || res.App == "jpeg" || res.App == "mp3" {
-		fmt.Printf("quality        %.2f dB %s\n", res.Quality, res.Metric)
+		if math.IsNaN(res.Quality) {
+			fmt.Printf("quality        n/a (no reference) %s\n", res.Metric)
+		} else {
+			fmt.Printf("quality        %.2f dB %s\n", res.Quality, res.Metric)
+		}
 	}
 	if res.Guard != nil {
 		g := res.Guard

@@ -1,0 +1,402 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"commguard/internal/queue"
+)
+
+func TestExpandDeterministicAndUnique(t *testing.T) {
+	axes := Axes{
+		Figure:      "fig9",
+		Apps:        []string{"jpeg", "mp3"},
+		Protections: []string{"commguard", "software-queue"},
+		MTBEs:       []float64{1e5, 1e6},
+		Seeds:       []int64{1, 2, 3},
+		FrameScales: []int{1},
+	}
+	a, b := axes.Expand(), axes.Expand()
+	if len(a) != 2*2*2*3*1 {
+		t.Fatalf("expanded %d jobs, want 24", len(a))
+	}
+	keys := map[string]int{}
+	for i, j := range a {
+		if j != b[i] {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, j, b[i])
+		}
+		keys[j.Key()]++
+	}
+	if len(keys) != len(a) {
+		t.Fatalf("%d jobs produced %d distinct keys", len(a), len(keys))
+	}
+}
+
+func TestKeyDistinguishesFigures(t *testing.T) {
+	// Fig. 8 and Fig. 10 both sweep jpeg at scale 1: the figure label must
+	// keep their journal entries apart.
+	a := Job{Figure: "fig8", App: "jpeg", Protection: "commguard", MTBE: 1e6, Seed: 1, FrameScale: 1}
+	b := a
+	b.Figure = "fig10"
+	if a.Key() == b.Key() {
+		t.Fatalf("same key for different figures: %s", a.Key())
+	}
+	if a.Key() != a.Key() {
+		t.Fatal("key not stable")
+	}
+}
+
+func TestFloatRoundTripsIEEESpecials(t *testing.T) {
+	in := []Float{Float(math.NaN()), Float(math.Inf(1)), Float(math.Inf(-1)), 3.25, 0}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Float
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(out[0])) {
+		t.Errorf("NaN round-tripped to %v", out[0])
+	}
+	if !math.IsInf(float64(out[1]), 1) || !math.IsInf(float64(out[2]), -1) {
+		t.Errorf("Inf round-tripped to %v, %v", out[1], out[2])
+	}
+	if out[3] != 3.25 || out[4] != 0 {
+		t.Errorf("finite values round-tripped to %v, %v", out[3], out[4])
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Figure: "fig3", App: "jpeg", Protection: "commguard", Seed: 7}
+	payload, _ := json.Marshal(map[string]Float{"quality": Float(math.Inf(1))})
+	if err := j.Append(Record{Job: job, Attempts: 2, Result: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Job: job, Result: payload}); err == nil {
+		t.Fatal("duplicate append not rejected")
+	}
+	j.Close()
+
+	j2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rec, ok := j2.Done(job.Key())
+	if !ok {
+		t.Fatalf("journaled job not found on resume; keys: %v", j2.Keys())
+	}
+	if rec.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", rec.Attempts)
+	}
+	var got map[string]Float
+	if err := json.Unmarshal(rec.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(got["quality"]), 1) {
+		t.Errorf("payload quality = %v, want +Inf", got["quality"])
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Job{Figure: "fig9", App: "mp3", Seed: 1}
+	if err := j.Append(Record{Job: good}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a kill -9 mid-append: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"fig9/mp3//dead`)
+	f.Close()
+
+	j2, err := Open(path, true)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if j2.Len() != 1 {
+		t.Fatalf("resumed %d records, want 1", j2.Len())
+	}
+	if _, ok := j2.Done(good.Key()); !ok {
+		t.Fatal("intact record lost")
+	}
+	// The torn bytes must be gone: the next append starts a fresh line.
+	other := Job{Figure: "fig9", App: "mp3", Seed: 2}
+	if err := j2.Append(Record{Job: other}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 2 {
+		t.Fatalf("after torn-tail truncation + append: %d records, want 2", j3.Len())
+	}
+}
+
+func TestJournalRejectsInteriorCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	os.WriteFile(path, []byte("not json\n{\"key\":\"k\",\"job\":{\"figure\":\"f\"}}\n"), 0o644)
+	if _, err := Open(path, true); err == nil {
+		t.Fatal("interior corruption accepted")
+	}
+}
+
+func TestRunnerSkipsJournaledJobsAndReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jobs := Axes{Figure: "t", Apps: []string{"a", "b", "c"}, Seeds: []int64{1}}.Expand()
+
+	// First campaign: run everything.
+	j, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	mkTasks := func(replayed *atomic.Int64) []Task {
+		tasks := make([]Task, len(jobs))
+		for i, job := range jobs {
+			job := job
+			tasks[i] = Task{
+				Job: job,
+				Run: func(<-chan struct{}) (any, error) {
+					ran.Add(1)
+					return map[string]string{"app": job.App}, nil
+				},
+				Replay: func(raw json.RawMessage) error {
+					var m map[string]string
+					if err := json.Unmarshal(raw, &m); err != nil {
+						return err
+					}
+					if m["app"] != job.App {
+						t.Errorf("replayed %q for job %q", m["app"], job.App)
+					}
+					replayed.Add(1)
+					return nil
+				},
+			}
+		}
+		return tasks
+	}
+	var replayed atomic.Int64
+	stats := &Stats{}
+	r := &Runner{Parallel: 2, Journal: j, Stats: stats}
+	if err := r.Run(mkTasks(&replayed)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if ran.Load() != 3 || replayed.Load() != 0 {
+		t.Fatalf("first pass: ran %d, replayed %d", ran.Load(), replayed.Load())
+	}
+
+	// Resumed campaign: everything comes from the journal.
+	j2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	r2 := &Runner{Parallel: 2, Journal: j2, Stats: stats}
+	if err := r2.Run(mkTasks(&replayed)); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("resume re-executed jobs: ran %d, want 3", ran.Load())
+	}
+	if replayed.Load() != 3 {
+		t.Fatalf("resume replayed %d results, want 3", replayed.Load())
+	}
+	s := stats.Snapshot()
+	if s.Completed != 3 || s.Skipped != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// The satellite cancellation scenario end to end: a job wedges parked in a
+// queue's indefinite blocking wait; the watchdog cancels it within the
+// timeout, the blocked goroutines unwind (NumGoroutine returns to
+// baseline), and the retry succeeds.
+func TestWatchdogCancelsQueueBlockedJobThenRetrySucceeds(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var attempts atomic.Int64
+	task := Task{
+		Job: Job{Figure: "t", App: "wedge"},
+		Run: func(cancel <-chan struct{}) (any, error) {
+			if attempts.Add(1) == 1 {
+				// First attempt: park forever in an indefinite blocking
+				// pop, exactly like a starved consumer with Timeout 0.
+				cfg := queue.DefaultConfig()
+				cfg.Timeout = 0
+				cfg.Cancel = cancel
+				q, err := queue.New(0, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if _, ok := q.Pop(); !ok {
+					return nil, errors.New("starved: pop cancelled")
+				}
+				return nil, errors.New("empty queue delivered an item")
+			}
+			return "ok", nil
+		},
+	}
+	stats := &Stats{}
+	r := &Runner{
+		JobTimeout: 100 * time.Millisecond,
+		Retries:    2,
+		Backoff:    time.Millisecond,
+		Stats:      stats,
+	}
+	start := time.Now()
+	if err := r.Run([]Task{task}); err != nil {
+		t.Fatalf("retry did not rescue the job: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("watchdog took %v", d)
+	}
+	if attempts.Load() != 2 {
+		t.Errorf("attempts = %d, want 2", attempts.Load())
+	}
+	s := stats.Snapshot()
+	if s.Completed != 1 || s.Retried != 1 || s.Hung != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	// The first attempt's goroutines (task body + queue waiter) must be
+	// gone: cancellation propagated into the blocking pop.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Errorf("leaked goroutines: %d > baseline %d", n, baseline)
+	}
+}
+
+func TestRunnerClassifiesHungJobWithoutWedgingPool(t *testing.T) {
+	var okRan atomic.Bool
+	tasks := []Task{
+		{
+			Job: Job{Figure: "t", App: "hang"},
+			// Ignores cancel entirely: every attempt times out, then the
+			// grace expires and the goroutine is abandoned.
+			Run: func(cancel <-chan struct{}) (any, error) {
+				<-make(chan struct{})
+				return nil, nil
+			},
+		},
+		{
+			Job: Job{Figure: "t", App: "fine"},
+			Run: func(<-chan struct{}) (any, error) {
+				okRan.Store(true)
+				return "ok", nil
+			},
+		},
+	}
+	stats := &Stats{}
+	r := &Runner{
+		Parallel:   1, // serial: the hung job must not block the next one
+		JobTimeout: 50 * time.Millisecond,
+		Retries:    1,
+		Backoff:    time.Millisecond,
+		Grace:      50 * time.Millisecond,
+		Stats:      stats,
+	}
+	err := r.Run(tasks)
+	var hung *HungError
+	if !errors.As(err, &hung) {
+		t.Fatalf("err = %v, want a HungError", err)
+	}
+	if hung.Attempts != 2 {
+		t.Errorf("hung after %d attempts, want 2", hung.Attempts)
+	}
+	if !okRan.Load() {
+		t.Error("healthy job never ran: hung job wedged the pool")
+	}
+	s := stats.Snapshot()
+	if s.Hung != 1 || s.Completed != 1 || s.Retried != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRunnerInterruptDrainsInFlight(t *testing.T) {
+	interrupt := make(chan struct{})
+	started := make(chan struct{})
+	var finished, startedCount atomic.Int64
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		tasks[i] = Task{
+			Job: Job{Figure: "t", Seed: int64(i)},
+			Run: func(<-chan struct{}) (any, error) {
+				if startedCount.Add(1) == 1 {
+					close(started)
+				}
+				time.Sleep(50 * time.Millisecond) // in-flight when interrupted
+				finished.Add(1)
+				return nil, nil
+			},
+		}
+	}
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	r := &Runner{Parallel: 1, Journal: j, Interrupt: interrupt}
+	done := make(chan error, 1)
+	go func() { done <- r.Run(tasks) }()
+	<-started
+	close(interrupt)
+	err = <-done
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	// The in-flight job drained (ran to completion and was journaled);
+	// pending jobs never started.
+	if f := finished.Load(); f < 1 {
+		t.Error("in-flight job was not drained")
+	}
+	if s := startedCount.Load(); s >= int64(len(tasks)) {
+		t.Errorf("interrupt did not stop the campaign: %d/%d jobs started", s, len(tasks))
+	}
+	if int64(j.Len()) != finished.Load() {
+		t.Errorf("journal has %d records, %d jobs finished", j.Len(), finished.Load())
+	}
+}
+
+func TestRunnerHardErrorStopsCampaign(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int64
+	tasks := []Task{
+		{Job: Job{Figure: "t", Seed: 1}, Run: func(<-chan struct{}) (any, error) { return nil, boom }},
+		{Job: Job{Figure: "t", Seed: 2}, Run: func(<-chan struct{}) (any, error) { after.Add(1); return nil, nil }},
+	}
+	r := &Runner{Parallel: 1}
+	if err := r.Run(tasks); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if after.Load() != 0 {
+		t.Error("campaign kept claiming jobs after a hard error")
+	}
+}

@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Float is a float64 whose JSON encoding round-trips the IEEE specials.
+// Quality results are routinely +Inf (bit-identical outputs) or NaN (no
+// reference), which encoding/json refuses to marshal; journaled payloads
+// encode them as the strings "NaN", "+Inf" and "-Inf" instead.
+type Float float64
+
+// MarshalJSON encodes finite values as JSON numbers and the IEEE specials
+// as quoted strings.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON accepts either encoding.
+func (f *Float) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"NaN"`:
+		*f = Float(math.NaN())
+		return nil
+	case `"+Inf"`, `"Inf"`:
+		*f = Float(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = Float(math.Inf(-1))
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return fmt.Errorf("campaign: bad Float %q: %v", data, err)
+	}
+	*f = Float(v)
+	return nil
+}

@@ -1,0 +1,112 @@
+// Package campaign turns the experiment figures' sweep lattices into
+// resilient, resumable campaigns. It owns three concerns the figure code
+// should not: deterministic job identity (stable keys derived from the
+// config hash, so two processes agree on what "the same job" means), a
+// crash-safe journal of completed jobs (append-only JSONL; a killed
+// campaign resumes by replaying journaled results and running only the
+// remainder), and a per-job watchdog (timeout -> cancel -> capped
+// exponential backoff retry -> classify as hung) so one wedged simulation
+// cannot wedge a multi-hour sweep.
+package campaign
+
+import (
+	"fmt"
+
+	"commguard/internal/obs"
+)
+
+// Job identifies one point of a sweep lattice: which figure, benchmark,
+// protection level, error rate, seed and frame scale. It is the unit of
+// journaling and retry. All fields serialize (the key is a hash of the
+// JSON rendering), so they must stay plain data.
+type Job struct {
+	// Figure names the experiment the job belongs to ("fig3", "fig9"...).
+	// It is part of the key because different figures sweep overlapping
+	// configurations (Fig. 8 and Fig. 10 both run jpeg at scale 1) whose
+	// results are aggregated differently.
+	Figure     string  `json:"figure"`
+	App        string  `json:"app"`
+	Protection string  `json:"protection"`
+	MTBE       float64 `json:"mtbe,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	FrameScale int     `json:"frame_scale,omitempty"`
+}
+
+// Key returns the job's stable identity: a human-scannable prefix plus the
+// obs.ConfigHash of the full job. The hash covers every field, so any two
+// jobs that differ in any axis get distinct keys, while the same job
+// expanded by a different process (or a resumed run of the same binary)
+// maps to the same key. Deliberately independent of toolchain/commit
+// provenance: a journal must survive a rebuild.
+func (j Job) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%s", j.Figure, j.App, j.Protection, obs.ConfigHash(j))
+}
+
+// Manifest renders the job as the telemetry manifest stamp used across the
+// repo's artifacts (obs.Manifest), with toolchain provenance filled in.
+func (j Job) Manifest() obs.Manifest {
+	m := obs.NewManifest()
+	m.App = j.App
+	m.Protection = j.Protection
+	m.Seed = j.Seed
+	m.MTBE = uint64(j.MTBE)
+	m.FrameScale = j.FrameScale
+	m.ConfigHash = obs.ConfigHash(j)
+	return m
+}
+
+// Axes is a sweep lattice: the cross product of its non-empty axes, in
+// deterministic nesting order (app, protection, MTBE, seed, frame scale —
+// slowest to fastest). An empty axis contributes the zero value once, so
+// figures only populate the axes they sweep.
+type Axes struct {
+	Figure      string
+	Apps        []string
+	Protections []string
+	MTBEs       []float64
+	Seeds       []int64
+	FrameScales []int
+}
+
+// Expand enumerates the lattice. The order is deterministic and identical
+// across processes: resuming a campaign expands the same job list and
+// skips the journaled prefix (or any journaled subset — order only
+// matters for progress display, not correctness).
+func (a Axes) Expand() []Job {
+	apps := a.Apps
+	if len(apps) == 0 {
+		apps = []string{""}
+	}
+	prots := a.Protections
+	if len(prots) == 0 {
+		prots = []string{""}
+	}
+	mtbes := a.MTBEs
+	if len(mtbes) == 0 {
+		mtbes = []float64{0}
+	}
+	seeds := a.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	scales := a.FrameScales
+	if len(scales) == 0 {
+		scales = []int{0}
+	}
+	jobs := make([]Job, 0, len(apps)*len(prots)*len(mtbes)*len(seeds)*len(scales))
+	for _, app := range apps {
+		for _, p := range prots {
+			for _, m := range mtbes {
+				for _, s := range seeds {
+					for _, fs := range scales {
+						jobs = append(jobs, Job{
+							Figure: a.Figure, App: app, Protection: p,
+							MTBE: m, Seed: s, FrameScale: fs,
+						})
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,182 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record is one journaled job completion: the job, its key, how many
+// attempts it took, and the figure-specific result payload (opaque to the
+// journal; figures re-aggregate it on resume instead of re-running).
+type Record struct {
+	Key      string          `json:"key"`
+	Job      Job             `json:"job"`
+	Attempts int             `json:"attempts,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// Journal is an append-only JSONL file of completed jobs. Appends are
+// synced per record, so after a crash (kill -9 included) every line but
+// possibly the last is intact; Open tolerates a torn final line by
+// truncating to the last record boundary. Safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	done map[string]Record
+}
+
+// Open opens (creating if needed) the journal at path. With resume true,
+// existing records are loaded and preserved; otherwise the file is
+// truncated and the campaign starts clean. A torn final line — the
+// signature of a mid-write kill — is dropped and overwritten by the next
+// append; a malformed line anywhere else is a corrupt journal and an error
+// (resuming from it could silently skip or duplicate jobs).
+func Open(path string, resume bool) (*Journal, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, w: bufio.NewWriter(f), done: make(map[string]Record)}
+	if resume {
+		if err := j.load(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// load scans the journal, indexing records and locating the last byte
+// offset that ends a well-formed line. Anything after it (a torn tail) is
+// truncated away.
+func (j *Journal) load() error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var (
+		good  int64 // offset just past the last well-formed record
+		off   int64
+		lines int
+	)
+	sc := bufio.NewScanner(j.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		off += int64(len(line)) + 1 // +1 for the newline Scan strips
+		lines++
+		if len(line) == 0 {
+			good = off
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			// Only the final line may be torn; a bad interior line means
+			// the journal cannot be trusted.
+			if sc.Scan() {
+				return fmt.Errorf("campaign: corrupt journal record at line %d: %q", lines, truncateForErr(line))
+			}
+			break
+		}
+		j.done[rec.Key] = rec
+		good = off
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("campaign: reading journal: %v", err)
+	}
+	if err := j.f.Truncate(good); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(good, io.SeekStart)
+	return err
+}
+
+func truncateForErr(line []byte) string {
+	const max = 120
+	if len(line) > max {
+		return string(line[:max]) + "..."
+	}
+	return string(line)
+}
+
+// Done reports whether key has a journaled completion, returning its
+// record.
+func (j *Journal) Done(key string) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.done[key]
+	return rec, ok
+}
+
+// Len returns the number of journaled completions.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Keys returns the journaled keys (unordered).
+func (j *Journal) Keys() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	keys := make([]string, 0, len(j.done))
+	for k := range j.done {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Append records one completion: one JSON line, flushed and fsynced before
+// returning, so a completed job survives any subsequent crash. Duplicate
+// keys are rejected — they would mean the campaign ran a job twice.
+func (j *Journal) Append(rec Record) error {
+	if rec.Key == "" {
+		rec.Key = rec.Job.Key()
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal journal record %s: %v", rec.Key, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("campaign: journal closed")
+	}
+	if _, dup := j.done[rec.Key]; dup {
+		return fmt.Errorf("campaign: duplicate journal record %s", rec.Key)
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.done[rec.Key] = rec
+	return nil
+}
+
+// Close flushes and closes the journal file. Safe to call twice.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.w.Flush()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

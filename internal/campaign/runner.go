@@ -1,0 +1,361 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commguard/internal/obs"
+)
+
+// ErrInterrupted reports a campaign stopped by its Interrupt channel:
+// in-flight jobs were drained and journaled, pending jobs were never
+// started. Match with errors.Is; resume with the same journal to finish.
+var ErrInterrupted = errors.New("campaign: interrupted")
+
+// HungError reports a job abandoned after every attempt was cancelled by
+// the watchdog. The campaign keeps running the other jobs; hung jobs are
+// not journaled, so a resume retries them.
+type HungError struct {
+	Key      string
+	Attempts int
+}
+
+func (e *HungError) Error() string {
+	return fmt.Sprintf("campaign: job %s hung (%d attempts cancelled by watchdog)", e.Key, e.Attempts)
+}
+
+// Stats counts campaign outcomes. A caller may share one Stats across
+// several Runner.Run calls (e.g. a figure per call) to total a whole
+// campaign. All fields are updated atomically.
+type Stats struct {
+	Completed int64 // jobs run to completion this campaign
+	Skipped   int64 // jobs satisfied from the resume journal
+	Retried   int64 // watchdog-triggered attempt retries
+	Hung      int64 // jobs abandoned after exhausting attempts
+}
+
+// The increment helpers are nil-safe so the Runner can run statless.
+func (s *Stats) addCompleted() {
+	if s != nil {
+		atomic.AddInt64(&s.Completed, 1)
+	}
+}
+
+func (s *Stats) addSkipped() {
+	if s != nil {
+		atomic.AddInt64(&s.Skipped, 1)
+	}
+}
+
+func (s *Stats) addRetried() {
+	if s != nil {
+		atomic.AddInt64(&s.Retried, 1)
+	}
+}
+
+func (s *Stats) addHung() {
+	if s != nil {
+		atomic.AddInt64(&s.Hung, 1)
+	}
+}
+
+// Snapshot returns a consistent copy for reporting.
+func (s *Stats) Snapshot() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Completed: atomic.LoadInt64(&s.Completed),
+		Skipped:   atomic.LoadInt64(&s.Skipped),
+		Retried:   atomic.LoadInt64(&s.Retried),
+		Hung:      atomic.LoadInt64(&s.Hung),
+	}
+}
+
+// Task pairs a Job with the code that runs it. Run receives a cancel
+// channel that the watchdog closes on timeout; the function must plumb it
+// into sim.Config.Cancel (or otherwise honor it) so a wedged run unwinds
+// its goroutines instead of leaking them. The returned value is journaled
+// as the job's result payload (marshaled to JSON; use Float for
+// quality-style values that may be NaN/Inf).
+//
+// Replay, when non-nil, is called instead of Run for jobs the resume
+// journal already holds, with the journaled payload — the figure
+// re-aggregates the stored result so a resumed campaign produces the same
+// output as an uninterrupted one.
+type Task struct {
+	Job    Job
+	Run    func(cancel <-chan struct{}) (any, error)
+	Replay func(result json.RawMessage) error
+}
+
+// Runner executes tasks on a bounded worker pool with journaling, resume,
+// watchdog cancellation and graceful interruption.
+type Runner struct {
+	// Parallel bounds concurrent jobs; values < 1 mean 1.
+	Parallel int
+	// JobTimeout arms the per-job watchdog: an attempt still running after
+	// this long is cancelled and retried. 0 disables the watchdog.
+	JobTimeout time.Duration
+	// Retries is how many extra attempts a timed-out job gets before being
+	// classified as hung (total attempts = Retries + 1).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per retry up
+	// to MaxBackoff. Defaults: 100ms and 5s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Grace bounds how long a cancelled attempt may take to unwind before
+	// its goroutine is abandoned (a leak, counted as a failed attempt
+	// rather than wedging the worker). Default 2s.
+	Grace time.Duration
+	// Journal, when non-nil, records completions and supplies resume
+	// skips.
+	Journal *Journal
+	// Progress, when non-nil, receives per-job and campaign counters
+	// (nil-safe, so Live() is optional).
+	Progress *obs.Progress
+	// Interrupt, when non-nil and closed, stops the campaign gracefully:
+	// no new jobs start, in-flight jobs drain and are journaled, Run
+	// returns ErrInterrupted.
+	Interrupt <-chan struct{}
+	// Stats, when non-nil, accumulates outcome counters across Run calls.
+	Stats *Stats
+}
+
+// Run executes the tasks. It returns nil when every task completed (or was
+// skipped via the journal); ErrInterrupted when stopped by Interrupt; the
+// first hard (non-timeout) task error, which also stops new jobs from
+// starting; or an errors.Join of HungErrors when jobs exhausted their
+// watchdog attempts (the rest of the campaign still ran).
+func (r *Runner) Run(tasks []Task) error {
+	workers := r.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		handled  atomic.Int64 // skipped + completed + hung
+		mu       sync.Mutex
+		hardErr  error
+		hung     []error
+		stopping atomic.Bool // hard error: stop claiming new jobs
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if hardErr == nil {
+			hardErr = err
+		}
+		mu.Unlock()
+		stopping.Store(true)
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopping.Load() || r.Interrupted() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := tasks[i]
+				key := t.Job.Key()
+
+				if r.Journal != nil {
+					if rec, ok := r.Journal.Done(key); ok {
+						if t.Replay != nil {
+							if err := t.Replay(rec.Result); err != nil {
+								fail(fmt.Errorf("campaign: replay %s: %w", key, err))
+								return
+							}
+						}
+						r.Stats.addSkipped()
+						r.Progress.JobSkipped()
+						r.Progress.JobDone()
+						handled.Add(1)
+						continue
+					}
+				}
+
+				result, attempts, err := r.runJob(t, key)
+				switch {
+				case err == nil:
+					if jerr := r.journal(t.Job, key, attempts, result); jerr != nil {
+						fail(jerr)
+						return
+					}
+					r.Stats.addCompleted()
+					r.Progress.JobDone()
+					handled.Add(1)
+				case errors.As(err, new(*HungError)):
+					// Hung jobs don't wedge the pool and don't stop the
+					// campaign: record and move on.
+					mu.Lock()
+					hung = append(hung, err)
+					mu.Unlock()
+					r.Stats.addHung()
+					r.Progress.JobHung()
+					r.Progress.JobDone()
+					handled.Add(1)
+				case errors.Is(err, ErrInterrupted):
+					return
+				default:
+					fail(fmt.Errorf("campaign: job %s: %w", key, err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if hardErr != nil {
+		return hardErr
+	}
+	if r.Interrupted() && handled.Load() < int64(len(tasks)) {
+		// The interrupt actually cut the campaign short (jobs remain
+		// unhandled). In-flight jobs finished draining above.
+		return ErrInterrupted
+	}
+	if len(hung) > 0 {
+		return errors.Join(hung...)
+	}
+	return nil
+}
+
+// Interrupted reports whether the runner's Interrupt channel has fired.
+// Multi-phase campaigns check it between phases so an interrupt during
+// figure N also stops figures N+1... from starting.
+func (r *Runner) Interrupted() bool {
+	select {
+	case <-r.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
+
+// journal marshals and appends one completion record.
+func (r *Runner) journal(job Job, key string, attempts int, result any) error {
+	if r.Journal == nil {
+		return nil
+	}
+	var payload json.RawMessage
+	if result != nil {
+		data, err := json.Marshal(result)
+		if err != nil {
+			return fmt.Errorf("campaign: marshal result of %s: %v", key, err)
+		}
+		payload = data
+	}
+	return r.Journal.Append(Record{Key: key, Job: job, Attempts: attempts, Result: payload})
+}
+
+// runJob runs one task under the watchdog-and-retry policy. It returns the
+// result and the number of attempts used; err is a *HungError once every
+// attempt timed out, ErrInterrupted if a backoff wait was interrupted, or
+// the task's own error (hard failure, not retried — a deterministic
+// simulation that failed once will fail again).
+func (r *Runner) runJob(t Task, key string) (any, int, error) {
+	attempts := r.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := r.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxBackoff := r.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
+	for attempt := 1; ; attempt++ {
+		result, timedOut, err := r.runOnce(t)
+		if err == nil {
+			return result, attempt, nil
+		}
+		if !timedOut {
+			return nil, attempt, err
+		}
+		if attempt >= attempts {
+			return nil, attempt, &HungError{Key: key, Attempts: attempt}
+		}
+		r.Stats.addRetried()
+		r.Progress.JobRetried()
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-r.Interrupt:
+			timer.Stop()
+			return nil, attempt, ErrInterrupted
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// runOnce executes a single attempt. With no watchdog armed it just runs
+// the task. With one armed, a timeout closes the attempt's cancel channel
+// and waits up to Grace for the task to unwind (the cancel signal reaches
+// the engine iteration loops and every blocked queue operation, so a
+// healthy simulation returns stream.ErrCancelled promptly). A task that
+// finishes successfully during the grace window is accepted — the work is
+// done, discarding it would only waste a retry. A task that ignores the
+// cancel beyond Grace has its goroutine abandoned; the attempt counts as
+// timed out.
+func (r *Runner) runOnce(t Task) (result any, timedOut bool, err error) {
+	cancel := make(chan struct{})
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := t.Run(cancel)
+		ch <- outcome{v, err}
+	}()
+
+	if r.JobTimeout <= 0 {
+		o := <-ch
+		return o.v, false, o.err
+	}
+	timer := time.NewTimer(r.JobTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.v, false, o.err
+	case <-timer.C:
+	}
+	close(cancel)
+	grace := r.Grace
+	if grace <= 0 {
+		grace = 2 * time.Second
+	}
+	gt := time.NewTimer(grace)
+	defer gt.Stop()
+	select {
+	case o := <-ch:
+		if o.err == nil {
+			return o.v, false, nil
+		}
+		return nil, true, o.err
+	case <-gt.C:
+		return nil, true, fmt.Errorf("campaign: attempt ignored cancel for %v, goroutine abandoned", grace)
+	}
+}

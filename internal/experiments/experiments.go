@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"commguard/internal/apps"
+	"commguard/internal/campaign"
 	"commguard/internal/metrics"
 	"commguard/internal/obs"
 	"commguard/internal/sim"
@@ -53,6 +55,18 @@ type Options struct {
 	// Progress, when non-nil, publishes live phase/job counters (the
 	// expvar registry behind -listen). Nil disables publishing.
 	Progress *obs.Progress
+	// Sequential runs every simulation in the bit-reproducible
+	// single-goroutine engine mode. Required for resume-equality: the
+	// concurrent engine's realignment activity depends on goroutine
+	// interleaving, so only sequential campaigns produce identical
+	// aggregates across a kill/-resume boundary.
+	Sequential bool
+	// Campaign, when non-nil, routes every keyed sweep job through the
+	// resilient campaign runner: completions are journaled (crash-safe
+	// resume), each job runs under the watchdog's timeout/retry policy,
+	// and a graceful interrupt drains in-flight jobs. Nil falls back to
+	// the plain worker pool.
+	Campaign *campaign.Runner
 
 	// refs is the shared reference/baseline cache. RunAll installs one
 	// before the first figure so error-free baselines are computed once
@@ -271,8 +285,10 @@ type QualitySeries struct {
 }
 
 // sweepQuality runs one benchmark across MTBEs x scales x seeds under
-// CommGuard protection and summarizes quality and loss per point.
-func sweepQuality(o Options, b apps.Builder, scales []int) (*QualitySeries, error) {
+// CommGuard protection and summarizes quality and loss per point. fig
+// labels the campaign jobs: Fig. 8 and Fig. 10 sweep overlapping
+// configurations, and the figure label keeps their journal keys distinct.
+func sweepQuality(o Options, fig string, b apps.Builder, scales []int) (*QualitySeries, error) {
 	rc := o.refCache()
 	ref, err := rc.get(b)
 	if err != nil {
@@ -295,6 +311,13 @@ func sweepQuality(o Options, b apps.Builder, scales []int) (*QualitySeries, erro
 		loss    float64
 		metric  string
 	}
+	// payload is the journaled form of one outcome (quality can be +Inf
+	// for bit-identical outputs, hence campaign.Float).
+	type payload struct {
+		Quality campaign.Float `json:"quality"`
+		Loss    campaign.Float `json:"loss"`
+		Metric  string         `json:"metric"`
+	}
 	var jobs []job
 	for _, scale := range scales {
 		for _, mtbe := range o.MTBEs {
@@ -304,25 +327,44 @@ func sweepQuality(o Options, b apps.Builder, scales []int) (*QualitySeries, erro
 		}
 	}
 	results := make([]outcome, len(jobs))
-	err = o.runJobs("sweep "+b.Name, len(jobs), func(i int) error {
-		j := jobs[i]
-		inst, err := b.New()
-		if err != nil {
-			return err
+	kjobs := make([]keyedJob, len(jobs))
+	for i := range jobs {
+		i, j := i, jobs[i]
+		kjobs[i] = keyedJob{
+			Job: campaign.Job{
+				Figure: fig, App: b.Name, Protection: sim.CommGuard.String(),
+				MTBE: j.mtbe, Seed: j.seed, FrameScale: j.scale,
+			},
+			Run: func(cancel <-chan struct{}) (any, error) {
+				inst, err := b.New()
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(inst, sim.Config{
+					Protection: sim.CommGuard,
+					MTBE:       j.mtbe,
+					Seed:       j.seed,
+					FrameScale: j.scale,
+					Sequential: o.Sequential,
+					Cancel:     cancel,
+				}, ref)
+				if err != nil {
+					return nil, err
+				}
+				results[i] = outcome{job: j, quality: res.Quality, loss: res.DataLossRatio(), metric: res.Metric}
+				return payload{Quality: campaign.Float(res.Quality), Loss: campaign.Float(res.DataLossRatio()), Metric: res.Metric}, nil
+			},
+			Replay: func(raw json.RawMessage) error {
+				var p payload
+				if err := json.Unmarshal(raw, &p); err != nil {
+					return err
+				}
+				results[i] = outcome{job: j, quality: float64(p.Quality), loss: float64(p.Loss), metric: p.Metric}
+				return nil
+			},
 		}
-		res, err := sim.Run(inst, sim.Config{
-			Protection: sim.CommGuard,
-			MTBE:       j.mtbe,
-			Seed:       j.seed,
-			FrameScale: j.scale,
-		}, ref)
-		if err != nil {
-			return err
-		}
-		results[i] = outcome{job: j, quality: res.Quality, loss: res.DataLossRatio(), metric: res.Metric}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := o.runKeyedJobs(fig+" sweep "+b.Name, kjobs); err != nil {
 		return nil, err
 	}
 

@@ -12,7 +12,7 @@ import (
 // the error-free lossy baseline (35.6 dB PSNR / 9.4 dB SNR there); larger
 // frames realign less often, trading overhead for per-event damage.
 func Figure10(o Options) ([]*QualitySeries, error) {
-	return qualityFigure(o, "Figure 10: jpeg PSNR and mp3 SNR vs MTBE and frame size (CommGuard)",
+	return qualityFigure(o, "fig10", "Figure 10: jpeg PSNR and mp3 SNR vs MTBE and frame size (CommGuard)",
 		[]string{"jpeg", "mp3"}, o.FrameScales)
 }
 
@@ -20,12 +20,12 @@ func Figure10(o Options) ([]*QualitySeries, error) {
 // error-prone runs against error-free runs (error-free SNR is infinity).
 // complex-fir also sweeps frame sizes (Fig. 11c).
 func Figure11(o Options) ([]*QualitySeries, error) {
-	out, err := qualityFigure(o, "Figure 11: SNR vs MTBE for the non-media benchmarks (CommGuard)",
+	out, err := qualityFigure(o, "fig11", "Figure 11: SNR vs MTBE for the non-media benchmarks (CommGuard)",
 		[]string{"audiobeamformer", "channelvocoder", "fft"}, []int{1})
 	if err != nil {
 		return nil, err
 	}
-	cf, err := qualityFigure(o, "Figure 11c: complex-fir SNR vs MTBE across frame sizes",
+	cf, err := qualityFigure(o, "fig11", "Figure 11c: complex-fir SNR vs MTBE across frame sizes",
 		[]string{"complex-fir"}, o.FrameScales)
 	if err != nil {
 		return nil, err
@@ -33,7 +33,7 @@ func Figure11(o Options) ([]*QualitySeries, error) {
 	return append(out, cf...), nil
 }
 
-func qualityFigure(o Options, title string, names []string, scales []int) ([]*QualitySeries, error) {
+func qualityFigure(o Options, fig, title string, names []string, scales []int) ([]*QualitySeries, error) {
 	w := o.out()
 	fmt.Fprintln(w, title)
 	var all []*QualitySeries
@@ -42,7 +42,7 @@ func qualityFigure(o Options, title string, names []string, scales []int) ([]*Qu
 		if err != nil {
 			return nil, err
 		}
-		series, err := sweepQuality(o, b, scales)
+		series, err := sweepQuality(o, fig, b, scales)
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 
+	"commguard/internal/campaign"
 	"commguard/internal/metrics"
 	"commguard/internal/sim"
 )
@@ -27,30 +29,41 @@ func Figure12(o Options) ([]Fig12Row, error) {
 	fmt.Fprintf(w, "%-16s %10s %10s\n", "benchmark", "loads", "stores")
 	builders := o.builders()
 	rows := make([]Fig12Row, len(builders))
-	err := o.runJobs("Figure 12", len(builders), func(i int) error {
-		b := builders[i]
-		inst, err := b.New()
-		if err != nil {
-			return err
+	kjobs := make([]keyedJob, len(builders))
+	for i := range builders {
+		i, b := i, builders[i]
+		kjobs[i] = keyedJob{
+			Job: campaign.Job{Figure: "fig12", App: b.Name, Protection: sim.CommGuard.String()},
+			Run: func(cancel <-chan struct{}) (any, error) {
+				inst, err := b.New()
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(inst, sim.Config{
+					Protection: sim.CommGuard, Sequential: o.Sequential, Cancel: cancel,
+				}, nil)
+				if err != nil {
+					return nil, err
+				}
+				var coreLoads, coreStores uint64
+				for _, c := range res.Run.Cores {
+					coreLoads += c.Loads
+					coreStores += c.Stores
+				}
+				qt := res.Run.QueueTotals()
+				rows[i] = Fig12Row{
+					App:        b.Name,
+					LoadRatio:  ratio(qt.HeaderLoads, coreLoads+qt.HeaderLoads),
+					StoreRatio: ratio(qt.HeaderStores, coreStores+qt.HeaderStores),
+				}
+				return rows[i], nil
+			},
+			Replay: func(raw json.RawMessage) error {
+				return json.Unmarshal(raw, &rows[i])
+			},
 		}
-		res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard}, nil)
-		if err != nil {
-			return err
-		}
-		var coreLoads, coreStores uint64
-		for _, c := range res.Run.Cores {
-			coreLoads += c.Loads
-			coreStores += c.Stores
-		}
-		qt := res.Run.QueueTotals()
-		rows[i] = Fig12Row{
-			App:        b.Name,
-			LoadRatio:  ratio(qt.HeaderLoads, coreLoads+qt.HeaderLoads),
-			StoreRatio: ratio(qt.HeaderStores, coreStores+qt.HeaderStores),
-		}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := o.runKeyedJobs("Figure 12", kjobs); err != nil {
 		return nil, err
 	}
 	var loadRs, storeRs []float64
@@ -93,30 +106,41 @@ func Figure14(o Options) ([]Fig14Row, error) {
 	fmt.Fprintf(w, "%-16s %12s %8s %12s %8s\n", "benchmark", "FSM/counter", "ECC", "header-bit", "total")
 	builders := o.builders()
 	rows := make([]Fig14Row, len(builders))
-	err := o.runJobs("Figure 14", len(builders), func(i int) error {
-		b := builders[i]
-		inst, err := b.New()
-		if err != nil {
-			return err
+	kjobs := make([]keyedJob, len(builders))
+	for i := range builders {
+		i, b := i, builders[i]
+		kjobs[i] = keyedJob{
+			Job: campaign.Job{Figure: "fig14", App: b.Name, Protection: sim.CommGuard.String()},
+			Run: func(cancel <-chan struct{}) (any, error) {
+				inst, err := b.New()
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(inst, sim.Config{
+					Protection: sim.CommGuard, Sequential: o.Sequential, Cancel: cancel,
+				}, nil)
+				if err != nil {
+					return nil, err
+				}
+				instr := res.Run.TotalInstructions()
+				qt := res.Run.QueueTotals()
+				ops := res.Guard.Ops
+				row := Fig14Row{
+					App:        b.Name,
+					FSMCounter: ratio(ops.FSMCounter, instr),
+					ECC:        ratio(ops.ECC+qt.PointerECCOps, instr),
+					HeaderBit:  ratio(ops.HeaderBit, instr),
+				}
+				row.Total = row.FSMCounter + row.ECC + row.HeaderBit
+				rows[i] = row
+				return row, nil
+			},
+			Replay: func(raw json.RawMessage) error {
+				return json.Unmarshal(raw, &rows[i])
+			},
 		}
-		res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard}, nil)
-		if err != nil {
-			return err
-		}
-		instr := res.Run.TotalInstructions()
-		qt := res.Run.QueueTotals()
-		ops := res.Guard.Ops
-		row := Fig14Row{
-			App:        b.Name,
-			FSMCounter: ratio(ops.FSMCounter, instr),
-			ECC:        ratio(ops.ECC+qt.PointerECCOps, instr),
-			HeaderBit:  ratio(ops.HeaderBit, instr),
-		}
-		row.Total = row.FSMCounter + row.ECC + row.HeaderBit
-		rows[i] = row
-		return nil
-	})
-	if err != nil {
+	}
+	if err := o.runKeyedJobs("Figure 14", kjobs); err != nil {
 		return nil, err
 	}
 	var totals []float64

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 
+	"commguard/internal/campaign"
 	"commguard/internal/sim"
 )
 
@@ -53,25 +55,49 @@ func Figure3(o Options) ([]Fig3Row, error) {
 		quality  float64
 		complete bool
 	}
+	type payload struct {
+		Quality  campaign.Float `json:"quality"`
+		Complete bool           `json:"complete"`
+	}
 	results := make([]outcome, len(jobs))
-	err = o.runJobs("Figure 3", len(jobs), func(i int) error {
-		j := jobs[i]
-		inst, err := b.New()
-		if err != nil {
-			return err
+	kjobs := make([]keyedJob, len(jobs))
+	for i := range jobs {
+		i, j := i, jobs[i]
+		kjobs[i] = keyedJob{
+			Job: campaign.Job{
+				Figure: "fig3", App: b.Name, Protection: configs[j.cfg].String(),
+				MTBE: mtbe, Seed: j.seed,
+			},
+			Run: func(cancel <-chan struct{}) (any, error) {
+				inst, err := b.New()
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(inst, sim.Config{
+					Protection: configs[j.cfg], MTBE: mtbe, Seed: j.seed,
+					Sequential: o.Sequential, Cancel: cancel,
+				}, ref)
+				if err != nil {
+					return nil, err
+				}
+				q := res.Quality
+				if q > 99 { // error-free identical decode: clamp for averaging
+					q = 99
+				}
+				results[i] = outcome{quality: q, complete: len(res.Output) == len(ref)}
+				return payload{Quality: campaign.Float(q), Complete: results[i].complete}, nil
+			},
+			Replay: func(raw json.RawMessage) error {
+				var p payload
+				if err := json.Unmarshal(raw, &p); err != nil {
+					return err
+				}
+				results[i] = outcome{quality: float64(p.Quality), complete: p.Complete}
+				return nil
+			},
 		}
-		res, err := sim.Run(inst, sim.Config{Protection: configs[j.cfg], MTBE: mtbe, Seed: j.seed}, ref)
-		if err != nil {
-			return err
-		}
-		q := res.Quality
-		if q > 99 { // error-free identical decode: clamp for averaging
-			q = 99
-		}
-		results[i] = outcome{quality: q, complete: len(res.Output) == len(ref)}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := o.runKeyedJobs("Figure 3", kjobs); err != nil {
 		return nil, err
 	}
 

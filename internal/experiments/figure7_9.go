@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
 
+	"commguard/internal/campaign"
 	"commguard/internal/sim"
 )
 
@@ -36,7 +38,7 @@ func Figure7(o Options) (*Fig7Result, error) {
 		return nil, err
 	}
 	const mtbe = 512e3
-	cfg := sim.Config{Protection: sim.CommGuard, MTBE: mtbe, Seed: 2015}
+	cfg := sim.Config{Protection: sim.CommGuard, MTBE: mtbe, Seed: 2015, Sequential: o.Sequential}
 	if o.TracePath != "" {
 		cfg.TraceEvents = -1
 	}
@@ -97,20 +99,44 @@ func Figure9(o Options) ([]Fig9Point, error) {
 		return nil, err
 	}
 	mtbes := []float64{128e3, 512e3, 2048e3, 8192e3}
+	type payload struct {
+		PSNR campaign.Float `json:"psnr"`
+	}
 	points := make([]Fig9Point, len(mtbes))
-	err = o.runJobs("Figure 9", len(mtbes), func(i int) error {
-		inst, err := b.New()
-		if err != nil {
-			return err
+	kjobs := make([]keyedJob, len(mtbes))
+	for i := range mtbes {
+		i := i
+		kjobs[i] = keyedJob{
+			Job: campaign.Job{
+				Figure: "fig9", App: b.Name, Protection: sim.CommGuard.String(),
+				MTBE: mtbes[i], Seed: 99,
+			},
+			Run: func(cancel <-chan struct{}) (any, error) {
+				inst, err := b.New()
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(inst, sim.Config{
+					Protection: sim.CommGuard, MTBE: mtbes[i], Seed: 99,
+					Sequential: o.Sequential, Cancel: cancel,
+				}, ref)
+				if err != nil {
+					return nil, err
+				}
+				points[i] = Fig9Point{MTBE: mtbes[i], PSNR: res.Quality}
+				return payload{PSNR: campaign.Float(res.Quality)}, nil
+			},
+			Replay: func(raw json.RawMessage) error {
+				var p payload
+				if err := json.Unmarshal(raw, &p); err != nil {
+					return err
+				}
+				points[i] = Fig9Point{MTBE: mtbes[i], PSNR: float64(p.PSNR)}
+				return nil
+			},
 		}
-		res, err := sim.Run(inst, sim.Config{Protection: sim.CommGuard, MTBE: mtbes[i], Seed: 99}, ref)
-		if err != nil {
-			return err
-		}
-		points[i] = Fig9Point{MTBE: mtbes[i], PSNR: res.Quality}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := o.runKeyedJobs("Figure 9", kjobs); err != nil {
 		return nil, err
 	}
 	w := o.out()

@@ -22,7 +22,7 @@ func Figure8(o Options) ([]*QualitySeries, error) {
 
 	var all []*QualitySeries
 	for _, b := range o.builders() {
-		series, err := sweepQuality(o, b, []int{1})
+		series, err := sweepQuality(o, "fig8", b, []int{1})
 		if err != nil {
 			return nil, err
 		}

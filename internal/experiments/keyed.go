@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"commguard/internal/campaign"
+)
+
+// keyedJob is one sweep job with a campaign identity: the figures build
+// these so the same job list can run on the plain pool (no Campaign
+// configured) or through the resilient runner (journal, resume, watchdog).
+//
+// Run executes the simulation and returns the figure's result payload for
+// journaling; it must also record the outcome into the figure's own result
+// slot, because the payload round-trips through JSON only on resume.
+// Replay re-records the outcome from a journaled payload without running
+// anything — together they guarantee a resumed campaign aggregates exactly
+// what an uninterrupted one would.
+type keyedJob struct {
+	Job    campaign.Job
+	Run    func(cancel <-chan struct{}) (any, error)
+	Replay func(raw json.RawMessage) error
+}
+
+// runKeyedJobs schedules a named phase of keyed jobs. Without a Campaign
+// it degrades to the plain shared worker pool (journaling and watchdog
+// off, identical to the pre-campaign behavior). With one, the campaign
+// runner owns scheduling: its journal supplies resume skips, its watchdog
+// cancels wedged jobs, and its interrupt drains the phase early.
+func (o Options) runKeyedJobs(phase string, jobs []keyedJob) error {
+	o.Progress.StartPhase(phase, len(jobs))
+	count := func() {
+		if o.jobsDone != nil {
+			o.jobsDone.Add(1)
+		}
+	}
+	if o.Campaign == nil {
+		return runJobs(o.parallel(), len(jobs), func(i int) error {
+			_, err := jobs[i].Run(nil)
+			o.Progress.JobDone()
+			count()
+			return err
+		})
+	}
+	tasks := make([]campaign.Task, len(jobs))
+	for i := range jobs {
+		kj := jobs[i]
+		tasks[i] = campaign.Task{
+			Job: kj.Job,
+			Run: func(cancel <-chan struct{}) (any, error) {
+				v, err := kj.Run(cancel)
+				if err == nil {
+					count()
+				}
+				return v, err
+			},
+		}
+		if kj.Replay != nil {
+			tasks[i].Replay = func(raw json.RawMessage) error {
+				err := kj.Replay(raw)
+				if err == nil {
+					count()
+				}
+				return err
+			}
+		}
+	}
+	return o.Campaign.Run(tasks)
+}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"sync/atomic"
 	"time"
+
+	"commguard/internal/campaign"
 )
 
 // AllResults bundles every regenerated figure.
@@ -34,6 +36,11 @@ func RunAll(o Options) (*AllResults, error) {
 	all := &AllResults{}
 	w := o.out()
 	step := func(name string, f func() error) error {
+		if o.Campaign != nil && o.Campaign.Interrupted() {
+			// An interrupt during the previous figure already drained its
+			// in-flight jobs; don't start the next one.
+			return campaign.ErrInterrupted
+		}
 		fmt.Fprintf(w, "\n=== %s ===\n", name)
 		if !o.Verbose {
 			return f()

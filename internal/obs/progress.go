@@ -19,6 +19,11 @@ type Progress struct {
 	phase *expvar.String
 	done  *expvar.Int
 	total *expvar.Int
+	// Campaign-lifetime counters (not reset by StartPhase): watchdog
+	// retries, jobs classified as hung, and journal-resume skips.
+	retried *expvar.Int
+	hung    *expvar.Int
+	skipped *expvar.Int
 }
 
 var (
@@ -32,14 +37,20 @@ var (
 func Live() *Progress {
 	liveOnce.Do(func() {
 		p := &Progress{
-			vars:  expvar.NewMap("commguard"),
-			phase: new(expvar.String),
-			done:  new(expvar.Int),
-			total: new(expvar.Int),
+			vars:    expvar.NewMap("commguard"),
+			phase:   new(expvar.String),
+			done:    new(expvar.Int),
+			total:   new(expvar.Int),
+			retried: new(expvar.Int),
+			hung:    new(expvar.Int),
+			skipped: new(expvar.Int),
 		}
 		p.vars.Set("phase", p.phase)
 		p.vars.Set("jobs_done", p.done)
 		p.vars.Set("jobs_total", p.total)
+		p.vars.Set("jobs_retried", p.retried)
+		p.vars.Set("jobs_hung", p.hung)
+		p.vars.Set("jobs_skipped", p.skipped)
 		live = p
 	})
 	return live
@@ -64,6 +75,40 @@ func (p *Progress) JobDone() {
 		return
 	}
 	p.done.Add(1)
+}
+
+// JobRetried counts one watchdog-triggered retry of a job attempt.
+func (p *Progress) JobRetried() {
+	if p == nil {
+		return
+	}
+	p.retried.Add(1)
+}
+
+// JobHung counts a job abandoned as hung after exhausting its retries.
+func (p *Progress) JobHung() {
+	if p == nil {
+		return
+	}
+	p.hung.Add(1)
+}
+
+// JobSkipped counts a job skipped because the resume journal already holds
+// its result.
+func (p *Progress) JobSkipped() {
+	if p == nil {
+		return
+	}
+	p.skipped.Add(1)
+}
+
+// CampaignCounts returns the campaign-lifetime (retried, hung, skipped)
+// counters. Unlike Counts these survive StartPhase resets.
+func (p *Progress) CampaignCounts() (retried, hung, skipped int64) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	return p.retried.Value(), p.hung.Value(), p.skipped.Value()
 }
 
 // Counts returns the current phase's (done, total) job counters.

@@ -26,8 +26,16 @@ type Config struct {
 	// Timeout bounds blocking push/pop operations, as required by §5.1:
 	// "the QM needs timeout mechanisms to avoid indefinite blocking. A
 	// timeout may cause incorrect data to be transmitted". Zero means
-	// block indefinitely.
+	// block indefinitely; negative values are rejected by Validate.
 	Timeout time.Duration
+	// Cancel, when non-nil, tears the queue down when closed: blocked
+	// pushes and pops — including ones blocking indefinitely inside the
+	// §5.1 wait loops — return immediately (pops fail, pushes proceed as
+	// on timeout). It exists so a run-level watchdog can cancel a wedged
+	// simulation without leaking the goroutines parked on its queues.
+	// Excluded from serialization: a channel identity is per-process and
+	// must not perturb config hashes (obs.ConfigHash).
+	Cancel <-chan struct{} `json:"-"`
 }
 
 // DefaultConfig mirrors the paper's queue structure with geometry scaled to
@@ -49,6 +57,9 @@ func (c Config) Validate() error {
 	}
 	if c.WorkingSetUnits < 1 {
 		return fmt.Errorf("queue: working set must hold at least 1 unit, got %d", c.WorkingSetUnits)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("queue: negative timeout %v (use 0 to block indefinitely)", c.Timeout)
 	}
 	return nil
 }
@@ -360,7 +371,10 @@ func signal(ch chan struct{}) {
 // side's waiter.
 func (q *Queue) waitProducer(d time.Duration) {
 	if d <= 0 {
-		<-q.notFull
+		select {
+		case <-q.notFull:
+		case <-q.cfg.Cancel:
+		}
 		return
 	}
 	t := q.prodTimer
@@ -375,6 +389,10 @@ func (q *Queue) waitProducer(d time.Duration) {
 		if !t.Stop() {
 			<-t.C
 		}
+	case <-q.cfg.Cancel:
+		if !t.Stop() {
+			<-t.C
+		}
 	case <-t.C:
 	}
 }
@@ -382,7 +400,10 @@ func (q *Queue) waitProducer(d time.Duration) {
 // waitConsumer is waitProducer for the consumer side.
 func (q *Queue) waitConsumer(d time.Duration) {
 	if d <= 0 {
-		<-q.notEmpty
+		select {
+		case <-q.notEmpty:
+		case <-q.cfg.Cancel:
+		}
 		return
 	}
 	t := q.consTimer
@@ -397,7 +418,23 @@ func (q *Queue) waitConsumer(d time.Duration) {
 		if !t.Stop() {
 			<-t.C
 		}
+	case <-q.cfg.Cancel:
+		if !t.Stop() {
+			<-t.C
+		}
 	case <-t.C:
+	}
+}
+
+// cancelled reports whether the queue's teardown signal has fired. A nil
+// Cancel channel never fires (the default: §5.1 timeouts alone bound
+// blocking).
+func (q *Queue) cancelled() bool {
+	select {
+	case <-q.cfg.Cancel:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -447,6 +484,12 @@ func (q *Queue) acquireFillSlot() {
 		deadline = time.Now().Add(wait)
 	}
 	for {
+		if q.cancelled() {
+			// Teardown: proceed like a timeout (the run is being abandoned;
+			// overwriting undrained data is harmless) so the producer never
+			// parks again.
+			return
+		}
 		if q.cfg.Timeout > 0 {
 			now := time.Now()
 			if !now.Before(deadline) {
@@ -576,6 +619,11 @@ func (q *Queue) acquireDrainSlot() bool {
 	}
 	for {
 		if q.closed.Load() {
+			return false
+		}
+		if q.cancelled() {
+			// Teardown: fail the pop like a timeout so the consumer (AM or
+			// bare thread) substitutes and unwinds instead of blocking.
 			return false
 		}
 		if q.cfg.Timeout > 0 {

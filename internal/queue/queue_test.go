@@ -354,3 +354,99 @@ func BenchmarkPushPop(b *testing.B) {
 	q.Flush()
 	q.Close()
 }
+
+func TestValidateRejectsNegativeTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.Timeout = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted a negative timeout")
+	}
+	if _, err := New(1, cfg); err == nil {
+		t.Error("New accepted a negative timeout")
+	}
+}
+
+// TestCancelWakesIndefinitelyBlockedPop is the §5.1 teardown guarantee: a
+// consumer parked forever (Timeout 0) on an empty queue must unwind when
+// the cancel signal fires, returning ok=false like a timed-out pop.
+func TestCancelWakesIndefinitelyBlockedPop(t *testing.T) {
+	cancel := make(chan struct{})
+	cfg := testConfig()
+	cfg.Timeout = 0 // block indefinitely
+	cfg.Cancel = cancel
+	q := MustNew(1, cfg)
+
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	select {
+	case <-done:
+		t.Fatal("pop returned before cancellation")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(cancel)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("cancelled pop reported ok=true")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel did not wake the blocked pop")
+	}
+}
+
+// TestCancelWakesIndefinitelyBlockedPush: the producer twin — a full ring
+// with an absent consumer must not park the producer forever once the run
+// is cancelled.
+func TestCancelWakesIndefinitelyBlockedPush(t *testing.T) {
+	cancel := make(chan struct{})
+	cfg := testConfig()
+	cfg.Timeout = 0
+	cfg.Cancel = cancel
+	q := MustNew(1, cfg)
+
+	// Fill every working set; the next push must wait for a drain.
+	for i := 0; i < q.Capacity(); i++ {
+		q.Push(DataUnit(uint32(i)))
+	}
+	done := make(chan struct{})
+	go func() {
+		q.Push(DataUnit(0xBEEF))
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("push on a full queue returned before cancellation")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(cancel)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel did not wake the blocked push")
+	}
+}
+
+// TestCancelledQueueFailsFast: after cancellation, blocking operations do
+// not park at all — pops fail and pushes proceed immediately.
+func TestCancelledQueueFailsFast(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	cfg := testConfig()
+	cfg.Timeout = 0
+	cfg.Cancel = cancel
+	q := MustNew(1, cfg)
+
+	start := time.Now()
+	if _, ok := q.Pop(); ok {
+		t.Error("pop on an empty cancelled queue reported ok=true")
+	}
+	for i := 0; i < 2*q.Capacity(); i++ { // wraps past full without blocking
+		q.Push(DataUnit(uint32(i)))
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled operations took %v, want fail-fast", elapsed)
+	}
+}

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -93,6 +94,13 @@ type Config struct {
 	// concurrent engine's realignment details depend on goroutine
 	// interleaving). Queues are sized up automatically to hold one frame.
 	Sequential bool
+	// Cancel, when non-nil, aborts the run when closed: the signal reaches
+	// both the engine's iteration loops and every queue's blocking
+	// push/pop waits, so a wedged run (e.g. a starved SoftwareQueue
+	// consumer) unwinds all its goroutines promptly instead of leaking
+	// them. The run returns stream.ErrCancelled. Excluded from
+	// serialization so obs.ConfigHash stays process-independent.
+	Cancel <-chan struct{} `json:"-"`
 }
 
 // Result is the outcome of one run.
@@ -162,11 +170,22 @@ func critFractionFor(fracs map[string]float64, n *stream.Node) (float64, bool) {
 	return f, ok
 }
 
-// queueConfig picks the queue geometry for a protection level.
+// queueConfig picks the queue geometry for a protection level. The §5.1
+// blocking bound is defaulted whenever the caller left Timeout at zero —
+// including callers that override only the geometry — so no run silently
+// gets an unbounded blocking pop. An explicitly negative Timeout requests
+// indefinite blocking (mapped to queue.Config's 0, which Validate would
+// otherwise reject as a likely mistake).
 func (c Config) queueConfig() queue.Config {
 	q := c.Queue
 	if q.WorkingSets == 0 {
 		q = queue.DefaultConfig()
+		q.Timeout = c.Queue.Timeout
+	}
+	switch {
+	case q.Timeout < 0:
+		q.Timeout = 0 // deliberate indefinite blocking
+	case q.Timeout == 0:
 		// Blocking bounds: generous when error-free (blocking is real
 		// back-pressure), tight when errors can starve a consumer.
 		if c.Protection == ErrorFree || c.MTBE <= 0 {
@@ -176,14 +195,14 @@ func (c Config) queueConfig() queue.Config {
 		}
 	}
 	q.ProtectPointers = c.Protection != SoftwareQueue
+	q.Cancel = c.Cancel
 	return q
 }
 
 // Run executes one benchmark instance under the configuration. The
 // instance must be freshly built (single use). For benchmarks without a
 // built-in reference, reference may carry the error-free output to score
-// against; pass nil to skip quality evaluation (Quality = NaN handled by
-// caller).
+// against; pass nil to skip quality evaluation (Quality is then NaN).
 func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) {
 	if cfg.FrameScale < 1 {
 		cfg.FrameScale = 1
@@ -223,6 +242,7 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 	engCfg := stream.EngineConfig{
 		Transport:  transport,
 		FrameScale: cfg.FrameScale,
+		Cancel:     cfg.Cancel,
 	}
 	var tracer *obs.Tracer
 	if cfg.TraceEvents != 0 {
@@ -302,9 +322,12 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 		MTBE:       cfg.MTBE,
 		Seed:       cfg.Seed,
 		FrameScale: cfg.FrameScale,
-		Metric:     inst.Metric,
-		Output:     inst.Output(),
-		Run:        runStats,
+		// No reference, no score: NaN (as documented), not a spurious
+		// "real" 0 dB that aggregation would average in.
+		Quality: math.NaN(),
+		Metric:  inst.Metric,
+		Output:  inst.Output(),
+		Run:     runStats,
 	}
 	res.Errors = traced
 	if guard != nil {
@@ -334,10 +357,29 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 	return res, nil
 }
 
+// referenceConfig derives the configuration of the error-free reference
+// run from a measured run's configuration: injection is disabled, but
+// every knob that shapes execution — frame scale, engine mode, queue
+// geometry, fault-model overrides — carries over, so the reference
+// executes under the same engine and queue geometry as the run it scores.
+// The cancel signal carries over too: cancelling a job cancels its
+// baseline.
+func referenceConfig(cfg Config) Config {
+	return Config{
+		Protection: ErrorFree,
+		FrameScale: cfg.FrameScale,
+		Sequential: cfg.Sequential,
+		Queue:      cfg.Queue,
+		Model:      cfg.Model,
+		Cancel:     cfg.Cancel,
+	}
+}
+
 // RunBenchmark builds a fresh instance of the named benchmark and runs it.
 // For self-referenced benchmarks it first performs an error-free run to
 // obtain the reference output (the paper's methodology for the four
-// non-media benchmarks).
+// non-media benchmarks), under the same engine mode and queue geometry as
+// the measured run.
 func RunBenchmark(b apps.Builder, cfg Config) (*Result, error) {
 	inst, err := b.New()
 	if err != nil {
@@ -349,7 +391,7 @@ func RunBenchmark(b apps.Builder, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		refRes, err := Run(refInst, Config{Protection: ErrorFree, FrameScale: cfg.FrameScale}, nil)
+		refRes, err := Run(refInst, referenceConfig(cfg), nil)
 		if err != nil {
 			return nil, err
 		}

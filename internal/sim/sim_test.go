@@ -3,9 +3,11 @@ package sim
 import (
 	"math"
 	"testing"
+	"time"
 
 	"commguard/internal/apps"
 	"commguard/internal/fault"
+	"commguard/internal/queue"
 	"commguard/internal/stream"
 )
 
@@ -318,5 +320,92 @@ func TestSequentialMatchesConcurrentErrorFree(t *testing.T) {
 		if seqRes.Output[i] != conRes.Output[i] {
 			t.Fatalf("modes differ at %d", i)
 		}
+	}
+}
+
+func TestRunQualityNaNWithoutReference(t *testing.T) {
+	// complex-fir has no built-in reference; calling Run directly with a
+	// nil reference must report Quality = NaN, not a misleading 0 dB.
+	inst, err := smallComplexFIR().New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(inst, Config{Protection: ErrorFree}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.Quality) {
+		t.Errorf("Quality = %v without a reference, want NaN", res.Quality)
+	}
+}
+
+func TestReferenceConfigPropagates(t *testing.T) {
+	cancel := make(chan struct{})
+	cfg := Config{
+		Protection: CommGuard,
+		MTBE:       512_000,
+		Seed:       7,
+		FrameScale: 4,
+		Sequential: true,
+		Queue:      queue.Config{WorkingSets: 8, WorkingSetUnits: 16, Timeout: 250 * time.Millisecond},
+		Model:      &fault.Model{},
+		Cancel:     cancel,
+	}
+	ref := referenceConfig(cfg)
+	if ref.Protection != ErrorFree {
+		t.Errorf("reference Protection = %v, want ErrorFree", ref.Protection)
+	}
+	if ref.MTBE != 0 || ref.Seed != 0 {
+		t.Errorf("reference must not inherit fault injection: MTBE=%v Seed=%v", ref.MTBE, ref.Seed)
+	}
+	if ref.FrameScale != cfg.FrameScale {
+		t.Errorf("FrameScale = %d, want %d", ref.FrameScale, cfg.FrameScale)
+	}
+	if !ref.Sequential {
+		t.Error("Sequential not propagated to the reference run")
+	}
+	if ref.Queue != cfg.Queue {
+		t.Errorf("Queue geometry = %+v, want %+v", ref.Queue, cfg.Queue)
+	}
+	if ref.Model != cfg.Model {
+		t.Error("Model not propagated to the reference run")
+	}
+	if ref.Cancel == nil {
+		t.Error("Cancel not propagated to the reference run")
+	}
+}
+
+func TestQueueConfigDefaultsTimeoutWithCustomGeometry(t *testing.T) {
+	// A caller overriding only the geometry must still get the §5.1
+	// blocking bound, never a silently unbounded pop.
+	custom := queue.Config{WorkingSets: 8, WorkingSetUnits: 16}
+
+	got := Config{Protection: ErrorFree, Queue: custom}.queueConfig()
+	if got.Timeout != 5*time.Second {
+		t.Errorf("error-free custom-geometry Timeout = %v, want 5s", got.Timeout)
+	}
+	got = Config{Protection: SoftwareQueue, MTBE: 1e6, Queue: custom}.queueConfig()
+	if got.Timeout != 100*time.Millisecond {
+		t.Errorf("error-prone custom-geometry Timeout = %v, want 100ms", got.Timeout)
+	}
+	// Explicit values pass through untouched.
+	custom.Timeout = 42 * time.Millisecond
+	got = Config{Protection: SoftwareQueue, MTBE: 1e6, Queue: custom}.queueConfig()
+	if got.Timeout != 42*time.Millisecond {
+		t.Errorf("explicit Timeout = %v, want 42ms", got.Timeout)
+	}
+	// Negative means deliberate indefinite blocking: mapped to the queue
+	// layer's 0 (which queue.Config.Validate rejects if set directly).
+	custom.Timeout = -1
+	got = Config{Protection: ErrorFree, Queue: custom}.queueConfig()
+	if got.Timeout != 0 {
+		t.Errorf("negative Timeout mapped to %v, want 0", got.Timeout)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("mapped config should validate, got %v", err)
+	}
+	// Geometry is preserved when only the timeout was defaulted.
+	if got.WorkingSets != 8 || got.WorkingSetUnits != 16 {
+		t.Errorf("custom geometry not preserved: %+v", got)
 	}
 }

@@ -34,6 +34,14 @@ type EngineConfig struct {
 	// Core IDs equal node IDs; ring i belongs exclusively to node i's
 	// goroutine.
 	Tracer *obs.Tracer
+	// Cancel, when non-nil, aborts the run when closed: node goroutines
+	// stop at the next iteration boundary and the run returns ErrCancelled.
+	// To also unwind goroutines blocked inside queue push/pop wait loops,
+	// pass the same channel as the transport's queue.Config.Cancel (sim
+	// does this automatically). Excluded from serialization so config
+	// hashes stay process-independent.
+	//repolint:ignore RL001 teardown signal from the campaign watchdog, not inter-node data
+	Cancel <-chan struct{} `json:"-"`
 }
 
 // ErrorEvent describes one applied error manifestation for tracing.
@@ -217,6 +225,7 @@ func (e *Engine) execute(sequential bool) (*RunStats, error) {
 		}
 		th := newThread(n, cores[n.ID], e.sched.Multiplicity[n.ID], inj)
 		th.onError = e.cfg.OnError
+		th.cancel = e.cfg.Cancel
 		for i, edge := range n.In {
 			sh := &inShim{port: ins[edge.ID], rate: edge.PopRate()}
 			if bp, ok := ins[edge.ID].(BatchInPort); ok {
@@ -262,7 +271,7 @@ func (e *Engine) execute(sequential bool) (*RunStats, error) {
 		for _, n := range order {
 			ctxs[n.ID] = threads[n.ID].begin()
 		}
-		for it := 0; it < iterations; it++ {
+		for it := 0; it < iterations && !e.cancelled(); it++ {
 			for _, n := range order {
 				threads[n.ID].runIteration(ctxs[n.ID])
 				// Hand the frame off: publish partially filled working
@@ -291,6 +300,13 @@ func (e *Engine) execute(sequential bool) (*RunStats, error) {
 	}
 	elapsed := time.Since(start)
 
+	if e.cancelled() {
+		// Every node goroutine has exited (wg.Wait above / the sequential
+		// loop broke); partial statistics would be misleading, so none are
+		// returned.
+		return nil, ErrCancelled
+	}
+
 	stats := &RunStats{
 		Iterations: iterations,
 		Elapsed:    elapsed,
@@ -312,6 +328,19 @@ func (e *Engine) execute(sequential bool) (*RunStats, error) {
 		}
 	}
 	return stats, nil
+}
+
+// cancelled reports whether the run's cancel signal has fired (nil Cancel
+// never fires).
+func (e *Engine) cancelled() bool {
+	//repolint:ignore RL001 non-blocking teardown poll, not inter-node data
+	select {
+	//repolint:ignore RL001 non-blocking teardown poll, not inter-node data
+	case <-e.cfg.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // topoOrder returns the nodes in a producer-before-consumer order (the
@@ -354,6 +383,8 @@ type thread struct {
 	stats     CoreStats
 	onError   func(ErrorEvent)
 	trace     *obs.Ring
+	//repolint:ignore RL001 teardown signal from the campaign watchdog, not inter-node data
+	cancel <-chan struct{}
 }
 
 func newThread(n *Node, core *ppu.Core, mult int, inj *fault.Injector) *thread {
@@ -407,10 +438,23 @@ func (t *thread) finish() {
 
 func (t *thread) run(iterations int) {
 	ctx := t.begin()
-	for it := 0; it < iterations; it++ {
+	for it := 0; it < iterations && !t.cancelled(); it++ {
 		t.runIteration(ctx)
 	}
+	// finish runs even on cancellation: End() flushes and closes the output
+	// queues, which wakes downstream consumers and cascades the teardown.
 	t.finish()
+}
+
+func (t *thread) cancelled() bool {
+	//repolint:ignore RL001 non-blocking teardown poll, not inter-node data
+	select {
+	//repolint:ignore RL001 non-blocking teardown poll, not inter-node data
+	case <-t.cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // fireWithFaults advances the error injector across this firing's

@@ -1,9 +1,16 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 )
+
+// ErrCancelled reports an engine run torn down through EngineConfig.Cancel
+// before completing its iterations: node goroutines were unwound (blocked
+// queue operations included) and partial statistics were discarded. Match
+// with errors.Is.
+var ErrCancelled = errors.New("stream: run cancelled")
 
 // Typed errors for graph validation and schedule solving. Static analyzers
 // (internal/check) match them with errors.As instead of parsing messages;
