@@ -1,0 +1,147 @@
+package main
+
+// CLI contract tests: every static-analysis command honors -json with
+// schema-valid output and the shared exit-code convention — 0 clean, 1
+// findings, 2 usage error. The binaries are built once per test run and
+// exercised end to end against the real repo.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"commguard/internal/diag"
+)
+
+var (
+	repoRoot string
+	binDir   string
+)
+
+func TestMain(m *testing.M) {
+	var err error
+	repoRoot, err = filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		panic(err)
+	}
+	binDir, err = os.MkdirTemp("", "commguard-cli")
+	if err != nil {
+		panic(err)
+	}
+	build := exec.Command("go", "build", "-o", binDir,
+		"./cmd/graphcheck", "./cmd/critmap", "./cmd/repolint", "./cmd/commguard-vet")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		os.RemoveAll(binDir)
+		panic("building CLIs: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(binDir)
+	os.Exit(code)
+}
+
+// runCLI executes a built binary from the repo root and returns stdout and
+// the exit code; exit 2 paths print to stderr, which is returned too.
+func runCLI(t *testing.T, name string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	cmd.Dir = repoRoot
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+func assertReport(t *testing.T, name, stdout string, code int) {
+	t.Helper()
+	if code != 0 && code != 1 {
+		t.Fatalf("%s: exit %d, want 0 or 1 (a findings exit, not usage)", name, code)
+	}
+	if err := diag.ValidateReport([]byte(stdout)); err != nil {
+		t.Errorf("%s -json output invalid: %v\noutput: %.500s", name, err, stdout)
+	}
+}
+
+func TestGraphcheckJSONContract(t *testing.T) {
+	stdout, _, code := runCLI(t, "graphcheck", "-all", "-json")
+	assertReport(t, "graphcheck", stdout, code)
+}
+
+func TestCritmapJSONContract(t *testing.T) {
+	stdout, _, code := runCLI(t, "critmap", "-all", "-json")
+	assertReport(t, "critmap", stdout, code)
+}
+
+func TestRepolintJSONContract(t *testing.T) {
+	stdout, _, code := runCLI(t, "repolint", "-json", "./...")
+	assertReport(t, "repolint", stdout, code)
+}
+
+func TestVetJSONContract(t *testing.T) {
+	stdout, _, code := runCLI(t, "commguard-vet", "-all", "-json")
+	assertReport(t, "commguard-vet", stdout, code)
+}
+
+func TestVetCleanUnderCheckedInBaseline(t *testing.T) {
+	// The acceptance bar: paper-default protection, checked-in baseline,
+	// zero unbaselined findings on the seven builtin graphs.
+	stdout, stderr, code := runCLI(t, "commguard-vet", "-all")
+	if code != 0 {
+		t.Errorf("vet -all: exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+func TestVetBaselineDoesNotMaskViolations(t *testing.T) {
+	// Under software-queue protection the fft critical flow becomes a
+	// CS001 violation; the baseline (errors are never suppressible) must
+	// not hide it even though every current warning is accepted.
+	stdout, _, code := runCLI(t, "commguard-vet", "-all", "-protection", "software-queue", "-json")
+	if code != 1 {
+		t.Fatalf("vet -protection software-queue: exit %d, want 1", code)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("CS001")) {
+		t.Errorf("expected a CS001 violation in output:\n%.800s", stdout)
+	}
+}
+
+func TestVetSARIFValidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vet.sarif")
+	_, stderr, code := runCLI(t, "commguard-vet", "-all", "-sarif", path)
+	if code != 0 {
+		t.Fatalf("vet -sarif: exit %d\nstderr: %s", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diag.ValidateSARIF(data); err != nil {
+		t.Errorf("SARIF output invalid: %v", err)
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"graphcheck"},                                    // neither -app nor -all
+		{"graphcheck", "-app", "nope"},                    // unknown benchmark
+		{"critmap"},                                       // neither -app nor -all
+		{"critmap", "-app", "nope"},                       // unknown benchmark
+		{"repolint", "does/not/exist.go"},                 // unreadable pattern
+		{"commguard-vet"},                                 // neither -app nor -all
+		{"commguard-vet", "-app", "nope"},                 // unknown benchmark
+		{"commguard-vet", "-all", "-protection", "bogus"}, // unknown level
+	}
+	for _, c := range cases {
+		_, stderr, code := runCLI(t, c[0], c[1:]...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr: %.200s)", c, code, stderr)
+		}
+	}
+}

@@ -6,19 +6,24 @@
 // trailing /... recurses. With no arguments it lints ./... .
 //
 //	go run ./cmd/repolint ./...
+//	go run ./cmd/repolint -json ./...    emit the shared diagnostic schema for CI
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"commguard/internal/diag"
 	"commguard/internal/lint"
 )
 
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit the shared diagnostic JSON schema (internal/diag)")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -32,8 +37,27 @@ func main() {
 		}
 		findings = append(findings, fs...)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		ds := make([]diag.Diagnostic, 0, len(findings))
+		for _, f := range findings {
+			ds = append(ds, diag.Diagnostic{
+				Tool:     "repolint",
+				Code:     f.Rule,
+				Severity: "warning",
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		if err := diag.NewReport("repolint", ds).Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		os.Exit(1)

@@ -109,6 +109,12 @@ type Config struct {
 	FrameScale int
 	// Suppress lists diagnostic codes to skip (e.g. "CG005").
 	Suppress []string
+	// Facts carries cross-package analysis results keyed by producer
+	// (e.g. "crit" -> the repo's crit.ProtectionMap). Rules registered by
+	// other packages type-assert what they need and skip themselves when
+	// their fact is absent, so check keeps zero dependencies on the
+	// producing analyses.
+	Facts map[string]any
 }
 
 // DefaultConfig checks against the engine defaults.
@@ -135,6 +141,15 @@ func (c *Context) Schedule() (*stream.Schedule, error) {
 		c.sched, c.schedErr = stream.Solve(c.Graph)
 	})
 	return c.sched, c.schedErr
+}
+
+// Fact returns the named cross-package analysis result, or nil when the
+// caller supplied none.
+func (c *Context) Fact(name string) any {
+	if c.Cfg.Facts == nil {
+		return nil
+	}
+	return c.Cfg.Facts[name]
 }
 
 // QueueConfigFor resolves the queue geometry of one edge.

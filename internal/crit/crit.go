@@ -124,6 +124,32 @@ type FilterMap struct {
 	ControlStmts int       `json:"controlStmts"`
 	Vars         []Var     `json:"vars,omitempty"`
 	Findings     []Finding `json:"findings,omitempty"`
+
+	// The exported taint lattice (see summary.go): what the whole-program
+	// soundness composition consumes beyond the control fraction.
+	//
+	// CriticalPaths proves this filter derives control state from popped
+	// data (source -> sink chains); Escapes lists tainted values leaving
+	// the firing via fields/globals/closures; Opaque lists tainted values
+	// routed through calls the fixpoint cannot follow.
+	CriticalPaths []TaintPath  `json:"criticalPaths,omitempty"`
+	Escapes       []Escape     `json:"escapes,omitempty"`
+	Opaque        []OpaqueCall `json:"opaque,omitempty"`
+}
+
+// ConsumesCritically reports whether popped data provably reaches control
+// state in this filter: a reconstructed taint path, or a direct CM001/CM002
+// violation site.
+func (f *FilterMap) ConsumesCritically() bool {
+	if len(f.CriticalPaths) > 0 {
+		return true
+	}
+	for _, fi := range f.Findings {
+		if fi.Code == CodeLoopBound || fi.Code == CodeIndex {
+			return true
+		}
+	}
+	return false
 }
 
 // ControlFraction is the fraction of statements charged control-critical.
@@ -202,6 +228,24 @@ func (m *ProtectionMap) FractionFor(name string) (float64, bool) {
 		}
 	}
 	return best, bestLen >= 0
+}
+
+// FilterFor resolves a runtime filter name to its analyzed map with the
+// same exact-then-longest-prefix rule as FractionFor. It returns nil for
+// names with no analyzed counterpart (builtin sources/sinks, identity
+// shims).
+func (m *ProtectionMap) FilterFor(name string) *FilterMap {
+	var best *FilterMap
+	bestLen := -1
+	for _, f := range m.Filters {
+		if f.Name == name {
+			return f
+		}
+		if f.Name != "" && strings.HasPrefix(name, f.Name) && len(f.Name) > bestLen {
+			best, bestLen = f, len(f.Name)
+		}
+	}
+	return best
 }
 
 // MeanFraction is the statement-weighted mean control-critical fraction.

@@ -34,7 +34,11 @@ type funcAnalyzer struct {
 	ctxNames   map[string]bool
 	recvName   string
 	dataParams map[string]bool // kernel mode: slice/array params
-	vars       map[string]*varState
+	// locals names the function's own declarations (parameters, receiver,
+	// :=/var/range declarations): a plain `=` store to a name outside this
+	// set writes a package-level variable (an escape, see summary.go).
+	locals map[string]bool
+	vars   map[string]*varState
 }
 
 // workInfo records a Work method's critical receiver fields for the CM003
@@ -52,6 +56,7 @@ func (a *fileAnalyzer) analyzeFunc(name string, recv *ast.FieldList, params *ast
 		mode:       mode,
 		ctxNames:   map[string]bool{},
 		dataParams: map[string]bool{},
+		locals:     map[string]bool{},
 		vars:       map[string]*varState{},
 	}
 	for _, n := range ctxNames {
@@ -59,11 +64,13 @@ func (a *fileAnalyzer) analyzeFunc(name string, recv *ast.FieldList, params *ast
 	}
 	if recv != nil && len(recv.List) > 0 && len(recv.List[0].Names) > 0 {
 		fa.recvName = recv.List[0].Names[0].Name
+		fa.locals[fa.recvName] = true
 	}
 	if params != nil {
 		for _, field := range params.List {
 			isData := mode == KernelMode && isSliceOrArray(field.Type)
 			for _, n := range field.Names {
+				fa.locals[n.Name] = true
 				if fa.ctxNames[n.Name] || n.Name == "_" {
 					continue
 				}
@@ -82,6 +89,9 @@ func (a *fileAnalyzer) analyzeFunc(name string, recv *ast.FieldList, params *ast
 	fm := &FilterMap{Name: name, File: p.Filename, Line: p.Line}
 	fa.countStmts(body, fm)
 	fa.findViolations(body, fm)
+	fa.findEscapes(body, fm)
+	fa.findOpaque(body, fm)
+	fa.criticalPaths(fm)
 
 	for vname, st := range fa.vars {
 		fm.Vars = append(fm.Vars, Var{
@@ -357,6 +367,11 @@ func (fa *funcAnalyzer) collect(body *ast.BlockStmt) {
 		switch node := n.(type) {
 		case *ast.AssignStmt:
 			for i, lhs := range node.Lhs {
+				if node.Tok == token.DEFINE {
+					if id, ok := lhs.(*ast.Ident); ok {
+						fa.locals[id.Name] = true
+					}
+				}
 				rhs := node.Rhs[0]
 				if len(node.Rhs) == len(node.Lhs) {
 					rhs = node.Rhs[i]
@@ -374,6 +389,7 @@ func (fa *funcAnalyzer) collect(body *ast.BlockStmt) {
 						if id.Name == "_" {
 							continue
 						}
+						fa.locals[id.Name] = true
 						fa.ensure(id.Name, id.Pos())
 						if i < len(vs.Values) {
 							fa.assign(id, vs.Values[i])
@@ -390,6 +406,12 @@ func (fa *funcAnalyzer) collect(body *ast.BlockStmt) {
 				fa.markControl(node.Cond)
 			}
 		case *ast.RangeStmt:
+			if id, ok := node.Key.(*ast.Ident); ok {
+				fa.locals[id.Name] = true
+			}
+			if id, ok := node.Value.(*ast.Ident); ok {
+				fa.locals[id.Name] = true
+			}
 			if k := fa.key(node.Key); k != "" {
 				fa.ensure(k, node.Key.Pos()).control = true
 			}

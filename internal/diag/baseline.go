@@ -1,0 +1,109 @@
+package diag
+
+// Baseline support: commguard-vet tracks pre-existing *uncertain* findings
+// (warnings — CS002/CS003 and friends) in a checked-in file so they don't
+// fail CI, while anything new does. Violations (error severity) are never
+// suppressible: a baseline records accepted uncertainty, not accepted
+// brokenness.
+//
+// Fingerprints deliberately exclude the message and the line number, so
+// rewording a diagnostic or shifting code above a finding does not churn
+// the baseline; moving a finding to a different file, node or edge does.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Fingerprint is the stable identity of a diagnostic for baseline matching.
+func Fingerprint(d Diagnostic) string {
+	return strings.Join([]string{d.Tool, d.Code, d.App, d.File, d.Node, d.Edge}, "|")
+}
+
+// Baseline is a set of accepted finding fingerprints.
+type Baseline struct {
+	// Version guards the file format.
+	Version int `json:"version"`
+	// Findings are the accepted fingerprints, sorted.
+	Findings []string `json:"findings"`
+
+	set map[string]bool
+}
+
+// NewBaseline builds a baseline accepting the given diagnostics. Error
+// diagnostics are skipped — they cannot be baselined.
+func NewBaseline(ds []Diagnostic) *Baseline {
+	b := &Baseline{Version: 1, set: map[string]bool{}}
+	for _, d := range ds {
+		if d.Severity == "error" {
+			continue
+		}
+		b.set[Fingerprint(d)] = true
+	}
+	for fp := range b.set {
+		b.Findings = append(b.Findings, fp)
+	}
+	sort.Strings(b.Findings)
+	return b
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// not an error, so vet runs the same with or without one checked in.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1, set: map[string]bool{}}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("diag: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("diag: baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("diag: baseline %s: unsupported version %d", path, b.Version)
+	}
+	b.set = make(map[string]bool, len(b.Findings))
+	for _, fp := range b.Findings {
+		b.set[fp] = true
+	}
+	return &b, nil
+}
+
+// Write serializes the baseline as indented JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if b.Findings == nil {
+		b.Findings = []string{}
+	}
+	return enc.Encode(b)
+}
+
+// Suppresses reports whether a diagnostic is covered by the baseline.
+// Error-severity diagnostics are never suppressed, even if their
+// fingerprint appears in the file.
+func (b *Baseline) Suppresses(d Diagnostic) bool {
+	if d.Severity == "error" {
+		return false
+	}
+	return b.set[Fingerprint(d)]
+}
+
+// Partition splits diagnostics into fatal (errors, plus warnings not in the
+// baseline) and suppressed (baselined warnings).
+func (b *Baseline) Partition(ds []Diagnostic) (fatal, suppressed []Diagnostic) {
+	for _, d := range ds {
+		if b.Suppresses(d) {
+			suppressed = append(suppressed, d)
+		} else {
+			fatal = append(fatal, d)
+		}
+	}
+	return fatal, suppressed
+}

@@ -1,0 +1,105 @@
+package diag
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFingerprintIgnoresMessageAndLine(t *testing.T) {
+	a := Diagnostic{Tool: "soundness", Code: "CS002", App: "fft", Edge: "a -> b",
+		Line: 10, Message: "old wording"}
+	b := a
+	b.Line = 99
+	b.Message = "new wording"
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("rewording/reflowing changed the fingerprint")
+	}
+	c := a
+	c.Edge = "a -> c"
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("moving to another edge kept the fingerprint")
+	}
+}
+
+func TestBaselineSuppressesWarningNotError(t *testing.T) {
+	warn := Diagnostic{Tool: "soundness", Code: "CS002", Severity: "warning", App: "fft", Edge: "a -> b"}
+	errd := Diagnostic{Tool: "soundness", Code: "CS001", Severity: "error", App: "fft", Edge: "a -> b"}
+
+	b := NewBaseline([]Diagnostic{warn, errd})
+	if !b.Suppresses(warn) {
+		t.Error("baselined warning not suppressed")
+	}
+	if b.Suppresses(errd) {
+		t.Error("error suppressed; violations must never be baselined")
+	}
+	// Even a hand-edited baseline naming the error's fingerprint is inert.
+	forged := &Baseline{Version: 1, Findings: []string{Fingerprint(errd)}}
+	var buf bytes.Buffer
+	if err := forged.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "forged.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Suppresses(errd) {
+		t.Error("hand-edited baseline suppressed an error diagnostic")
+	}
+}
+
+func TestBaselineDoesNotMaskNewFindings(t *testing.T) {
+	old := Diagnostic{Tool: "soundness", Code: "CS002", Severity: "warning", App: "fft", Edge: "a -> b"}
+	b := NewBaseline([]Diagnostic{old})
+
+	fresh := old
+	fresh.Edge = "b -> c" // a new uncertain finding on a different edge
+	fatal, suppressed := b.Partition([]Diagnostic{old, fresh})
+	if len(suppressed) != 1 || suppressed[0].Edge != old.Edge {
+		t.Errorf("suppressed = %v", suppressed)
+	}
+	if len(fatal) != 1 || fatal[0].Edge != fresh.Edge {
+		t.Errorf("fatal = %v", fatal)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	ds := []Diagnostic{
+		{Tool: "soundness", Code: "CS003", Severity: "warning", App: "mp3", Edge: "x -> y"},
+		{Tool: "repolint", Code: "RL007", Severity: "warning", File: "internal/queue/queue.go"},
+	}
+	b := NewBaseline(ds)
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "vet.baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if !loaded.Suppresses(d) {
+			t.Errorf("round-trip lost %s", Fingerprint(d))
+		}
+	}
+}
+
+func TestLoadBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnostic{Tool: "t", Code: "C", Severity: "warning"}
+	if b.Suppresses(d) {
+		t.Error("empty baseline suppressed a finding")
+	}
+}

@@ -1,11 +1,14 @@
 // Package diag is the shared machine-readable diagnostic schema the
-// repo's static-analysis CLIs (cmd/graphcheck -json, cmd/critmap -json)
-// emit, so CI and editor tooling consume findings from every tool
-// uniformly.
+// repo's static-analysis CLIs (graphcheck, critmap, repolint and
+// commguard-vet, each under -json) emit, so CI and editor tooling consume
+// findings from every tool uniformly. It also carries the SARIF 2.1.0
+// emitter (sarif.go) and the warning baseline (baseline.go) commguard-vet
+// builds on.
 package diag
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 )
@@ -80,4 +83,44 @@ func (r *Report) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ValidateReport structurally validates a serialized report: named tool,
+// non-nil diagnostics array, each entry carrying tool/code/message and a
+// known severity, and an Errors count consistent with the entries. The
+// CLI contract tests run every -json producer through this.
+func ValidateReport(data []byte) error {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("diag: report: %w", err)
+	}
+	if r.Tool == "" {
+		return fmt.Errorf("diag: report: empty tool")
+	}
+	var raw struct {
+		Diagnostics json.RawMessage `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("diag: report: %w", err)
+	}
+	if len(raw.Diagnostics) == 0 || string(raw.Diagnostics) == "null" {
+		return fmt.Errorf("diag: report: diagnostics must be an array, not absent/null")
+	}
+	errs := 0
+	for i, d := range r.Diagnostics {
+		if d.Tool == "" || d.Code == "" || d.Message == "" {
+			return fmt.Errorf("diag: report: diagnostic %d missing tool/code/message", i)
+		}
+		switch d.Severity {
+		case "error":
+			errs++
+		case "warning":
+		default:
+			return fmt.Errorf("diag: report: diagnostic %d has severity %q", i, d.Severity)
+		}
+	}
+	if errs != r.Errors {
+		return fmt.Errorf("diag: report: errors field %d, counted %d", r.Errors, errs)
+	}
+	return nil
 }

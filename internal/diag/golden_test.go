@@ -1,0 +1,54 @@
+package diag
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenSchemas pins the serialized shape of both output formats: a
+// field rename or reordering in the diag report or the SARIF emitter shows
+// up as a golden diff, not as a silent break of downstream CI consumers.
+func TestGoldenSchemas(t *testing.T) {
+	ds := sampleDiags()
+	bl := NewBaseline(ds)
+
+	var report bytes.Buffer
+	if err := NewReport("commguard-vet", ds).Write(&report); err != nil {
+		t.Fatal(err)
+	}
+	var sarif bytes.Buffer
+	if err := ToSARIF("commguard-vet", ds, bl.Suppresses).Write(&sarif); err != nil {
+		t.Fatal(err)
+	}
+	var baseline bytes.Buffer
+	if err := bl.Write(&baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"report.golden.json":   report.Bytes(),
+		"sarif.golden.json":    sarif.Bytes(),
+		"baseline.golden.json": baseline.Bytes(),
+	}
+	for name, got := range cases {
+		path := filepath.Join("testdata", name)
+		if *update {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: output drifted from golden file (run with -update if intentional)\ngot:\n%s", name, got)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package diag
+
+// SARIF 2.1.0 emission. CI annotation surfaces (GitHub code scanning,
+// editor problem matchers) consume SARIF natively; commguard-vet emits one
+// run per invocation covering every tool's findings. Only the schema
+// subset the repo produces is modeled — enough to validate structurally
+// and to render annotations, not a general SARIF implementation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SARIF is the top-level log object.
+type SARIF struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one analysis run.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool wraps the driver description.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver describes the producing tool and its rule catalog.
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+// SARIFRule is one catalog entry.
+type SARIFRule struct {
+	ID               string    `json:"id"`
+	ShortDescription SARIFText `json:"shortDescription"`
+}
+
+// SARIFText is the message-string wrapper the format uses everywhere.
+type SARIFText struct {
+	Text string `json:"text"`
+}
+
+// SARIFResult is one finding.
+type SARIFResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      SARIFText          `json:"message"`
+	Locations    []SARIFLocation    `json:"locations,omitempty"`
+	Suppressions []SARIFSuppression `json:"suppressions,omitempty"`
+}
+
+// SARIFLocation anchors a result.
+type SARIFLocation struct {
+	PhysicalLocation *SARIFPhysicalLocation `json:"physicalLocation,omitempty"`
+	LogicalLocations []SARIFLogical         `json:"logicalLocations,omitempty"`
+}
+
+// SARIFPhysicalLocation is a file/region anchor.
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifact `json:"artifactLocation"`
+	Region           *SARIFRegion  `json:"region,omitempty"`
+}
+
+// SARIFArtifact names the file.
+type SARIFArtifact struct {
+	URI string `json:"uri"`
+}
+
+// SARIFRegion is a line/column anchor.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFLogical carries graph-scoped anchors (node, edge, app) that have no
+// file position.
+type SARIFLogical struct {
+	Name string `json:"name"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// SARIFSuppression marks a baselined result.
+type SARIFSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+const sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// ToSARIF converts diagnostics (ours, with baseline suppression already
+// decided: suppressed maps fingerprints of baselined findings) into one
+// SARIF run under the given driver name.
+func ToSARIF(driver string, ds []Diagnostic, suppressed func(Diagnostic) bool) *SARIF {
+	// Rule catalog: one entry per distinct code, index-stable.
+	codes := map[string]int{}
+	var rules []SARIFRule
+	for _, d := range ds {
+		if _, ok := codes[d.Code]; !ok {
+			codes[d.Code] = 0
+			rules = append(rules, SARIFRule{ID: d.Code, ShortDescription: SARIFText{Text: d.Code}})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	for i, r := range rules {
+		codes[r.ID] = i
+	}
+
+	results := make([]SARIFResult, 0, len(ds))
+	for _, d := range ds {
+		level := "warning"
+		if d.Severity == "error" {
+			level = "error"
+		}
+		res := SARIFResult{
+			RuleID:    d.Code,
+			RuleIndex: codes[d.Code],
+			Level:     level,
+			Message:   SARIFText{Text: message(d)},
+		}
+		loc := SARIFLocation{}
+		anchored := false
+		if d.File != "" {
+			loc.PhysicalLocation = &SARIFPhysicalLocation{ArtifactLocation: SARIFArtifact{URI: d.File}}
+			if d.Line > 0 {
+				loc.PhysicalLocation.Region = &SARIFRegion{StartLine: d.Line, StartColumn: d.Col}
+			}
+			anchored = true
+		}
+		for kind, name := range map[string]string{"app": d.App, "node": d.Node, "edge": d.Edge} {
+			if name != "" {
+				loc.LogicalLocations = append(loc.LogicalLocations, SARIFLogical{Name: name, Kind: kind})
+				anchored = true
+			}
+		}
+		sort.Slice(loc.LogicalLocations, func(i, j int) bool {
+			return loc.LogicalLocations[i].Kind < loc.LogicalLocations[j].Kind
+		})
+		if anchored {
+			res.Locations = []SARIFLocation{loc}
+		}
+		if suppressed != nil && suppressed(d) {
+			res.Suppressions = []SARIFSuppression{{
+				Kind:          "external",
+				Justification: "accepted in the checked-in baseline",
+			}}
+		}
+		results = append(results, res)
+	}
+
+	return &SARIF{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []SARIFRun{{
+			Tool:    SARIFTool{Driver: SARIFDriver{Name: driver, Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+func message(d Diagnostic) string {
+	msg := d.Message
+	if d.Fix != "" {
+		msg += " (fix: " + d.Fix + ")"
+	}
+	return msg
+}
+
+// WriteSARIF encodes the log as indented JSON.
+func (s *SARIF) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ValidateSARIF structurally validates serialized SARIF against the 2.1.0
+// subset this repo emits: version and schema URI, at least one run, a named
+// driver, a consistent rule catalog, and well-formed results (known level,
+// non-empty ruleId resolving into the catalog, non-empty message). It is
+// the in-repo stand-in for the external JSON-schema check, in the style of
+// ValidateTraceJSONL.
+func ValidateSARIF(data []byte) error {
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex *int   `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		return fmt.Errorf("diag: sarif: %w", err)
+	}
+	if log.Version != "2.1.0" {
+		return fmt.Errorf("diag: sarif: version %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		return fmt.Errorf("diag: sarif: missing $schema")
+	}
+	if len(log.Runs) == 0 {
+		return fmt.Errorf("diag: sarif: no runs")
+	}
+	levels := map[string]bool{"error": true, "warning": true, "note": true, "none": true}
+	for ri, run := range log.Runs {
+		if run.Tool.Driver.Name == "" {
+			return fmt.Errorf("diag: sarif: run %d has no driver name", ri)
+		}
+		ruleIdx := map[string]int{}
+		for i, r := range run.Tool.Driver.Rules {
+			if r.ID == "" {
+				return fmt.Errorf("diag: sarif: run %d rule %d has empty id", ri, i)
+			}
+			ruleIdx[r.ID] = i
+		}
+		for i, res := range run.Results {
+			if res.RuleID == "" {
+				return fmt.Errorf("diag: sarif: run %d result %d has empty ruleId", ri, i)
+			}
+			if !levels[res.Level] {
+				return fmt.Errorf("diag: sarif: run %d result %d has level %q", ri, i, res.Level)
+			}
+			if res.Message.Text == "" {
+				return fmt.Errorf("diag: sarif: run %d result %d has empty message", ri, i)
+			}
+			if want, ok := ruleIdx[res.RuleID]; !ok {
+				return fmt.Errorf("diag: sarif: run %d result %d ruleId %q not in catalog", ri, i, res.RuleID)
+			} else if res.RuleIndex != nil && *res.RuleIndex != want {
+				return fmt.Errorf("diag: sarif: run %d result %d ruleIndex %d, catalog says %d", ri, i, *res.RuleIndex, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package diag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{Tool: "soundness", Code: "CS001", Severity: "error", App: "fft",
+			Edge: "work -> sink", Message: "critical flow unprotected", Fix: "guard the edge"},
+		{Tool: "soundness", Code: "CS002", Severity: "warning", App: "fft",
+			Edge: "work -> sink", Message: "taint escapes"},
+		{Tool: "repolint", Code: "RL007", Severity: "warning",
+			File: "internal/queue/queue.go", Line: 42, Col: 3, Message: "ownership breach"},
+	}
+}
+
+func TestSARIFRoundTripValidates(t *testing.T) {
+	log := ToSARIF("commguard-vet", sampleDiags(), nil)
+	var buf bytes.Buffer
+	if err := log.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSARIF(buf.Bytes()); err != nil {
+		t.Fatalf("emitted SARIF does not validate: %v", err)
+	}
+}
+
+func TestSARIFStructure(t *testing.T) {
+	log := ToSARIF("commguard-vet", sampleDiags(), nil)
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "commguard-vet" {
+		t.Errorf("driver = %q", run.Tool.Driver.Name)
+	}
+	// Rule catalog is deduplicated and sorted.
+	gotRules := make([]string, len(run.Tool.Driver.Rules))
+	for i, r := range run.Tool.Driver.Rules {
+		gotRules[i] = r.ID
+	}
+	want := []string{"CS001", "CS002", "RL007"}
+	if strings.Join(gotRules, ",") != strings.Join(want, ",") {
+		t.Errorf("rules = %v, want %v", gotRules, want)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(run.Results))
+	}
+	if run.Results[0].Level != "error" || run.Results[1].Level != "warning" {
+		t.Errorf("levels = %q, %q", run.Results[0].Level, run.Results[1].Level)
+	}
+	// Fix text rides along in the message.
+	if !strings.Contains(run.Results[0].Message.Text, "guard the edge") {
+		t.Errorf("message lost the fix: %q", run.Results[0].Message.Text)
+	}
+	// File-anchored result gets a physical location with a region.
+	phys := run.Results[2].Locations[0].PhysicalLocation
+	if phys.ArtifactLocation.URI != "internal/queue/queue.go" {
+		t.Errorf("uri = %q", phys.ArtifactLocation.URI)
+	}
+	if phys.Region == nil || phys.Region.StartLine != 42 || phys.Region.StartColumn != 3 {
+		t.Errorf("region = %+v", phys.Region)
+	}
+	// Graph-anchored result gets logical locations instead.
+	logical := run.Results[0].Locations[0].LogicalLocations
+	names := map[string]string{}
+	for _, l := range logical {
+		names[l.Kind] = l.Name
+	}
+	if names["app"] != "fft" || names["edge"] != "work -> sink" {
+		t.Errorf("logical locations = %v", names)
+	}
+}
+
+func TestSARIFSuppressions(t *testing.T) {
+	ds := sampleDiags()
+	b := NewBaseline(ds) // baselines the two warnings, skips the error
+	log := ToSARIF("commguard-vet", ds, b.Suppresses)
+	for i, res := range log.Runs[0].Results {
+		wantSuppressed := ds[i].Severity != "error"
+		if got := len(res.Suppressions) > 0; got != wantSuppressed {
+			t.Errorf("result %d (%s): suppressed = %v, want %v", i, ds[i].Code, got, wantSuppressed)
+		}
+	}
+}
+
+func TestValidateSARIFRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":         `{`,
+		"wrong version":    `{"$schema":"x","version":"2.0.0","runs":[{"tool":{"driver":{"name":"t","rules":[]}},"results":[]}]}`,
+		"no runs":          `{"$schema":"x","version":"2.1.0","runs":[]}`,
+		"no driver name":   `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"rules":[]}},"results":[]}]}`,
+		"unknown level":    `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"name":"t","rules":[{"id":"C1"}]}},"results":[{"ruleId":"C1","level":"fatal","message":{"text":"m"}}]}]}`,
+		"rule not in list": `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"name":"t","rules":[]}},"results":[{"ruleId":"C1","level":"error","message":{"text":"m"}}]}]}`,
+		"empty message":    `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"name":"t","rules":[{"id":"C1"}]}},"results":[{"ruleId":"C1","level":"error","message":{"text":""}}]}]}`,
+		"stale ruleIndex":  `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"name":"t","rules":[{"id":"C1"},{"id":"C2"}]}},"results":[{"ruleId":"C2","ruleIndex":0,"level":"error","message":{"text":"m"}}]}]}`,
+	}
+	for name, src := range cases {
+		if err := ValidateSARIF([]byte(src)); err == nil {
+			t.Errorf("%s: validated, want error", name)
+		}
+	}
+}

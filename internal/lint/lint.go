@@ -24,6 +24,11 @@
 //	RL006  repolint:ignore directives that suppress nothing are stale and
 //	       reported themselves (directives naming non-RL codes are exempt:
 //	       they target other tools, e.g. critmap's CM codes).
+//	RL007  internal/queue's lock-free fast path must honor its declared
+//	       single-writer ownership protocol (the //queue: annotations);
+//	       backed by internal/soundness's atomics discipline (CS010+),
+//	       evaluated per file here — commguard-vet runs the cross-file
+//	       form.
 //
 // Findings can be suppressed with a `//repolint:ignore RL00x reason`
 // comment on the same line, the line directly above, or — file-wide —
@@ -48,6 +53,7 @@ import (
 	"strings"
 
 	"commguard/internal/crit"
+	"commguard/internal/soundness"
 )
 
 // Finding is one rule violation.
@@ -157,8 +163,36 @@ func lintParsed(fset *token.FileSet, f *ast.File, path string) []Finding {
 	if critApplies(path) {
 		findings = append(findings, checkCriticality(fset, f)...)
 	}
+	if atomicsApplies(path) {
+		findings = append(findings, checkAtomics(fset, f)...)
+	}
 
 	return suppress(fset, f, findings)
+}
+
+// atomicsApplies scopes RL007 to the queue runtime, where the //queue:
+// ownership annotations live.
+func atomicsApplies(path string) bool {
+	return inPackageDir(path, "internal/queue") &&
+		!strings.HasSuffix(filepath.Base(path), "_test.go")
+}
+
+// checkAtomics wraps internal/soundness's atomics discipline as RL007.
+// Single-file vision: methods whose struct lives in another file of the
+// package are covered by commguard-vet's directory-wide run instead.
+func checkAtomics(fset *token.FileSet, f *ast.File) []codedFinding {
+	var out []codedFinding
+	for _, fi := range soundness.CheckAtomicsParsed(fset, []*ast.File{f}) {
+		out = append(out, codedFinding{
+			Finding: Finding{
+				Pos:     fi.Pos,
+				Rule:    "RL007",
+				Message: fi.Message,
+			},
+			matchCode: fi.Code,
+		})
+	}
+	return out
 }
 
 // critApplies scopes RL004/RL005 to the filter implementations — the app

@@ -446,3 +446,55 @@ func TestCMDirectiveCoversRLFinding(t *testing.T) {
 		t.Fatalf("CM002 directive should cover the RL004 finding, got %v", fs)
 	}
 }
+
+const queueFixture = `package queue
+
+import "sync/atomic"
+
+type Q struct {
+	prodOffset atomic.Uint32 //queue:owned-by producer
+}
+
+//queue:side consumer
+func (q *Q) Steal() { q.prodOffset.Store(0) }
+`
+
+func TestRL007WrapsAtomicsDiscipline(t *testing.T) {
+	fs, err := Source("internal/queue/bad.go", queueFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules(fs)["RL007"] != 1 {
+		t.Fatalf("RL007 fired %d times, want 1:\n%v", rules(fs)["RL007"], fs)
+	}
+	if !strings.Contains(fs[0].Message, "producer-owned field prodOffset") {
+		t.Errorf("RL007 message: %q", fs[0].Message)
+	}
+}
+
+func TestRL007ScopedToQueuePackage(t *testing.T) {
+	for _, path := range []string{"internal/queue/bad_test.go", "internal/campaign/bad.go"} {
+		fs, err := Source(path, queueFixture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rules(fs)["RL007"] != 0 {
+			t.Fatalf("RL007 fired outside scope for %s:\n%v", path, fs)
+		}
+	}
+}
+
+func TestRL007SuppressionCoversBothSpellings(t *testing.T) {
+	for _, code := range []string{"RL007", "CS010"} {
+		src := strings.Replace(queueFixture,
+			"func (q *Q) Steal()",
+			"//repolint:ignore "+code+" injector stress fixture\nfunc (q *Q) Steal()", 1)
+		fs, err := Source("internal/queue/bad.go", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rules(fs)["RL007"] != 0 || rules(fs)["RL006"] != 0 {
+			t.Fatalf("directive naming %s left findings:\n%v", code, fs)
+		}
+	}
+}

@@ -29,6 +29,8 @@ const (
 // once per element. Spans that fit in the current working set are written
 // in one pass; working-set acquisition and publication happen at exactly
 // the offsets the per-item path would use.
+//
+//queue:side producer
 func (q *Queue) PushN(batch []Unit) {
 	k := uint32(q.cfg.WorkingSets)
 	s := uint32(q.cfg.WorkingSetUnits)
@@ -77,6 +79,8 @@ func (q *Queue) PushN(batch []Unit) {
 
 // PushDataN pushes every value of vs as a data unit, equivalent to calling
 // Push(DataUnit(v)) once per element.
+//
+//queue:side producer
 func (q *Queue) PushDataN(vs []uint32) {
 	k := uint32(q.cfg.WorkingSets)
 	s := uint32(q.cfg.WorkingSetUnits)
@@ -112,6 +116,8 @@ func (q *Queue) PushDataN(vs []uint32) {
 // PopN pops up to len(dst) units (data and headers alike), equivalent to
 // calling Pop once per element. It returns the number delivered; fewer
 // than len(dst) means a pop failed (one timeout counted, as per-item).
+//
+//queue:side consumer
 func (q *Queue) PopN(dst []Unit) int {
 	k := uint32(q.cfg.WorkingSets)
 	s := uint32(q.cfg.WorkingSetUnits)
@@ -169,6 +175,8 @@ func (q *Queue) PopN(dst []Unit) int {
 // (left unconsumed — the Alignment Manager's FSM must see it) or at a
 // failed pop. It returns the number of data payloads delivered and the
 // stop reason. Equivalent to per-item Pops for the delivered prefix.
+//
+//queue:side consumer
 func (q *Queue) PopDataN(dst []uint32) (int, PopStop) {
 	k := uint32(q.cfg.WorkingSets)
 	s := uint32(q.cfg.WorkingSetUnits)

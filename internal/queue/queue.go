@@ -219,16 +219,18 @@ type Queue struct {
 
 	// mu guards the shared working-set pointers (filled/drained). It is
 	// the working-set-exchange slow path; per-item operations do not take
-	// it.
-	mu      sync.Mutex
-	filled  sharedCounter
-	drained sharedCounter
+	// it. The //queue: annotations below declare the concurrency
+	// discipline of each field; internal/soundness verifies every method
+	// against them (CS010–CS012).
+	mu      sync.Mutex    //queue:lock
+	filled  sharedCounter //queue:shared
+	drained sharedCounter //queue:shared
 
-	buf   []atomic.Uint64 // Unit values
-	wsLen []atomic.Uint32 // published length of each working set slot
+	buf   []atomic.Uint64 // Unit values //queue:shared-atomic
+	wsLen []atomic.Uint32 // published length of each working set slot //queue:shared-atomic
 
-	closed      atomic.Bool
-	nonBlocking atomic.Bool
+	closed      atomic.Bool //queue:owned-by producer
+	nonBlocking atomic.Bool //queue:shared-atomic
 
 	// notFull wakes the producer (sent by the consumer when it returns a
 	// working set); notEmpty wakes the consumer (sent by the producer when
@@ -237,8 +239,8 @@ type Queue struct {
 	notEmpty chan struct{}
 
 	// prodTimer/consTimer are reused across timed waits of their side.
-	prodTimer *time.Timer
-	consTimer *time.Timer
+	prodTimer *time.Timer //queue:owned-by producer
+	consTimer *time.Timer //queue:owned-by consumer
 
 	// Producer-local state (reliable: lives in CommGuard's QIT when
 	// CommGuard is present; register-resident otherwise and corruptible
@@ -263,30 +265,30 @@ type Queue struct {
 	// (ws%k)*s for the working set currently in use; they change only at
 	// publish/return, sparing the per-item path two integer divisions.
 	_             [64]byte
-	prodOffset    atomic.Uint32
-	prodWS        atomic.Uint32 // working set currently being filled
-	prodWSIdx     uint32        // prodWS % WorkingSets
-	prodBase      uint32        // prodWSIdx * WorkingSetUnits
-	cachedDrained uint32        // producer's view of the consumer's progress
-	pushStreak    uint32
+	prodOffset    atomic.Uint32 //queue:owned-by producer
+	prodWS        atomic.Uint32 // working set currently being filled //queue:owned-by producer
+	prodWSIdx     uint32        // prodWS % WorkingSets //queue:owned-by producer
+	prodBase      uint32        // prodWSIdx * WorkingSetUnits //queue:owned-by producer
+	cachedDrained uint32        // producer's view of the consumer's progress //queue:owned-by producer
+	pushStreak    uint32        //queue:owned-by producer
 	_             [40]byte
 
 	// Consumer-local state.
-	consOffset   atomic.Uint32
-	consWS       atomic.Uint32 // working set currently being drained
-	consWSIdx    uint32        // consWS % WorkingSets
-	consBase     uint32        // consWSIdx * WorkingSetUnits
-	cachedFilled uint32        // consumer's view of the producer's progress
-	popStreak    uint32
+	consOffset   atomic.Uint32 //queue:owned-by consumer
+	consWS       atomic.Uint32 // working set currently being drained //queue:owned-by consumer
+	consWSIdx    uint32        // consWS % WorkingSets //queue:owned-by consumer
+	consBase     uint32        // consWSIdx * WorkingSetUnits //queue:owned-by consumer
+	cachedFilled uint32        // consumer's view of the producer's progress //queue:owned-by consumer
+	popStreak    uint32        //queue:owned-by consumer
 	_            [40]byte
 
-	stats atomicStats
+	stats atomicStats //queue:counters
 
 	// traceProd/traceCons record this queue's slow-path events (working-set
 	// publish/return, timeouts) into the owning side's core ring. Nil when
 	// tracing is off; every emit sits on a slow path, never per item.
-	traceProd *obs.Ring
-	traceCons *obs.Ring
+	traceProd *obs.Ring //queue:owned-by producer
+	traceCons *obs.Ring //queue:owned-by consumer
 }
 
 // backoffFloor is the minimum blocking budget under repeated starvation.
@@ -343,6 +345,8 @@ func (q *Queue) Capacity() int { return q.cfg.WorkingSets * q.cfg.WorkingSetUnit
 
 // SetTrace attaches the producer-side and consumer-side event rings. Call
 // before transit starts; either ring may be nil (that side untraced).
+//
+//queue:side init
 func (q *Queue) SetTrace(prod, cons *obs.Ring) {
 	q.traceProd = prod
 	q.traceCons = cons
@@ -352,6 +356,8 @@ func (q *Queue) SetTrace(prod, cons *obs.Ring) {
 // overwrite immediately on a full one, instead of waiting for the peer.
 // Sequential (statically scheduled) execution uses this: the peer runs on
 // the same goroutine, so blocking could never be satisfied.
+//
+//queue:side init
 func (q *Queue) SetNonBlocking(v bool) { q.nonBlocking.Store(v) }
 
 // signal performs a non-blocking send on a capacity-1 wake channel: if the
@@ -369,6 +375,8 @@ func signal(ch chan struct{}) {
 // wait performs no allocation after the first and, unlike the previous
 // time.AfterFunc+Broadcast scheme, a timer pop can never wake the other
 // side's waiter.
+//
+//queue:side producer
 func (q *Queue) waitProducer(d time.Duration) {
 	if d <= 0 {
 		select {
@@ -398,6 +406,8 @@ func (q *Queue) waitProducer(d time.Duration) {
 }
 
 // waitConsumer is waitProducer for the consumer side.
+//
+//queue:side consumer
 func (q *Queue) waitConsumer(d time.Duration) {
 	if d <= 0 {
 		select {
@@ -441,6 +451,8 @@ func (q *Queue) cancelled() bool {
 // canFill reports whether the producer may start filling its next working
 // set. The cached consumer-progress view is refreshed (one shared ECC
 // pointer access under mu) only when it says the ring is full.
+//
+//queue:side producer
 func (q *Queue) canFill() bool {
 	k := uint32(q.cfg.WorkingSets)
 	ws := q.prodWS.Load()
@@ -466,6 +478,8 @@ func (q *Queue) canFill() bool {
 // timeout proceeds anyway, overwriting undrained data (§5.1: a timeout may
 // cause incorrect data to be transmitted but frame checking still realigns
 // at frame boundaries).
+//
+//queue:side producer
 func (q *Queue) acquireFillSlot() {
 	if q.nonBlocking.Load() {
 		if !q.canFill() {
@@ -513,6 +527,8 @@ func (q *Queue) acquireFillSlot() {
 // exceeds the configured timeout the push proceeds anyway, overwriting
 // undrained data. Mid-working-set pushes are lock-free and touch no shared
 // state.
+//
+//queue:side producer
 func (q *Queue) Push(u Unit) {
 	// A free working set is only needed when starting one.
 	if q.prodOffset.Load() == 0 {
@@ -540,6 +556,8 @@ func (q *Queue) Push(u Unit) {
 // publish hands the current working set to the consumer. This is the
 // QM-get-new-workset exchange; per Table 3 it costs 10 single-word ECC
 // set/check operations for the shared pointer access.
+//
+//queue:side producer
 func (q *Queue) publish(n uint32) {
 	k := uint32(q.cfg.WorkingSets)
 	q.wsLen[q.prodWSIdx].Store(n)
@@ -560,6 +578,8 @@ func (q *Queue) publish(n uint32) {
 // Flush publishes a partially filled working set. The producer calls it
 // when its thread's computation ends so trailing items (and the
 // end-of-computation header) reach the consumer.
+//
+//queue:side producer
 func (q *Queue) Flush() {
 	if n := q.prodOffset.Load(); n > 0 {
 		q.publish(n)
@@ -568,6 +588,8 @@ func (q *Queue) Flush() {
 
 // Close marks the producer side finished. Blocked and future pops fail
 // fast once all published data is drained.
+//
+//queue:side producer
 func (q *Queue) Close() {
 	q.closed.Store(true)
 	signal(q.notEmpty)
@@ -576,6 +598,8 @@ func (q *Queue) Close() {
 // canDrain reports whether the consumer's current working set has been
 // published. The cached producer-progress view is refreshed (one shared
 // ECC pointer access under mu) only when it is exhausted.
+//
+//queue:side consumer
 func (q *Queue) canDrain() bool {
 	ws := q.consWS.Load()
 	if int32(q.cachedFilled-ws) > 0 {
@@ -603,6 +627,8 @@ func (q *Queue) canDrain() bool {
 // acquireDrainSlot waits (bounded by the timeout budget) until the
 // consumer's working set is published. It returns false on timeout or when
 // the queue is closed and fully drained.
+//
+//queue:side consumer
 func (q *Queue) acquireDrainSlot() bool {
 	if q.canDrain() {
 		return true
@@ -648,6 +674,8 @@ func (q *Queue) acquireDrainSlot() bool {
 // false if the queue timed out or was closed and fully drained; the caller
 // (the Alignment Manager, or a bare thread pop) decides what to substitute.
 // Mid-working-set pops are lock-free and touch no shared state.
+//
+//queue:side consumer
 func (q *Queue) Pop() (u Unit, ok bool) {
 	if !q.acquireDrainSlot() {
 		return 0, false
@@ -674,6 +702,8 @@ func (q *Queue) Pop() (u Unit, ok bool) {
 
 // returnWS returns the drained working set to the producer (the consumer
 // side's shared pointer exchange; 10 ECC suboperations per Table 3).
+//
+//queue:side consumer
 func (q *Queue) returnWS() {
 	q.traceCons.QueueReturn(int32(q.id), q.consWS.Load())
 	q.mu.Lock()
@@ -718,6 +748,8 @@ func (q *Queue) Len() int {
 // pointers, modeling a queue-management error (§3, QME). With protected
 // pointers the flip is repaired on the next access; with the raw software
 // queue it corrupts the producer/consumer handshake.
+//
+//queue:side injector
 func (q *Queue) CorruptPointer(r *rand.Rand) {
 	q.mu.Lock()
 	if r.Intn(2) == 0 {
@@ -736,6 +768,8 @@ func (q *Queue) CorruptPointer(r *rand.Rand) {
 // flip is applied with a CAS so it is race-free against the owner's
 // lock-free fast path; a flip that loses the race with an in-flight
 // increment is dropped, like a register write shadowed by the pipeline.
+//
+//queue:side injector
 func (q *Queue) CorruptLocalOffset(r *rand.Rand) {
 	mask := uint32(1) << uint(r.Intn(16)) // offsets are small; flip a low bit
 	target := &q.prodOffset

@@ -124,6 +124,8 @@ func (c *SpecConsumer) Abort() { c.ahead = 0 }
 // (k = 0 is what Pop would return next). ok is false if fewer than k+1
 // units are published. It never blocks. Like canDrain, it pays one shared
 // ECC pointer access for the filled-pointer refresh.
+//
+//queue:side consumer
 func (q *Queue) PeekAt(k int) (Unit, bool) {
 	q.mu.Lock()
 	f, c := q.filled.load()

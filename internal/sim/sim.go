@@ -150,7 +150,9 @@ func (r *Result) DataLossRatio() float64 {
 // critFractionFor resolves a node's control-critical fraction against the
 // analysis map: exact filter name, longest analyzed-name prefix, then the
 // filter's concrete type as "pkg.Type" (how crit names builtin Work
-// methods).
+// methods). Filters are held by pointer, so %T renders "*pkg.Type"; the
+// star is stripped from both the node side and the map side — a caller
+// that keyed its map with the raw %T spelling still matches.
 func critFractionFor(fracs map[string]float64, n *stream.Node) (float64, bool) {
 	name := n.F.Name()
 	if f, ok := fracs[name]; ok {
@@ -166,7 +168,10 @@ func critFractionFor(fracs map[string]float64, n *stream.Node) (float64, bool) {
 		return best, true
 	}
 	typeKey := strings.TrimPrefix(fmt.Sprintf("%T", n.F), "*")
-	f, ok := fracs[typeKey]
+	if f, ok := fracs[typeKey]; ok {
+		return f, true
+	}
+	f, ok := fracs["*"+typeKey]
 	return f, ok
 }
 

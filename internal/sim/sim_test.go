@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -407,5 +409,46 @@ func TestQueueConfigDefaultsTimeoutWithCustomGeometry(t *testing.T) {
 	// Geometry is preserved when only the timeout was defaulted.
 	if got.WorkingSets != 8 || got.WorkingSetUnits != 16 {
 		t.Errorf("custom geometry not preserved: %+v", got)
+	}
+}
+
+func TestCritFractionForLookup(t *testing.T) {
+	g := stream.NewGraph()
+	if _, err := g.Chain(
+		stream.NewSource("src", 1, make([]uint32, 4)),
+		stream.NewFuncFilter("apps.lowpass#3", 1, 1, 1, func(ctx *stream.Ctx) { ctx.Push(0, ctx.Pop(0)) }),
+		stream.NewSink("snk", 1),
+	); err != nil {
+		t.Fatal(err)
+	}
+	var src, mid *stream.Node
+	for _, n := range g.Nodes {
+		switch n.F.Name() {
+		case "src":
+			src = n
+		case "apps.lowpass#3":
+			mid = n
+		}
+	}
+
+	// Exact name wins over everything.
+	if f, ok := critFractionFor(map[string]float64{"apps.lowpass#3": 0.5, "apps.lowpass": 0.1}, mid); !ok || f != 0.5 {
+		t.Errorf("exact: got %v %v", f, ok)
+	}
+	// Longest analyzed-name prefix (Sprintf-built names are verb-stripped).
+	if f, ok := critFractionFor(map[string]float64{"apps.low": 0.1, "apps.lowpass": 0.3}, mid); !ok || f != 0.3 {
+		t.Errorf("prefix: got %v %v", f, ok)
+	}
+	// Builtin nodes fall back to their concrete type; filters live behind
+	// pointers, so both the stripped and the raw %T spelling must match.
+	typeKey := strings.TrimPrefix(fmt.Sprintf("%T", src.F), "*")
+	if f, ok := critFractionFor(map[string]float64{typeKey: 0.2}, src); !ok || f != 0.2 {
+		t.Errorf("type key %q: got %v %v", typeKey, f, ok)
+	}
+	if f, ok := critFractionFor(map[string]float64{"*" + typeKey: 0.4}, src); !ok || f != 0.4 {
+		t.Errorf("pointer-spelled type key %q: got %v %v", "*"+typeKey, f, ok)
+	}
+	if _, ok := critFractionFor(map[string]float64{"other.Thing": 1}, src); ok {
+		t.Error("unrelated key matched")
 	}
 }

@@ -1,0 +1,259 @@
+package soundness
+
+import (
+	"strings"
+	"testing"
+)
+
+// Atomics fixtures: each fires exactly its intended code.
+const (
+	// srcCS010: a consumer-side method stores a producer-owned atomic.
+	srcCS010 = `package queue
+
+import "sync/atomic"
+
+type Q struct {
+	prodOffset atomic.Uint32 //queue:owned-by producer
+}
+
+//queue:side consumer
+func (q *Q) Steal() { q.prodOffset.Store(0) }
+`
+	// srcCS011: a shared field accessed outside the lock bracket.
+	srcCS011 = `package queue
+
+import "sync"
+
+type Q struct {
+	mu     sync.Mutex //queue:lock
+	filled int        //queue:shared
+}
+
+//queue:side producer
+func (q *Q) Bad() int { return q.filled }
+`
+	// srcCS012: an atomic field of an annotated struct with no annotation.
+	srcCS012 = `package queue
+
+import "sync/atomic"
+
+type Q struct {
+	prodOffset atomic.Uint32 //queue:owned-by producer
+	rogue      atomic.Uint32
+}
+`
+)
+
+func atomicsFindings(t *testing.T, src string) []Finding {
+	t.Helper()
+	fs, err := CheckAtomicsSource("fixture.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func assertExactlyOne(t *testing.T, fs []Finding, code string) Finding {
+	t.Helper()
+	if len(fs) != 1 || fs[0].Code != code {
+		t.Fatalf("want exactly one %s, got %v", code, fs)
+	}
+	return fs[0]
+}
+
+func TestRealQueuePackageIsClean(t *testing.T) {
+	fs, err := CheckAtomicsDir("../queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("internal/queue violates its own discipline: %v", fs)
+	}
+}
+
+func TestCS010CrossSideStore(t *testing.T) {
+	f := assertExactlyOne(t, atomicsFindings(t, srcCS010), "CS010")
+	if want := "consumer-side method Steal writes producer-owned field prodOffset"; !contains(f.Message, want) {
+		t.Errorf("message %q lacks %q", f.Message, want)
+	}
+}
+
+func TestCS010SidelessStore(t *testing.T) {
+	src := `package queue
+
+import "sync/atomic"
+
+type Q struct {
+	prodOffset atomic.Uint32 //queue:owned-by producer
+}
+
+func (q *Q) Reset() { q.prodOffset.Store(0) }
+`
+	f := assertExactlyOne(t, atomicsFindings(t, src), "CS010")
+	if !contains(f.Message, "declares no //queue:side") {
+		t.Errorf("sideless store message: %q", f.Message)
+	}
+}
+
+func TestCS010InjectorMustCAS(t *testing.T) {
+	blind := `package queue
+
+import "sync/atomic"
+
+type Q struct {
+	prodOffset atomic.Uint32 //queue:owned-by producer
+}
+
+//queue:side injector
+func (q *Q) Corrupt() { q.prodOffset.Store(7) }
+`
+	assertExactlyOne(t, atomicsFindings(t, blind), "CS010")
+
+	cas := `package queue
+
+import "sync/atomic"
+
+type Q struct {
+	prodOffset atomic.Uint32 //queue:owned-by producer
+}
+
+//queue:side injector
+func (q *Q) Corrupt() { q.prodOffset.CompareAndSwap(0, 1) }
+`
+	if fs := atomicsFindings(t, cas); len(fs) != 0 {
+		t.Fatalf("injector CAS must be allowed, got %v", fs)
+	}
+}
+
+func TestCS010PlainCrossSideRead(t *testing.T) {
+	src := `package queue
+
+type Q struct {
+	cachedDrained uint32 //queue:owned-by producer
+}
+
+//queue:side consumer
+func (q *Q) Spy() uint32 { return q.cachedDrained }
+`
+	f := assertExactlyOne(t, atomicsFindings(t, src), "CS010")
+	if !contains(f.Message, "reads plain producer-owned field") {
+		t.Errorf("plain read message: %q", f.Message)
+	}
+}
+
+func TestCS010PlainCrossSideWriteReportsOnce(t *testing.T) {
+	src := `package queue
+
+type Q struct {
+	cachedDrained uint32 //queue:owned-by producer
+}
+
+//queue:side consumer
+func (q *Q) Smash() { q.cachedDrained = 9 }
+`
+	// The write must not be double-counted by the read pass.
+	assertExactlyOne(t, atomicsFindings(t, src), "CS010")
+}
+
+func TestCS011OutsideBracket(t *testing.T) {
+	f := assertExactlyOne(t, atomicsFindings(t, srcCS011), "CS011")
+	if !contains(f.Message, "shared field filled outside the mu bracket") {
+		t.Errorf("CS011 message: %q", f.Message)
+	}
+}
+
+func TestCS011BracketedAccessClean(t *testing.T) {
+	src := `package queue
+
+import "sync"
+
+type Q struct {
+	mu     sync.Mutex //queue:lock
+	filled int        //queue:shared
+}
+
+//queue:side producer
+func (q *Q) Good() int {
+	q.mu.Lock()
+	v := q.filled
+	q.mu.Unlock()
+	return v
+}
+
+//queue:side producer
+func (q *Q) Deferred() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.filled
+}
+`
+	if fs := atomicsFindings(t, src); len(fs) != 0 {
+		t.Fatalf("bracketed accesses must be clean, got %v", fs)
+	}
+}
+
+func TestCS011AccessAfterUnlock(t *testing.T) {
+	src := `package queue
+
+import "sync"
+
+type Q struct {
+	mu     sync.Mutex //queue:lock
+	filled int        //queue:shared
+}
+
+//queue:side producer
+func (q *Q) Leak() int {
+	q.mu.Lock()
+	q.mu.Unlock()
+	return q.filled
+}
+`
+	assertExactlyOne(t, atomicsFindings(t, src), "CS011")
+}
+
+func TestCS012UnannotatedAtomic(t *testing.T) {
+	f := assertExactlyOne(t, atomicsFindings(t, srcCS012), "CS012")
+	if !contains(f.Message, "Q.rogue") {
+		t.Errorf("CS012 message: %q", f.Message)
+	}
+}
+
+func TestCS012SkipsStructsOutsideTheDiscipline(t *testing.T) {
+	src := `package queue
+
+import "sync/atomic"
+
+type stats struct {
+	hits atomic.Uint64
+}
+`
+	if fs := atomicsFindings(t, src); len(fs) != 0 {
+		t.Fatalf("unannotated structs are out of scope, got %v", fs)
+	}
+}
+
+func TestProseMentionCannotMaskDirective(t *testing.T) {
+	src := `package queue
+
+import "sync"
+
+type Q struct {
+	// mu serializes the exchange; see the //queue: annotations note.
+	mu     sync.Mutex //queue:lock
+	filled int        //queue:shared
+}
+
+//queue:side producer
+func (q *Q) Good() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.filled
+}
+`
+	if fs := atomicsFindings(t, src); len(fs) != 0 {
+		t.Fatalf("prose mention must not mask the lock directive, got %v", fs)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
