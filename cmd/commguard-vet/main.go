@@ -1,10 +1,14 @@
 // Command commguard-vet is the repo's one-stop static verifier: it runs the
 // graph checker (CG001–CG006), the soundness edge verdicts (CS001–CS003),
-// the criticality dataflow (CM001–CM003), the repo linter (RL001–RL006) and
-// the queue atomics discipline (CS010–CS012) in a single invocation, merges
-// everything into the shared diagnostic schema (internal/diag), and applies
-// the checked-in baseline: error-severity findings always fail, warnings
-// fail only when they are not in the baseline.
+// the criticality dataflow (CM001–CM003), the repo linter (RL001–RL006),
+// the queue atomics discipline (CS010–CS012) and the hot-path purity
+// analysis (CS020–CS023) in a single invocation, merges everything into
+// the shared diagnostic schema (internal/diag), and applies the checked-in
+// baseline: error-severity findings always fail, warnings fail only when
+// they are not in the baseline. With -all, baseline entries matching no
+// current finding are reported as stale; -fail-stale turns that into a
+// failure (the CI gate) and -prune-baseline rewrites the file without
+// them.
 //
 // Examples:
 //
@@ -14,8 +18,11 @@
 //	commguard-vet -all -sarif vet.sarif         also write SARIF 2.1.0 for CI upload
 //	commguard-vet -all -protection software-queue   classify edges as unguarded
 //	commguard-vet -all -write-baseline          accept current warnings
+//	commguard-vet -all -prune-baseline          drop stale baseline entries
+//	commguard-vet -all -fail-stale              fail on stale baseline entries
 //
-// Exit status: 0 clean, 1 unbaselined findings, 2 usage or analysis error.
+// Exit status: 0 clean, 1 unbaselined findings (or stale baseline entries
+// under -fail-stale), 2 usage or analysis error.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"commguard/internal/check"
 	"commguard/internal/crit"
 	"commguard/internal/diag"
+	"commguard/internal/hotpath"
 	"commguard/internal/lint"
 	"commguard/internal/soundness"
 	"commguard/internal/stream"
@@ -41,12 +49,22 @@ func main() {
 	sarifPath := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this path (baselined findings marked suppressed)")
 	baselinePath := flag.String("baseline", "", "baseline file (default <root>/vet.baseline.json)")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline accepting every current warning, then verify against it")
+	pruneBaseline := flag.Bool("prune-baseline", false, "rewrite the baseline dropping entries matching no current finding (needs -all)")
+	failStale := flag.Bool("fail-stale", false, "exit 1 when the baseline has stale entries (needs -all)")
 	protection := flag.String("protection", "commguard", "platform protection level for edge verdicts (error-free, software-queue, reliable-queue, commguard)")
 	root := flag.String("root", "", "repo root (default: walk up to the enclosing go.mod)")
 	flag.Parse()
 
 	if *all == (*appName != "") {
 		fmt.Fprintln(os.Stderr, "commguard-vet: pass exactly one of -app NAME or -all")
+		os.Exit(2)
+	}
+	if *writeBaseline && *pruneBaseline {
+		fmt.Fprintln(os.Stderr, "commguard-vet: -write-baseline and -prune-baseline are mutually exclusive")
+		os.Exit(2)
+	}
+	if (*pruneBaseline || *failStale) && !*all {
+		fmt.Fprintln(os.Stderr, "commguard-vet: -prune-baseline and -fail-stale need -all (staleness is only meaningful against the full finding set)")
 		os.Exit(2)
 	}
 	guarded, ok := guardedFor(*protection)
@@ -94,6 +112,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Staleness: only -all sees the full finding set, so only -all can
+	// judge whether a baseline entry still matches anything.
+	var stale []string
+	if *all {
+		stale = bl.Stale(ds)
+	}
+	if *pruneBaseline && len(stale) > 0 {
+		bl = bl.Prune(stale)
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		err = bl.Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "commguard-vet: pruned %d stale entries from %s\n", len(stale), *baselinePath)
+		stale = nil
+	}
+	for _, fp := range stale {
+		fmt.Fprintf(os.Stderr, "commguard-vet: stale baseline entry (matches no current finding): %s\n", fp)
+	}
+
 	fatalDs, suppressed := bl.Partition(ds)
 
 	if *sarifPath != "" {
@@ -128,6 +173,10 @@ func main() {
 			len(fatalDs), errs, len(fatalDs)-errs, len(suppressed), *protection)
 	}
 	if len(fatalDs) > 0 {
+		os.Exit(1)
+	}
+	if *failStale && len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "commguard-vet: %d stale baseline entries (-fail-stale); run commguard-vet -all -prune-baseline\n", len(stale))
 		os.Exit(1)
 	}
 }
@@ -225,7 +274,7 @@ func run(root string, builders []apps.Builder, repoWide, guarded bool) ([]diag.D
 		return nil, fmt.Errorf("repolint: %w", err)
 	}
 	for _, f := range lfs {
-		if f.Rule == "RL007" {
+		if f.Rule == "RL007" || f.Rule == "RL008" {
 			continue
 		}
 		ds = append(ds, diag.Diagnostic{
@@ -236,6 +285,29 @@ func run(root string, builders []apps.Builder, repoWide, guarded bool) ([]diag.D
 			Line:     f.Pos.Line,
 			Col:      f.Pos.Column,
 			Message:  f.Message,
+		})
+	}
+
+	// Hot-path purity (CS020–CS023): whole-program walk from the
+	// //hotpath:entry annotations, registered as repo-scoped check rules.
+	// RL008 (repolint's single-file wrapping of the same analysis) is
+	// skipped in the lint loop above for the same reason as RL007.
+	hfs, err := hotpath.RepoFindings(root)
+	if err != nil {
+		return nil, fmt.Errorf("hotpath: %w", err)
+	}
+	hcfg := check.Config{Facts: map[string]any{hotpath.FactKey: &hotpath.Fact{Findings: hfs}}}
+	for _, d := range check.RunRepo(hcfg).Diagnostics {
+		ds = append(ds, diag.Diagnostic{
+			Tool:     "hotpath",
+			Code:     d.Code,
+			Severity: d.Severity.String(),
+			File:     relTo(root, d.File),
+			Line:     d.Line,
+			Col:      d.Col,
+			Node:     d.Symbol,
+			Message:  d.Message,
+			Fix:      d.Fix,
 		})
 	}
 

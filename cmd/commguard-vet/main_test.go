@@ -7,9 +7,11 @@ package main
 
 import (
 	"bytes"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"commguard/internal/diag"
@@ -127,6 +129,111 @@ func TestVetSARIFValidates(t *testing.T) {
 	}
 }
 
+// copyRepoSources clones the repo's Go sources (plus go.mod and the
+// checked-in baseline) into a temp dir so a test can mutate hot paths and
+// baselines without touching the real tree.
+func copyRepoSources(t *testing.T) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(repoRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(repoRoot, path)
+		if err != nil || rel == "." {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return fs.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !strings.HasSuffix(d.Name(), ".go") && d.Name() != "go.mod" && d.Name() != "vet.baseline.json" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestVetHotpathLifecycle drives the CS020 gate end to end on a scratch
+// copy of the repo: an injected allocation on an annotated hot path fails
+// vet with a call path; -write-baseline accepts it as a warning (the
+// baselined-warnings-only state exits 0); removing the allocation leaves a
+// stale baseline entry, which -fail-stale turns into a failure and
+// -prune-baseline repairs.
+func TestVetHotpathLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated whole-repo vet runs; skipped with -short")
+	}
+	scratch := copyRepoSources(t)
+	dct := filepath.Join(scratch, "internal", "dsp", "dct.go")
+	orig, err := os.ReadFile(dct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := append(append([]byte{}, orig...), []byte(`
+//hotpath:entry
+func vetInjectedHot(n int) int {
+	return len(make([]float64, n))
+}
+`)...)
+	if err := os.WriteFile(dct, injected, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. The injected allocation is an unbaselined CS020 with a call path.
+	stdout, stderr, code := runCLI(t, "commguard-vet", "-all", "-root", scratch, "-json")
+	if code != 1 {
+		t.Fatalf("injected alloc: exit %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if err := diag.ValidateReport([]byte(stdout)); err != nil {
+		t.Fatalf("-json output invalid: %v", err)
+	}
+	if !strings.Contains(stdout, "CS020") || !strings.Contains(stdout, "vetInjectedHot") {
+		t.Fatalf("expected a CS020 naming vetInjectedHot:\n%.800s", stdout)
+	}
+
+	// 2. -write-baseline accepts the warning; with every finding baselined,
+	// vet is clean.
+	_, stderr, code = runCLI(t, "commguard-vet", "-all", "-root", scratch, "-write-baseline")
+	if code != 0 {
+		t.Fatalf("-write-baseline: exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	stdout, _, code = runCLI(t, "commguard-vet", "-all", "-root", scratch)
+	if code != 0 || !strings.Contains(stdout, "0 findings") {
+		t.Fatalf("baselined warnings should exit 0:\nexit %d, %s", code, stdout)
+	}
+
+	// 3. Removing the allocation strands the baseline entry; -fail-stale is
+	// the CI gate for exactly that.
+	if err := os.WriteFile(dct, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code = runCLI(t, "commguard-vet", "-all", "-root", scratch, "-fail-stale")
+	if code != 1 || !strings.Contains(stderr, "stale baseline") {
+		t.Fatalf("-fail-stale on stranded entry: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+
+	// 4. -prune-baseline repairs the file; the gate passes again.
+	_, stderr, code = runCLI(t, "commguard-vet", "-all", "-root", scratch, "-prune-baseline")
+	if code != 0 || !strings.Contains(stderr, "pruned") {
+		t.Fatalf("-prune-baseline: exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	_, stderr, code = runCLI(t, "commguard-vet", "-all", "-root", scratch, "-fail-stale")
+	if code != 0 {
+		t.Fatalf("post-prune -fail-stale: exit %d, want 0\nstderr: %s", code, stderr)
+	}
+}
+
 func TestUsageErrorsExitTwo(t *testing.T) {
 	cases := [][]string{
 		{"graphcheck"},                                    // neither -app nor -all
@@ -137,6 +244,9 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		{"commguard-vet"},                                 // neither -app nor -all
 		{"commguard-vet", "-app", "nope"},                 // unknown benchmark
 		{"commguard-vet", "-all", "-protection", "bogus"}, // unknown level
+		{"commguard-vet", "-all", "-write-baseline", "-prune-baseline"}, // mutually exclusive
+		{"commguard-vet", "-app", "fft", "-prune-baseline"},             // staleness needs -all
+		{"commguard-vet", "-app", "fft", "-fail-stale"},                 // staleness needs -all
 	}
 	for _, c := range cases {
 		_, stderr, code := runCLI(t, c[0], c[1:]...)

@@ -46,6 +46,8 @@ func init() {
 }
 
 // MDCT transforms 2N windowed time samples into N coefficients.
+//
+//hotpath:entry
 func MDCT(x *[2 * N]float64, out *[N]float64) {
 	for k := 0; k < N; k++ {
 		sum := 0.0
@@ -59,6 +61,8 @@ func MDCT(x *[2 * N]float64, out *[N]float64) {
 
 // IMDCT expands N coefficients into 2N windowed time samples ready for
 // overlap-add (includes the 2/N scaling and synthesis window).
+//
+//hotpath:entry
 func IMDCT(coeffs *[N]float64, out *[2 * N]float64) {
 	for n := 0; n < 2*N; n++ {
 		sum := 0.0
@@ -72,6 +76,8 @@ func IMDCT(coeffs *[N]float64, out *[2 * N]float64) {
 // OverlapAdd combines the second half of the previous frame's IMDCT output
 // with the first half of the current one, yielding N PCM samples, and
 // returns the tail to carry forward.
+//
+//hotpath:entry
 func OverlapAdd(prevTail *[N]float64, cur *[2 * N]float64, out *[N]float64) {
 	for i := 0; i < N; i++ {
 		out[i] = prevTail[i] + cur[i]

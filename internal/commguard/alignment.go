@@ -146,6 +146,8 @@ func (am *AlignmentManager) setState(s AMState) {
 // started" and "New frame computation matched header"). The edge's frame
 // domain — the AM's redundant active-fc (§5.4) — decides whether a new
 // domain frame starts here.
+//
+//hotpath:entry
 func (am *AlignmentManager) NewFrameComputation(uint32) {
 	fc, startedFrame := am.domain.advance()
 	if !startedFrame {
@@ -179,6 +181,8 @@ func (am *AlignmentManager) EndOfComputation() {}
 // Pop mediates one pop instruction of the consumer thread (Table 2): the
 // FSM is checked, the Queue Manager is invoked unless the FSM pads, and
 // discarding continues until the FSM settles ("while FSM not DONE").
+//
+//hotpath:entry
 func (am *AlignmentManager) Pop() uint32 {
 	am.ops.FSMCounter++ // FSM-check for the pop event
 	for spin := 0; spin < am.maxSpin; spin++ {
@@ -229,6 +233,8 @@ func (am *AlignmentManager) Pop() uint32 {
 // that element takes the per-item FSM path, so realignment behavior and
 // every counter (OpCounters, AMStats, queue.Stats) match per-item popping
 // exactly.
+//
+//hotpath:entry
 func (am *AlignmentManager) PopN(dst []uint32) {
 	i := 0
 	for i < len(dst) {

@@ -52,6 +52,8 @@ func (hi *HeaderInserter) SetTrace(r *obs.Ring) {
 // over to a new frame computation. The edge's frame domain decides whether
 // this starts a new domain frame; if so, a header carrying the domain
 // frame ID is inserted into the stream.
+//
+//hotpath:entry
 func (hi *HeaderInserter) NewFrameComputation(uint32) {
 	// The domain counter is the HI's redundant active-fc (§5.4); the
 	// core-provided value is not needed because the domain counts the
@@ -75,6 +77,8 @@ func (hi *HeaderInserter) NewFrameComputation(uint32) {
 // not part of the thread's data stream — they ride in via frame events —
 // so the HI itself needs no per-item work here; the batch exists so a
 // whole firing reaches the Queue Manager at once.
+//
+//hotpath:entry
 func (hi *HeaderInserter) PushData(vs []uint32) {
 	hi.q.PushDataN(vs)
 }

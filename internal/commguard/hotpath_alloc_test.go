@@ -1,0 +1,73 @@
+package commguard
+
+import (
+	"testing"
+	"time"
+
+	"commguard/internal/queue"
+)
+
+// Runtime cross-validation of the static hot-path proof (internal/hotpath):
+// the //hotpath:entry protection fast paths must not allocate in steady
+// state. Subtest names carry the annotated function names so a CS020
+// finding and the failing test point at the same function; each run drives
+// one framed round trip (producer frame event + data batch, consumer frame
+// event + aligned drain) so both sides' entries are exercised together.
+
+func TestHotpathAllocFree(t *testing.T) {
+	const payload = 63 // + 1 header = one 64-unit working set per run
+
+	newEdge := func(t *testing.T) (*HeaderInserter, *AlignmentManager) {
+		t.Helper()
+		q := queue.MustNew(1, queue.Config{WorkingSets: 4, WorkingSetUnits: 64, ProtectPointers: true, Timeout: time.Second})
+		// Each run produces and consumes exactly one working set, so the
+		// exchange never waits; non-blocking mode keeps even a pathological
+		// schedule out of the timer machinery.
+		q.SetNonBlocking(true)
+		return NewHeaderInserter(q), NewAlignmentManager(q, 0)
+	}
+
+	assertZero := func(t *testing.T, f func()) {
+		t.Helper()
+		if avg := testing.AllocsPerRun(100, f); avg != 0 {
+			t.Errorf("%.1f allocs/run, want 0 (the static CS020 gate should have caught this; see internal/hotpath)", avg)
+		}
+	}
+
+	t.Run("HeaderInserter.PushData+AlignmentManager.PopN", func(t *testing.T) {
+		hi, am := newEdge(t)
+		vs := make([]uint32, payload)
+		for i := range vs {
+			vs[i] = uint32(i) + 1
+		}
+		dst := make([]uint32, payload)
+		assertZero(t, func() {
+			hi.NewFrameComputation(0)
+			hi.PushData(vs)
+			am.NewFrameComputation(0)
+			am.PopN(dst)
+		})
+		if got := am.Stats(); got.PaddedItems != 0 || got.DiscardedItems != 0 {
+			t.Errorf("alignment disturbed during alloc run: %+v", got)
+		}
+	})
+
+	t.Run("HeaderInserter.NewFrameComputation+AlignmentManager.Pop", func(t *testing.T) {
+		hi, am := newEdge(t)
+		vs := make([]uint32, payload)
+		for i := range vs {
+			vs[i] = uint32(i) + 1
+		}
+		assertZero(t, func() {
+			hi.NewFrameComputation(0)
+			hi.PushData(vs)
+			am.NewFrameComputation(0)
+			for i := 0; i < payload; i++ {
+				am.Pop()
+			}
+		})
+		if got := am.Stats(); got.PaddedItems != 0 || got.DiscardedItems != 0 {
+			t.Errorf("alignment disturbed during alloc run: %+v", got)
+		}
+	})
+}

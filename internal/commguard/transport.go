@@ -71,10 +71,15 @@ type guardedOut struct {
 	q *queue.Queue
 }
 
+// Push transmits one item through guarded transit.
+//
+//hotpath:entry
 func (o *guardedOut) Push(v uint32) { o.q.Push(queue.DataUnit(v)) }
 
 // PushN transmits a whole firing's items in one guarded-transit call
 // (stream.BatchOutPort).
+//
+//hotpath:entry
 func (o *guardedOut) PushN(vs []uint32) { o.q.PushDataN(vs) }
 
 // End flushes and closes the queue. The HI already appended the
@@ -91,10 +96,15 @@ type guardedIn struct {
 	am *AlignmentManager
 }
 
+// Pop mediates one thread pop through the Alignment Manager.
+//
+//hotpath:entry
 func (i *guardedIn) Pop() uint32 { return i.am.Pop() }
 
 // PopN mediates a whole firing's pops through the Alignment Manager's
 // batch path (stream.BatchInPort).
+//
+//hotpath:entry
 func (i *guardedIn) PopN(dst []uint32) { i.am.PopN(dst) }
 
 // Stats aggregates the CommGuard module counters across all edges.

@@ -107,3 +107,40 @@ func (b *Baseline) Partition(ds []Diagnostic) (fatal, suppressed []Diagnostic) {
 	}
 	return fatal, suppressed
 }
+
+// Stale returns the baseline fingerprints matching none of the current
+// diagnostics, sorted. A stale entry is a suppression that outlived its
+// finding — harmless today, but it would silently swallow the next finding
+// that happens to land on the same fingerprint, so vet warns on it and
+// -prune-baseline removes it.
+func (b *Baseline) Stale(ds []Diagnostic) []string {
+	current := make(map[string]bool, len(ds))
+	for _, d := range ds {
+		current[Fingerprint(d)] = true
+	}
+	var stale []string
+	for _, fp := range b.Findings {
+		if !current[fp] {
+			stale = append(stale, fp)
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
+// Prune returns a copy of the baseline with the given fingerprints removed.
+func (b *Baseline) Prune(stale []string) *Baseline {
+	drop := make(map[string]bool, len(stale))
+	for _, fp := range stale {
+		drop[fp] = true
+	}
+	out := &Baseline{Version: 1, set: map[string]bool{}}
+	for _, fp := range b.Findings {
+		if drop[fp] {
+			continue
+		}
+		out.Findings = append(out.Findings, fp)
+		out.set[fp] = true
+	}
+	return out
+}

@@ -24,6 +24,8 @@ func alpha(k int) float64 {
 }
 
 // DCT8 computes the 1-D 8-point forward DCT-II of src into dst.
+//
+//hotpath:entry
 func DCT8(dst, src *[8]float64) {
 	for k := 0; k < 8; k++ {
 		sum := 0.0
@@ -35,6 +37,8 @@ func DCT8(dst, src *[8]float64) {
 }
 
 // IDCT8 computes the 1-D 8-point inverse DCT (DCT-III) of src into dst.
+//
+//hotpath:entry
 func IDCT8(dst, src *[8]float64) {
 	for n := 0; n < 8; n++ {
 		sum := 0.0
@@ -46,6 +50,8 @@ func IDCT8(dst, src *[8]float64) {
 }
 
 // DCT2D computes the 8x8 forward DCT of block in row-major order, in place.
+//
+//hotpath:entry
 func DCT2D(block *[64]float64) {
 	var row, tmp [8]float64
 	var stage [64]float64
@@ -66,6 +72,8 @@ func DCT2D(block *[64]float64) {
 }
 
 // IDCT2D computes the 8x8 inverse DCT of block in row-major order, in place.
+//
+//hotpath:entry
 func IDCT2D(block *[64]float64) {
 	var col, tmp [8]float64
 	var stage [64]float64

@@ -34,6 +34,8 @@ func MustNewFIR(taps []float64) *FIR {
 }
 
 // Process filters one input sample and returns one output sample.
+//
+//hotpath:entry
 func (f *FIR) Process(x float64) float64 {
 	f.delay[f.pos] = x
 	acc := 0.0
@@ -94,6 +96,8 @@ func MustNewComplexFIR(tapsRe, tapsIm []float64) *ComplexFIR {
 }
 
 // Process filters one complex sample.
+//
+//hotpath:entry
 func (f *ComplexFIR) Process(xr, xi float64) (yr, yi float64) {
 	f.delayRe[f.pos] = xr
 	f.delayIm[f.pos] = xi

@@ -1,0 +1,125 @@
+package hotpath
+
+// One deliberately impure fixture per CS020-series code, each firing
+// exactly its own code, plus a clean annotated fixture firing none — the
+// same seed-parity contract the soundness fixtures pin (and the corpus
+// FuzzHotpath mutates).
+
+// srcCS020 allocates on the hot path and does nothing else impure.
+const srcCS020 = `package p
+
+//hotpath:entry
+func Hot(n int) int {
+	buf := make([]int, n)
+	return len(buf)
+}
+`
+
+// srcCS021 blocks on the hot path: a channel receive.
+const srcCS021 = `package p
+
+//hotpath:entry
+func Hot(ch chan int) int {
+	v := <-ch
+	return v
+}
+`
+
+// srcCS022 mutates a map on the hot path.
+const srcCS022 = `package p
+
+//hotpath:entry
+func Hot(m map[int]int, k int) {
+	m[k] = k
+}
+`
+
+// srcCS023 calls through a function value: opaque to the walk.
+const srcCS023 = `package p
+
+//hotpath:entry
+func Hot(f func() int) int {
+	return f()
+}
+`
+
+// srcClean is a hot path the analyzer must pass: arithmetic, builtins on
+// caller-owned memory, in-package helpers, and a sanctioned //hotpath:ok
+// slow-path boundary.
+const srcClean = `package p
+
+//hotpath:entry
+func Hot(dst, src []int) int {
+	n := copy(dst, src)
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += scale(dst[i])
+	}
+	if acc < 0 {
+		refill()
+	}
+	return acc
+}
+
+func scale(v int) int { return v * 3 }
+
+//hotpath:ok sanctioned slow path: fixture boundary, never descended
+func refill() {
+	_ = make([]int, 64)
+}
+`
+
+// srcDeep has the violation two calls below the entry, pinning call-path
+// reconstruction.
+const srcDeep = `package p
+
+//hotpath:entry
+func Hot(n int) int {
+	return outer(n)
+}
+
+func outer(n int) int {
+	return len(inner(n))
+}
+
+func inner(n int) []int {
+	return make([]int, n)
+}
+`
+
+// srcSuppressed carries //hotpath:ok statement waivers: a matching one
+// (CS020 silenced) and a non-matching one (CS021 directive does not cover
+// the map write).
+const srcSuppressed = `package p
+
+//hotpath:entry
+func Hot(m map[int]int, n int) int {
+	//hotpath:ok CS020 one-time warmup allocation, measured free
+	buf := make([]int, n)
+	//hotpath:ok CS021 wrong code: does not cover the map write
+	m[0] = len(buf)
+	return len(buf)
+}
+`
+
+// srcShared has two entries reaching one allocating helper: the finding is
+// reported once, attributed to the first entry in source order.
+const srcShared = `package p
+
+//hotpath:entry
+func HotA(n int) int { return len(leak(n)) }
+
+//hotpath:entry
+func HotB(n int) int { return cap(leak(n)) }
+
+func leak(n int) []int { return make([]int, n) }
+`
+
+func fixtures() map[string]string {
+	return map[string]string{
+		"CS020": srcCS020,
+		"CS021": srcCS021,
+		"CS022": srcCS022,
+		"CS023": srcCS023,
+	}
+}

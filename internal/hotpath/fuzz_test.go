@@ -1,0 +1,28 @@
+package hotpath
+
+import "testing"
+
+// FuzzHotpath mirrors FuzzSoundness: whatever the source looks like — the
+// per-code fixtures, the clean fixture, or mutations of any of them — the
+// lenient single-file analysis may reject the input (parse error) but must
+// never panic.
+func FuzzHotpath(f *testing.F) {
+	for _, src := range fixtures() {
+		f.Add(src)
+	}
+	for _, src := range []string{srcClean, srcDeep, srcSuppressed, srcShared} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fs, err := AnalyzeSource("fuzz.go", []byte(src))
+		if err != nil {
+			return
+		}
+		for _, fi := range fs {
+			if fi.Code == "" || len(fi.Path) == 0 {
+				t.Fatalf("malformed finding: %+v", fi)
+			}
+			_ = fi.String()
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader type-checks in-module packages with the stdlib toolchain only: no
+// go/packages, no module downloads (the repo-wide convention, see
+// internal/crit). In-module import paths resolve recursively to
+// directories under the module root; everything else is delegated to the
+// compiler "source" importer, which type-checks the standard library from
+// source and therefore works on any toolchain that can build the repo.
+type loader struct {
+	root   string // module root directory ("" in single-file mode)
+	module string // module path from go.mod ("" in single-file mode)
+	fset   *token.FileSet
+	std    types.Importer
+	info   *types.Info
+
+	pkgs    map[string]*types.Package // committed, by import path
+	loading map[string]bool           // cycle guard
+	files   map[string][]*ast.File    // by import path
+
+	// decls indexes every loaded function/method declaration by its
+	// type-checker object — the facts cache is keyed off these.
+	decls map[*types.Func]*ast.FuncDecl
+	// okAt carries statement-level //hotpath:ok directives per filename.
+	okAt map[string]map[int]okDirective
+
+	// lenient collects type errors instead of failing; set in single-file
+	// mode where cross-file declarations are legitimately missing.
+	lenient  bool
+	typeErrs []error
+}
+
+func baseInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// newLoader builds a strict whole-program loader rooted at the module
+// directory containing go.mod.
+func newLoader(root string) (*loader, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		root:    root,
+		module:  module,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		info:    baseInfo(),
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+		files:   map[string][]*ast.File{},
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		okAt:    map[string]map[int]okDirective{},
+	}, nil
+}
+
+// newFileLoader builds a lenient loader for one already-parsed file.
+func newFileLoader(fset *token.FileSet) *loader {
+	return &loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		info:    baseInfo(),
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+		files:   map[string][]*ast.File{},
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		okAt:    map[string]map[int]okDirective{},
+		lenient: true,
+	}
+}
+
+// modulePath reads the module path out of root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("hotpath: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("hotpath: no module line in %s/go.mod", root)
+}
+
+// inModule reports whether a type-checked package belongs to the module.
+// Packages committed by checkFile (single-file mode, "file/" paths) count:
+// their declarations are loaded and can be descended into.
+func (l *loader) inModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if strings.HasPrefix(pkg.Path(), "file/") {
+		return true
+	}
+	return l.inModulePath(pkg.Path())
+}
+
+func (l *loader) inModulePath(path string) bool {
+	if l.module == "" {
+		return false
+	}
+	return path == l.module || strings.HasPrefix(path, l.module+"/")
+}
+
+// Import implements types.Importer so in-module imports recurse through
+// the loader while everything else goes to the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.inModulePath(path) {
+		return l.load(path)
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one in-module package directory.
+func (l *loader) load(ipath string) (*types.Package, error) {
+	if p, ok := l.pkgs[ipath]; ok {
+		return p, nil
+	}
+	if l.loading[ipath] {
+		return nil, fmt.Errorf("import cycle through %s", ipath)
+	}
+	l.loading[ipath] = true
+	defer delete(l.loading, ipath)
+
+	rel := strings.TrimPrefix(ipath, l.module)
+	dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg, err := l.check(ipath, files)
+	if err != nil {
+		return nil, err
+	}
+	l.commit(ipath, pkg, files)
+	return pkg, nil
+}
+
+// checkFile type-checks one parsed file as its own package (lenient mode)
+// and returns the import path it was committed under.
+func (l *loader) checkFile(f *ast.File) string {
+	ipath := "file/" + f.Name.Name
+	pkg, _ := l.check(ipath, []*ast.File{f}) // lenient: errors collected
+	l.commit(ipath, pkg, []*ast.File{f})
+	return ipath
+}
+
+func (l *loader) check(ipath string, files []*ast.File) (*types.Package, error) {
+	conf := types.Config{Importer: l, FakeImportC: true}
+	if l.lenient {
+		conf.Error = func(err error) { l.typeErrs = append(l.typeErrs, err) }
+	}
+	pkg, err := conf.Check(ipath, l.fset, files, l.info)
+	if err != nil && !l.lenient {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// commit records a checked package: its files, its function declarations,
+// and its statement-level suppressions.
+func (l *loader) commit(ipath string, pkg *types.Package, files []*ast.File) {
+	l.pkgs[ipath] = pkg
+	l.files[ipath] = files
+	for _, f := range files {
+		l.okAt[l.fset.Position(f.Pos()).Filename] = parseOkLines(l.fset, f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := l.info.Defs[fd.Name].(*types.Func); ok {
+				l.decls[obj] = fd
+			}
+		}
+	}
+}
+
+// suppressed reports whether a //hotpath:ok directive on the finding's
+// line or the line above waives the code.
+func (l *loader) suppressed(pos token.Pos, code string) bool {
+	p := l.fset.Position(pos)
+	lines := l.okAt[p.Filename]
+	if lines == nil {
+		return false
+	}
+	if d, ok := lines[p.Line]; ok && d.covers(code) {
+		return true
+	}
+	if d, ok := lines[p.Line-1]; ok && d.covers(code) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package hotpath
+
+import "strings"
+
+// Stdlib classification. The analyzer cannot descend into the standard
+// library (its internals churn across toolchains and lean on runtime
+// intrinsics), so calls out of the module are judged by this table:
+// pure (no finding), allocating (CS020), blocking (CS021) — and anything
+// the table does not know is opaque (CS023). The conservative default is
+// deliberate: an unknown call on a hot path should demand either a table
+// entry, a //hotpath:ok waiver, or a baseline entry, never silence.
+
+// stdVerdict is the classification of one stdlib call.
+type stdVerdict struct {
+	code string // "" = pure
+	msg  string
+}
+
+var pure = stdVerdict{}
+
+func alloc(msg string) stdVerdict { return stdVerdict{CodeAlloc, msg} }
+func block(msg string) stdVerdict { return stdVerdict{CodeBlock, msg} }
+
+// wholly pure packages: value computation only, no allocation, no
+// synchronization. sync/atomic is the load-bearing entry — the queue's
+// lock-free transit is built on it.
+var purePkgs = map[string]bool{
+	"math":          true,
+	"math/bits":     true,
+	"math/cmplx":    true,
+	"sync/atomic":   true,
+	"unicode":       true,
+	"unicode/utf8":  true,
+	"unicode/utf16": true,
+}
+
+// wholly blocking packages: anything syscall-adjacent. A hot path has no
+// business talking to the kernel.
+var blockPkgs = map[string]bool{
+	"os":        true,
+	"os/exec":   true,
+	"os/signal": true,
+	"syscall":   true,
+	"net":       true,
+	"net/http":  true,
+	"io":        true,
+	"io/fs":     true,
+	"bufio":     true,
+	"log":       true,
+}
+
+// pureFuncs lists pure members of mixed packages, keyed "pkg.Name" for
+// package functions and "pkg.Recv.Name" for methods.
+var pureFuncs = map[string]bool{
+	// time: reading the clock is a VDSO call on the platforms we care
+	// about — the obs ring's record() depends on this classification.
+	"time.Now": true, "time.Since": true, "time.Until": true,
+	"time.Time.Add": true, "time.Time.Sub": true, "time.Time.Before": true,
+	"time.Time.After": true, "time.Time.Equal": true, "time.Time.Compare": true,
+	"time.Time.IsZero": true, "time.Time.Unix": true, "time.Time.UnixNano": true,
+	"time.Time.UnixMilli": true, "time.Time.UnixMicro": true,
+	"time.Duration.Nanoseconds": true, "time.Duration.Microseconds": true,
+	"time.Duration.Milliseconds": true, "time.Duration.Seconds": true,
+	"time.Duration.Minutes": true, "time.Duration.Hours": true,
+	"time.Duration.Truncate": true, "time.Duration.Round": true,
+	// timer upkeep that does not wait (creation is still blocking, below)
+	"time.Timer.Stop": true, "time.Timer.Reset": true,
+	"time.Ticker.Stop": true, "time.Ticker.Reset": true,
+
+	// sync: releases, signals and counter updates never wait.
+	"sync.Mutex.Unlock": true, "sync.Mutex.TryLock": true,
+	"sync.RWMutex.Unlock": true, "sync.RWMutex.RUnlock": true,
+	"sync.RWMutex.TryLock": true, "sync.RWMutex.TryRLock": true,
+	"sync.WaitGroup.Add": true, "sync.WaitGroup.Done": true,
+	"sync.Cond.Signal": true, "sync.Cond.Broadcast": true,
+
+	// strings/bytes: scanning is pure; anything that returns a new
+	// string/slice is not (default below).
+	"strings.Compare": true, "strings.Contains": true, "strings.ContainsAny": true,
+	"strings.ContainsRune": true, "strings.Count": true, "strings.EqualFold": true,
+	"strings.HasPrefix": true, "strings.HasSuffix": true, "strings.Index": true,
+	"strings.IndexAny": true, "strings.IndexByte": true, "strings.IndexRune": true,
+	"strings.LastIndex": true, "strings.LastIndexByte": true,
+	"bytes.Compare": true, "bytes.Contains": true, "bytes.Count": true,
+	"bytes.Equal": true, "bytes.EqualFold": true, "bytes.HasPrefix": true,
+	"bytes.HasSuffix": true, "bytes.Index": true, "bytes.IndexByte": true,
+	"bytes.LastIndex": true,
+
+	// strconv: parsing is allocation-free on the success path.
+	"strconv.Atoi": true, "strconv.ParseInt": true, "strconv.ParseUint": true,
+	"strconv.ParseFloat": true, "strconv.ParseBool": true,
+
+	// sort: binary search over caller-owned data.
+	"sort.Search": true, "sort.SearchInts": true, "sort.SearchFloat64s": true,
+	"sort.SearchStrings": true,
+
+	// errors: inspection (construction is alloc, default below).
+	"errors.Is": true, "errors.Unwrap": true,
+
+	// runtime: the one member a hot path may touch.
+	"runtime.KeepAlive": true,
+
+	// math/rand: *Rand methods are lock-free PRNG steps (package-level
+	// functions hit the global locked source — blocking, below).
+	"rand.Rand.Int63": true, "rand.Rand.Uint32": true, "rand.Rand.Uint64": true,
+	"rand.Rand.Int31": true, "rand.Rand.Int": true, "rand.Rand.Int63n": true,
+	"rand.Rand.Int31n": true, "rand.Rand.Intn": true, "rand.Rand.Float64": true,
+	"rand.Rand.Float32": true, "rand.Rand.NormFloat64": true, "rand.Rand.ExpFloat64": true,
+}
+
+// knownVerdicts carries explicit non-pure classifications of mixed
+// packages, same key scheme as pureFuncs.
+var knownVerdicts = map[string]stdVerdict{
+	"time.Sleep":     block("time.Sleep parks the goroutine"),
+	"time.After":     block("time.After allocates a timer and channel"),
+	"time.Tick":      block("time.Tick allocates a ticker"),
+	"time.NewTimer":  block("timer creation enters the runtime timer heap"),
+	"time.NewTicker": block("ticker creation enters the runtime timer heap"),
+	"time.AfterFunc": block("timer creation enters the runtime timer heap"),
+
+	"sync.Mutex.Lock":     block("mutex lock can park the goroutine"),
+	"sync.RWMutex.Lock":   block("write lock can park the goroutine"),
+	"sync.RWMutex.RLock":  block("read lock can park the goroutine"),
+	"sync.WaitGroup.Wait": block("WaitGroup.Wait parks until the counter drains"),
+	"sync.Cond.Wait":      block("Cond.Wait parks the goroutine"),
+	"sync.Once.Do":        block("Once.Do blocks behind the first caller"),
+	"sync.Map.Load":       block("sync.Map operations take internal locks"),
+	"sync.Map.Store":      block("sync.Map operations take internal locks"),
+	"sync.Map.Range":      block("sync.Map operations take internal locks"),
+	"sync.Pool.Get":       block("sync.Pool pins and may allocate via New"),
+	"sync.Pool.Put":       block("sync.Pool pins the goroutine"),
+
+	"runtime.Gosched":      block("explicit reschedule"),
+	"runtime.GC":           block("forced garbage collection"),
+	"runtime.LockOSThread": block("thread pinning"),
+
+	"sort.Slice":       alloc("sort.Slice boxes the slice and closure"),
+	"sort.SliceStable": alloc("sort.SliceStable boxes the slice and closure"),
+}
+
+// allocDefaultPkgs: unlisted members default to CS020 (they exist to build
+// new strings/slices/errors).
+var allocDefaultPkgs = map[string]bool{
+	"strings": true,
+	"bytes":   true,
+	"strconv": true,
+	"errors":  true,
+	"fmt":     true, // Sprint* family; Print*/Scan* overridden to blocking below
+}
+
+// classifyStd judges a call into package pkgPath. name is the function
+// name; recv is the bare receiver type name for methods ("" for package
+// functions).
+func classifyStd(pkgPath, pkgName, recv, name string) stdVerdict {
+	key := pkgName + "." + name
+	if recv != "" {
+		key = pkgName + "." + recv + "." + name
+	}
+	if pureFuncs[key] {
+		return pure
+	}
+	if v, ok := knownVerdicts[key]; ok {
+		return v
+	}
+	if purePkgs[pkgPath] {
+		return pure
+	}
+	if blockPkgs[pkgPath] {
+		return block(key + " is syscall-adjacent")
+	}
+	switch pkgPath {
+	case "fmt":
+		if strings.HasPrefix(name, "Sprint") || strings.HasPrefix(name, "Append") || name == "Errorf" {
+			return alloc(key + " formats into a new buffer")
+		}
+		return block(key + " performs I/O")
+	case "math/rand", "math/rand/v2":
+		if recv != "" {
+			return pure
+		}
+		return block(key + " locks the global rand source")
+	case "reflect":
+		return stdVerdict{CodeOpaque, "reflection is opaque to the hot-path analysis"}
+	case "sort":
+		// Sort/Stable and friends run on caller data through an already
+		// built interface; the boxing (if any) is flagged at the call.
+		return pure
+	}
+	if allocDefaultPkgs[pkgPath] {
+		return alloc(key + " allocates its result")
+	}
+	return stdVerdict{CodeOpaque, "call into unclassified package " + pkgPath + " (" + key + ")"}
+}

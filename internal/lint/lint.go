@@ -29,12 +29,23 @@
 //	       backed by internal/soundness's atomics discipline (CS010+),
 //	       evaluated per file here — commguard-vet runs the cross-file
 //	       form.
+//	RL008  functions annotated //hotpath:entry must stay pure: no heap
+//	       allocation, no blocking, no defer/recover/map writes, no
+//	       opaque calls anywhere statically reachable from them; backed
+//	       by internal/hotpath's whole-program walk (CS020–CS023),
+//	       surfaced per file here — commguard-vet runs the repo-wide
+//	       form. Sanctioned slow-path boundaries are marked
+//	       //hotpath:ok with a reason (see the internal/hotpath package
+//	       doc for the annotation grammar).
 //
 // Findings can be suppressed with a `//repolint:ignore RL00x reason`
 // comment on the same line, the line directly above, or — file-wide —
 // before the package clause. Multiple codes may be space- or
 // comma-separated; a bare directive suppresses every code. Directives
-// naming a CM code also cover the wrapped RL004/RL005 form and vice versa.
+// naming a CM code also cover the wrapped RL004/RL005 form and vice
+// versa; the same aliasing covers RL008 and the CS020-series. Hotpath
+// findings additionally honor the //hotpath:ok statement-level waiver,
+// applied inside the analysis itself.
 //
 // The analyzer is built on go/parser and go/ast alone — no go/packages, no
 // module downloads — so `go run ./cmd/repolint ./...` works in a hermetic
@@ -47,12 +58,14 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"commguard/internal/crit"
+	"commguard/internal/hotpath"
 	"commguard/internal/soundness"
 )
 
@@ -166,6 +179,9 @@ func lintParsed(fset *token.FileSet, f *ast.File, path string) []Finding {
 	if atomicsApplies(path) {
 		findings = append(findings, checkAtomics(fset, f)...)
 	}
+	if hotpathApplies(path) {
+		findings = append(findings, checkHotpath(fset, f, path)...)
+	}
 
 	return suppress(fset, f, findings)
 }
@@ -193,6 +209,72 @@ func checkAtomics(fset *token.FileSet, f *ast.File) []codedFinding {
 		})
 	}
 	return out
+}
+
+// hotpathApplies scopes RL008 to the packages carrying //hotpath:entry
+// annotations (hotpath.Sources), so the rest of the tree never pays for
+// the whole-program analysis.
+func hotpathApplies(path string) bool {
+	if strings.HasSuffix(filepath.Base(path), "_test.go") {
+		return false
+	}
+	return inPackageDir(path, hotpath.Sources()...)
+}
+
+// checkHotpath wraps internal/hotpath's purity analysis as RL008.
+// Single-file vision: an on-disk file is judged by the repo-wide walk
+// (memoized per process, filtered to this file) because hot paths cross
+// files and packages by construction; an in-memory file (Source, tests)
+// gets the lenient single-file analysis, where unresolvable callees are
+// skipped rather than reported.
+func checkHotpath(fset *token.FileSet, f *ast.File, path string) []codedFinding {
+	var fs []hotpath.Finding
+	abs, err := filepath.Abs(path)
+	if err == nil {
+		if _, serr := os.Stat(abs); serr == nil {
+			root := moduleRootFor(filepath.Dir(abs))
+			if root == "" {
+				return nil
+			}
+			repoFs, rerr := hotpath.RepoFindings(root)
+			if rerr != nil {
+				return nil // vet reports analysis errors; the linter stays silent
+			}
+			for _, fi := range repoFs {
+				if fi.Pos.Filename == abs {
+					fs = append(fs, fi)
+				}
+			}
+		} else {
+			fs, _ = hotpath.AnalyzeParsed(fset, f)
+		}
+	}
+	var out []codedFinding
+	for _, fi := range fs {
+		out = append(out, codedFinding{
+			Finding: Finding{
+				Pos:     fi.Pos,
+				Rule:    "RL008",
+				Message: fmt.Sprintf("%s (path: %s)", fi.Message, strings.Join(fi.Path, " -> ")),
+			},
+			matchCode: fi.Code,
+		})
+	}
+	return out
+}
+
+// moduleRootFor walks up from dir to the enclosing go.mod.
+func moduleRootFor(dir string) string {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
 }
 
 // critApplies scopes RL004/RL005 to the filter implementations — the app

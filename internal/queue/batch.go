@@ -31,6 +31,7 @@ const (
 // the offsets the per-item path would use.
 //
 //queue:side producer
+//hotpath:entry
 func (q *Queue) PushN(batch []Unit) {
 	k := uint32(q.cfg.WorkingSets)
 	s := uint32(q.cfg.WorkingSetUnits)
@@ -81,6 +82,7 @@ func (q *Queue) PushN(batch []Unit) {
 // Push(DataUnit(v)) once per element.
 //
 //queue:side producer
+//hotpath:entry
 func (q *Queue) PushDataN(vs []uint32) {
 	k := uint32(q.cfg.WorkingSets)
 	s := uint32(q.cfg.WorkingSetUnits)
@@ -118,6 +120,7 @@ func (q *Queue) PushDataN(vs []uint32) {
 // than len(dst) means a pop failed (one timeout counted, as per-item).
 //
 //queue:side consumer
+//hotpath:entry
 func (q *Queue) PopN(dst []Unit) int {
 	k := uint32(q.cfg.WorkingSets)
 	s := uint32(q.cfg.WorkingSetUnits)
@@ -177,6 +180,7 @@ func (q *Queue) PopN(dst []Unit) int {
 // stop reason. Equivalent to per-item Pops for the delivered prefix.
 //
 //queue:side consumer
+//hotpath:entry
 func (q *Queue) PopDataN(dst []uint32) (int, PopStop) {
 	k := uint32(q.cfg.WorkingSets)
 	s := uint32(q.cfg.WorkingSetUnits)

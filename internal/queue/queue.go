@@ -480,6 +480,7 @@ func (q *Queue) canFill() bool {
 // at frame boundaries).
 //
 //queue:side producer
+//hotpath:ok working-set exchange slow path: bounded wait + mutexed ECC pointer access (Fig. 6, Table 3)
 func (q *Queue) acquireFillSlot() {
 	if q.nonBlocking.Load() {
 		if !q.canFill() {
@@ -529,6 +530,7 @@ func (q *Queue) acquireFillSlot() {
 // state.
 //
 //queue:side producer
+//hotpath:entry
 func (q *Queue) Push(u Unit) {
 	// A free working set is only needed when starting one.
 	if q.prodOffset.Load() == 0 {
@@ -558,6 +560,7 @@ func (q *Queue) Push(u Unit) {
 // set/check operations for the shared pointer access.
 //
 //queue:side producer
+//hotpath:ok working-set exchange slow path: mutexed ECC pointer swap once per working set (Fig. 6, Table 3)
 func (q *Queue) publish(n uint32) {
 	k := uint32(q.cfg.WorkingSets)
 	q.wsLen[q.prodWSIdx].Store(n)
@@ -629,6 +632,7 @@ func (q *Queue) canDrain() bool {
 // the queue is closed and fully drained.
 //
 //queue:side consumer
+//hotpath:ok working-set exchange slow path: bounded wait + mutexed ECC pointer access (Fig. 6, Table 3)
 func (q *Queue) acquireDrainSlot() bool {
 	if q.canDrain() {
 		return true
@@ -676,6 +680,7 @@ func (q *Queue) acquireDrainSlot() bool {
 // Mid-working-set pops are lock-free and touch no shared state.
 //
 //queue:side consumer
+//hotpath:entry
 func (q *Queue) Pop() (u Unit, ok bool) {
 	if !q.acquireDrainSlot() {
 		return 0, false
@@ -704,6 +709,7 @@ func (q *Queue) Pop() (u Unit, ok bool) {
 // side's shared pointer exchange; 10 ECC suboperations per Table 3).
 //
 //queue:side consumer
+//hotpath:ok working-set exchange slow path: mutexed ECC pointer swap once per working set (Fig. 6, Table 3)
 func (q *Queue) returnWS() {
 	q.traceCons.QueueReturn(int32(q.id), q.consWS.Load())
 	q.mu.Lock()

@@ -66,7 +66,14 @@ func (t *PlainTransport) Wire(e *Edge, prod, cons *ppu.Core) (OutPort, InPort, *
 
 type plainOut struct{ q *queue.Queue }
 
+// Push transmits one item through unguarded transit.
+//
+//hotpath:entry
 func (p *plainOut) Push(v uint32) { p.q.Push(queue.DataUnit(v)) }
+
+// PushN transmits a whole firing's items in one unguarded-transit call.
+//
+//hotpath:entry
 func (p *plainOut) PushN(vs []uint32) {
 	p.q.PushDataN(vs)
 }
@@ -77,6 +84,9 @@ func (p *plainOut) End() {
 
 type plainIn struct{ q *queue.Queue }
 
+// Pop removes one item from unguarded transit (0 on timeout).
+//
+//hotpath:entry
 func (p *plainIn) Pop() uint32 {
 	u, ok := p.q.Pop()
 	if !ok {
@@ -94,6 +104,8 @@ func (p *plainIn) Pop() uint32 {
 // stream through batch transit; a header or a failed pop resolves that
 // one element the per-item way (payload-as-data, or 0) and the batch
 // resumes.
+//
+//hotpath:entry
 func (p *plainIn) PopN(dst []uint32) {
 	i := 0
 	for i < len(dst) {
