@@ -19,13 +19,14 @@ import (
 	"commguard/internal/apps"
 	"commguard/internal/media"
 	"commguard/internal/sim"
+	"commguard/internal/stream"
 	"commguard/internal/viz"
 )
 
 func main() {
 	var (
 		appName    = flag.String("app", "jpeg", "benchmark: audiobeamformer|channelvocoder|complex-fir|fft|jpeg|mp3")
-		protection = flag.String("protection", "commguard", "protection: error-free|software-queue|reliable-queue|commguard")
+		protection = flag.String("protection", "commguard", "protection: error-free|software-queue|reliable-queue|commguard|abft")
 		mtbe       = flag.Float64("mtbe", 512_000, "per-core mean instructions between errors (0 = error-free)")
 		seed       = flag.Int64("seed", 1, "error-injection seed")
 		scale      = flag.Int("scale", 1, "frame-size scale (1, 2, 4, 8)")
@@ -53,6 +54,8 @@ func parseProtection(s string) (sim.Protection, error) {
 		return sim.ReliableQueue, nil
 	case "commguard", "d":
 		return sim.CommGuard, nil
+	case "abft", "e":
+		return sim.ABFT, nil
 	}
 	return 0, fmt.Errorf("unknown protection %q", s)
 }
@@ -98,6 +101,14 @@ func run(appName, protection string, mtbe float64, seed int64, scale int, verbos
 		} else {
 			fmt.Printf("quality        %.2f dB %s\n", res.Quality, res.Metric)
 		}
+	}
+	if prot == sim.ABFT {
+		var abft stream.ABFTStats
+		for _, c := range res.Run.Cores {
+			abft.Add(c.ABFT)
+		}
+		fmt.Printf("abft           %d corrections (checksum ops %d, recompute ops %d)\n",
+			abft.Corrections, abft.ChecksumOps, abft.RecomputeOps)
 	}
 	if res.Guard != nil {
 		g := res.Guard

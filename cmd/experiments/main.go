@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 
@@ -41,12 +42,13 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 3|7|8|9|10|11|12|13|14|sensitivity|critweight|all")
+		fig    = flag.String("fig", "all", "figure to regenerate: 3|7|8|9|10|11|12|13|14|abft|sensitivity|critweight|all")
 		quickF = flag.Bool("quick", false, "reduced sweep (smaller workloads, fewer seeds)")
 		seeds  = flag.Int("seeds", 0, "override seeds per point (paper: 5)")
 		csvDir = flag.String("csv", "", "with -fig all: also write per-figure CSVs to this directory")
 		mdPath = flag.String("md", "", "with -fig all: also write a Markdown report to this path")
-		bench   = flag.String("benchjson", "", "measure hot-path transit variants plus a RunAll wall-clock and write the JSON snapshot to this path (combine with -quick for the reduced sweep)")
+		bench        = flag.String("benchjson", "", "measure hot-path transit variants plus a RunAll wall-clock and write the JSON snapshot to this path; also writes the kernel bench as the sibling BENCH_kernels.json (combine with -quick for the reduced sweep)")
+		benchKernels = flag.String("benchkernels", "", "measure only the kernel firing-path variants (per-item vs batch vs abft) and write the JSON snapshot to this path")
 		verbose = flag.Bool("v", false, "print per-figure start/finish lines with elapsed time and job counts to stderr")
 		trace   = flag.String("trace", "", "record an event trace of Figure 7's representative run and write <base>.trace.json/.jsonl/.snapshot.json")
 		listen  = flag.String("listen", "", "serve live sweep progress counters over HTTP at this address (GET /debug/vars), e.g. :6060")
@@ -124,15 +126,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *benchKernels != "" {
+		res, err := experiments.WriteKernelBenchJSON(*benchKernels, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		res.Render(func(format string, a ...any) { fmt.Printf(format, a...) })
+		fmt.Printf("kernel bench written to %s\n", *benchKernels)
+		return
+	}
 	if *bench != "" {
+		kpath := kernelBenchPath(*bench)
+		kres, err := experiments.WriteKernelBenchJSON(kpath, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 		res, err := experiments.WriteHotpathJSON(*bench, opts, 4_000_000)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		fmt.Println()
+		kres.Render(func(format string, a ...any) { fmt.Printf(format, a...) })
+		fmt.Println()
 		res.Render(func(format string, a ...any) { fmt.Printf(format, a...) })
-		fmt.Printf("hot-path snapshot written to %s\n", *bench)
+		fmt.Printf("hot-path snapshot written to %s, kernel bench to %s\n", *bench, kpath)
 		return
 	}
 
@@ -153,6 +173,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// kernelBenchPath derives the kernel-bench sibling of the hot-path
+// snapshot path: BENCH_hotpath.json -> BENCH_kernels.json in the same
+// directory, or <path>.kernels.json when the name doesn't match.
+func kernelBenchPath(benchPath string) string {
+	dir, name := filepath.Split(benchPath)
+	if name == "BENCH_hotpath.json" {
+		return filepath.Join(dir, "BENCH_kernels.json")
+	}
+	return benchPath + ".kernels.json"
 }
 
 func run(fig string, opts experiments.Options, csvDir, mdPath string) error {
@@ -201,6 +232,8 @@ func run(fig string, opts experiments.Options, csvDir, mdPath string) error {
 		_, err = experiments.Figure13(opts, 3)
 	case "14":
 		_, err = experiments.Figure14(opts)
+	case "abft":
+		_, err = experiments.FigureABFT(opts)
 	case "sensitivity":
 		_, err = experiments.ClassSensitivity(opts, "mp3", 128e3)
 	case "critweight":

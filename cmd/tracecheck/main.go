@@ -9,7 +9,9 @@
 //
 // The file kind is chosen by suffix: .jsonl (trace event stream),
 // .trace.json (Chrome trace-event JSON), .snapshot.json (telemetry
-// snapshot). Exit status is non-zero if any file fails validation.
+// snapshot), *kernels.json (kernel firing-path benchmark, e.g.
+// BENCH_kernels.json). Exit status is non-zero if any file fails
+// validation.
 package main
 
 import (
@@ -74,6 +76,16 @@ func check(path string) error {
 		}
 		fmt.Printf("%s: ok (snapshot)\n", path)
 		return nil
+	case strings.HasSuffix(path, "kernels.json"):
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := diag.ValidateKernelBench(data); err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (kernel bench)\n", path)
+		return nil
 	}
-	return fmt.Errorf("unknown artifact kind (want .jsonl, .trace.json or .snapshot.json)")
+	return fmt.Errorf("unknown artifact kind (want .jsonl, .trace.json, .snapshot.json or *kernels.json)")
 }

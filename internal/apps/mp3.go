@@ -45,6 +45,22 @@ func NewMP3(cfg MP3Config) (*Instance, error) {
 	g := stream.NewGraph()
 	src := g.Add(stream.NewSource("F0-frames", mp3codec.ItemsPerFrame, tape))
 
+	// Batch kernels reuse closure-captured scratch (the per-item forms
+	// allocate theirs per firing); the two compute-heavy stages also carry
+	// ABFT-checksummed forms in the pushed float32 domain. F3 keeps its
+	// overlap tail across firings, so it batches but stays un-checksummed
+	// (a recompute would need the pre-firing tail).
+	var dqItems [mp3codec.ItemsPerFrame]int32
+	dequantBatch := func(in, out [][]uint32) {
+		for i := range dqItems {
+			dqItems[i] = int32(in[0][i])
+		}
+		var coeffs [mp3codec.N]float64
+		mp3codec.DequantizeFrame(dqItems[:], &coeffs)
+		for i, c := range coeffs {
+			out[0][i] = stream.F32Bits(float32(c))
+		}
+	}
 	dequant := stream.NewFuncFilter("F1-dequant", mp3codec.ItemsPerFrame, mp3codec.N, 1500, func(ctx *stream.Ctx) {
 		items := make([]int32, mp3codec.ItemsPerFrame)
 		for i := range items {
@@ -55,8 +71,32 @@ func NewMP3(cfg MP3Config) (*Instance, error) {
 		for _, c := range coeffs {
 			ctx.PushF32(0, float32(c))
 		}
-	})
+	}).Batch(dequantBatch).ABFT(func(in, out [][]uint32) float64 {
+		for i := range dqItems {
+			dqItems[i] = int32(in[0][i])
+		}
+		var coeffs [mp3codec.N]float64
+		mp3codec.DequantizeFrame(dqItems[:], &coeffs)
+		s := 0.0
+		for i, c := range coeffs {
+			y := float32(c)
+			out[0][i] = stream.F32Bits(y)
+			s += float64(y)
+		}
+		return s
+	}, func(out [][]uint32) float64 { return stream.ChecksumF32(out[0]) })
 
+	imdctBatch := func(in, out [][]uint32) {
+		var coeffs [mp3codec.N]float64
+		for i := range coeffs {
+			coeffs[i] = sanitize(float64(stream.BitsF32(in[0][i])))
+		}
+		var widened [2 * mp3codec.N]float64
+		mp3codec.IMDCT(&coeffs, &widened)
+		for i, v := range widened {
+			out[0][i] = stream.F32Bits(float32(v))
+		}
+	}
 	imdct := stream.NewFuncFilter("F2-imdct", mp3codec.N, 2*mp3codec.N, 20000, func(ctx *stream.Ctx) {
 		var coeffs [mp3codec.N]float64
 		for i := range coeffs {
@@ -67,7 +107,21 @@ func NewMP3(cfg MP3Config) (*Instance, error) {
 		for _, v := range widened {
 			ctx.PushF32(0, float32(v))
 		}
-	})
+	}).Batch(imdctBatch).ABFT(func(in, out [][]uint32) float64 {
+		var coeffs [mp3codec.N]float64
+		for i := range coeffs {
+			coeffs[i] = sanitize(float64(stream.BitsF32(in[0][i])))
+		}
+		var widened [2 * mp3codec.N]float64
+		mp3codec.IMDCT(&coeffs, &widened)
+		s := 0.0
+		for i, v := range widened {
+			y := float32(v)
+			out[0][i] = stream.F32Bits(y)
+			s += float64(y)
+		}
+		return s
+	}, func(out [][]uint32) float64 { return stream.ChecksumF32(out[0]) })
 
 	var tail [mp3codec.N]float64
 	ola := stream.NewFuncFilter("F3-overlap", 2*mp3codec.N, mp3codec.N, 2500, func(ctx *stream.Ctx) {
@@ -79,6 +133,16 @@ func NewMP3(cfg MP3Config) (*Instance, error) {
 		mp3codec.OverlapAdd(&tail, &cur, &out)
 		for _, v := range out {
 			ctx.PushF32(0, float32(v))
+		}
+	}).Batch(func(in, out [][]uint32) {
+		var cur [2 * mp3codec.N]float64
+		for i := range cur {
+			cur[i] = sanitize(float64(stream.BitsF32(in[0][i])))
+		}
+		var res [mp3codec.N]float64
+		mp3codec.OverlapAdd(&tail, &cur, &res)
+		for i, v := range res {
+			out[0][i] = stream.F32Bits(float32(v))
 		}
 	})
 
@@ -92,6 +156,17 @@ func NewMP3(cfg MP3Config) (*Instance, error) {
 				v = -2
 			}
 			ctx.PushF32(0, float32(v))
+		}
+	}).Batch(func(in, out [][]uint32) {
+		for i, b := range in[0] {
+			v := sanitize(float64(stream.BitsF32(b)))
+			if v > 2 {
+				v = 2
+			}
+			if v < -2 {
+				v = -2
+			}
+			out[0][i] = stream.F32Bits(float32(v))
 		}
 	})
 

@@ -1,0 +1,47 @@
+package mp3codec
+
+import (
+	"math"
+	"testing"
+)
+
+// The fused ABFT MDCT forms must be bit-identical to the plain kernels,
+// with fused sums that re-derive exactly from the output buffer in index
+// order (the contract dsp.ABFTChecksums and the engine's ChecksumBatch
+// verification rely on).
+func TestMDCTABFTBitIdentical(t *testing.T) {
+	var x [2 * N]float64
+	for i := range x {
+		x[i] = math.Sin(0.05*float64(i)) - 0.3*math.Cos(0.21*float64(i))
+	}
+
+	var plain, fused [N]float64
+	MDCT(&x, &plain)
+	s0, s1 := MDCTABFT(&x, &fused)
+	if plain != fused {
+		t.Fatalf("MDCTABFT output differs from MDCT")
+	}
+	var c0, c1 float64
+	for i, y := range fused {
+		c0 += y
+		c1 += float64(i+1) * y
+	}
+	if math.Float64bits(c0) != math.Float64bits(s0) || math.Float64bits(c1) != math.Float64bits(s1) {
+		t.Fatalf("fused sums (%g, %g) differ from re-derived (%g, %g)", s0, s1, c0, c1)
+	}
+
+	var wide, wideFused [2 * N]float64
+	IMDCT(&plain, &wide)
+	s0, s1 = IMDCTABFT(&fused, &wideFused)
+	if wide != wideFused {
+		t.Fatalf("IMDCTABFT output differs from IMDCT")
+	}
+	c0, c1 = 0, 0
+	for i, y := range wideFused {
+		c0 += y
+		c1 += float64(i+1) * y
+	}
+	if math.Float64bits(c0) != math.Float64bits(s0) || math.Float64bits(c1) != math.Float64bits(s1) {
+		t.Fatalf("IMDCT fused sums differ from re-derived sums")
+	}
+}

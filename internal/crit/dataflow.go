@@ -695,16 +695,28 @@ func (fa *funcAnalyzer) violates(e ast.Expr) bool {
 	return bad
 }
 
+// firingPathMethod reports whether a method name belongs to the sanctioned
+// firing path: Work and Init, plus the batch-kernel execution forms
+// (stream.BatchKernel / stream.ABFTKernel) that the engine fires in
+// Work's place.
+func firingPathMethod(name string) bool {
+	switch name {
+	case "Work", "Init", "WorkBatch", "WorkBatchABFT", "RecomputeBatch":
+		return true
+	}
+	return false
+}
+
 // checkFieldMutations implements CM003: control-critical receiver fields
 // (as classified by the type's Work analysis) must only be mutated by
-// Work or Init.
+// the firing path (Work/Init and the batch-kernel variants).
 func (a *fileAnalyzer) checkFieldMutations(m *ProtectionMap) {
 	for _, decl := range a.file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 {
 			continue
 		}
-		if fn.Name.Name == "Work" || fn.Name.Name == "Init" {
+		if firingPathMethod(fn.Name.Name) {
 			continue
 		}
 		recvType := recvTypeName(fn.Recv.List[0].Type)

@@ -1,0 +1,62 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateKernelBench checks the BENCH_kernels.json contract: a manifest
+// with provenance (go version, positive GOMAXPROCS), a known profile, and
+// a non-empty variant list where every entry names a kernel and firing
+// path, was measured at a positive GOMAXPROCS level, and carries a
+// positive ns/item over a positive item count. CI's kernel-bench smoke
+// step runs this over a freshly generated quick-profile artifact.
+func ValidateKernelBench(data []byte) error {
+	var doc struct {
+		Manifest *struct {
+			GoVersion  string `json:"go_version"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+		} `json:"manifest"`
+		Profile  string `json:"profile"`
+		Variants []struct {
+			Kernel     string  `json:"kernel"`
+			Variant    string  `json:"variant"`
+			GOMAXPROCS int     `json:"gomaxprocs"`
+			NsPerItem  float64 `json:"ns_per_item"`
+			Items      int     `json:"items"`
+		} `json:"variants"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("diag: kernel bench: %w", err)
+	}
+	if doc.Manifest == nil {
+		return fmt.Errorf("diag: kernel bench has no manifest")
+	}
+	if doc.Manifest.GoVersion == "" {
+		return fmt.Errorf("diag: kernel bench manifest has empty go_version")
+	}
+	if doc.Manifest.GOMAXPROCS < 1 {
+		return fmt.Errorf("diag: kernel bench manifest gomaxprocs %d < 1", doc.Manifest.GOMAXPROCS)
+	}
+	if doc.Profile != "quick" && doc.Profile != "full" {
+		return fmt.Errorf("diag: kernel bench profile %q (want quick or full)", doc.Profile)
+	}
+	if len(doc.Variants) == 0 {
+		return fmt.Errorf("diag: kernel bench has no variants")
+	}
+	for i, v := range doc.Variants {
+		if v.Kernel == "" || v.Variant == "" {
+			return fmt.Errorf("diag: kernel bench variant %d is missing kernel/variant names", i)
+		}
+		if v.GOMAXPROCS < 1 {
+			return fmt.Errorf("diag: kernel bench variant %d (%s/%s) gomaxprocs %d < 1", i, v.Kernel, v.Variant, v.GOMAXPROCS)
+		}
+		if v.NsPerItem <= 0 {
+			return fmt.Errorf("diag: kernel bench variant %d (%s/%s) ns_per_item %g <= 0", i, v.Kernel, v.Variant, v.NsPerItem)
+		}
+		if v.Items <= 0 {
+			return fmt.Errorf("diag: kernel bench variant %d (%s/%s) items %d <= 0", i, v.Kernel, v.Variant, v.Items)
+		}
+	}
+	return nil
+}

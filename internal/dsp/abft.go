@@ -1,0 +1,174 @@
+package dsp
+
+import "math"
+
+// Algorithm-based fault tolerance (ABFT) in the style of Huang & Abraham's
+// checksum matrices and FT-GEMM (PAPERS.md): each protected kernel fuses a
+// pair of checksums into its output loop —
+//
+//	s0 = Σ y[i]           (detection)
+//	s1 = Σ (i+1)·y[i]     (location: for a single corrupted element,
+//	                       (s1-s1')/(s0-s0') = i+1)
+//
+// Verification re-derives the sums from the output buffer in the same
+// index order, so a clean buffer reproduces the fused sums bit-for-bit
+// and any single corrupted element is detected exactly, located by the
+// weighted ratio, and corrected by adding back the s0 delta. The engine's
+// ProtectionABFT scheme (stream.ABFTKernel) uses the single-sum detect +
+// recompute form of the same idea; this package-level API is the full
+// detect/locate/correct demonstration on raw kernel buffers.
+
+// ABFTChecksums derives the dual checksum of buf in index order. Matches
+// the fused sums of the *ABFT kernels bit-for-bit on a clean buffer.
+//
+//hotpath:entry
+func ABFTChecksums(buf []float64) (s0, s1 float64) {
+	for i, y := range buf {
+		s0 += y
+		s1 += float64(i+1) * y
+	}
+	return s0, s1
+}
+
+// ABFTVerify reports whether buf still matches the fused checksums. The
+// comparison is on the float64 bit patterns (identical summation order),
+// so it also catches corruptions that produce NaN.
+//
+//hotpath:entry
+func ABFTVerify(buf []float64, s0, s1 float64) bool {
+	c0, c1 := ABFTChecksums(buf)
+	return math.Float64bits(c0) == math.Float64bits(s0) &&
+		math.Float64bits(c1) == math.Float64bits(s1)
+}
+
+// ABFTLocate returns the index of the single corrupted element implied by
+// the checksum deltas, or -1 if the buffer verifies clean. The location
+// is the rounded weighted ratio; results are meaningful only for
+// single-element corruption (the scheme's fault model).
+//
+//hotpath:entry
+func ABFTLocate(buf []float64, s0, s1 float64) int {
+	c0, c1 := ABFTChecksums(buf)
+	d0 := s0 - c0
+	d1 := s1 - c1
+	if math.Float64bits(c0) == math.Float64bits(s0) && math.Float64bits(c1) == math.Float64bits(s1) {
+		return -1
+	}
+	if d0 == 0 || math.IsNaN(d0) || math.IsNaN(d1) {
+		// Degenerate delta (e.g. NaN corruption): location is unrecoverable;
+		// callers fall back to whole-buffer recompute.
+		return -1
+	}
+	idx := int(math.Round(d1/d0)) - 1
+	if idx < 0 || idx >= len(buf) {
+		return -1
+	}
+	return idx
+}
+
+// ABFTCorrect repairs the located element by adding back the detection
+// delta: buf[at] += s0 - Σbuf. Exact up to float64 rounding of the sum;
+// kernels needing bit-exact repair recompute instead (stream.ABFTKernel's
+// RecomputeBatch).
+//
+//hotpath:entry
+func ABFTCorrect(buf []float64, s0 float64, at int) {
+	c0, _ := ABFTChecksums(buf)
+	buf[at] += s0 - c0
+}
+
+// DCT8ABFT is DCT8 with the dual checksum fused into the output loop.
+// Output values are bit-identical to DCT8's.
+//
+//hotpath:entry
+func DCT8ABFT(dst, src *[8]float64) (s0, s1 float64) {
+	for k := 0; k < 8; k++ {
+		sum := 0.0
+		for n := 0; n < 8; n++ {
+			sum += src[n] * dctCos[k][n]
+		}
+		y := 0.5 * alpha(k) * sum
+		dst[k] = y
+		s0 += y
+		s1 += float64(k+1) * y
+	}
+	return s0, s1
+}
+
+// IDCT8ABFT is IDCT8 with the dual checksum fused into the output loop.
+//
+//hotpath:entry
+func IDCT8ABFT(dst, src *[8]float64) (s0, s1 float64) {
+	for n := 0; n < 8; n++ {
+		sum := 0.0
+		for k := 0; k < 8; k++ {
+			sum += alpha(k) * src[k] * dctCos[k][n]
+		}
+		y := 0.5 * sum
+		dst[n] = y
+		s0 += y
+		s1 += float64(n+1) * y
+	}
+	return s0, s1
+}
+
+// DCT2DABFT is DCT2D with the dual checksum fused over the final
+// column-pass stores, in row-major output order. Output values are
+// bit-identical to DCT2D's.
+//
+//hotpath:entry
+func DCT2DABFT(block *[64]float64) (s0, s1 float64) {
+	var row, tmp [8]float64
+	var stage [64]float64
+	for r := 0; r < 8; r++ {
+		copy(row[:], block[r*8:r*8+8])
+		DCT8(&tmp, &row)
+		copy(stage[r*8:r*8+8], tmp[:])
+	}
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			row[r] = stage[r*8+c]
+		}
+		DCT8(&tmp, &row)
+		for r := 0; r < 8; r++ {
+			block[r*8+c] = tmp[r]
+		}
+	}
+	// The fused sums follow row-major index order so ABFTChecksums over
+	// the block reproduces them bit-for-bit.
+	for i, y := range block {
+		s0 += y
+		s1 += float64(i+1) * y
+	}
+	return s0, s1
+}
+
+// IDCT2DABFT is IDCT2D with the dual checksum fused in row-major output
+// order (over the final row-pass stores).
+//
+//hotpath:entry
+func IDCT2DABFT(block *[64]float64) (s0, s1 float64) {
+	var col, tmp [8]float64
+	var stage [64]float64
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			col[r] = block[r*8+c]
+		}
+		IDCT8(&tmp, &col)
+		for r := 0; r < 8; r++ {
+			stage[r*8+c] = tmp[r]
+		}
+	}
+	var row [8]float64
+	for r := 0; r < 8; r++ {
+		copy(row[:], stage[r*8:r*8+8])
+		IDCT8(&tmp, &row)
+		for i := 0; i < 8; i++ {
+			y := tmp[i]
+			block[r*8+i] = y
+			s0 += y
+			s1 += float64(r*8+i+1) * y
+		}
+	}
+	return s0, s1
+}

@@ -1,0 +1,199 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func testSignal(n int) []float64 {
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = math.Sin(0.1*float64(i)) + 0.25*math.Cos(0.37*float64(i))
+	}
+	return buf
+}
+
+// The fused ABFT kernels must produce bit-identical outputs to their
+// unprotected forms, and their fused sums must reproduce exactly what
+// ABFTChecksums derives from the output buffer.
+func TestABFTKernelsBitIdentical(t *testing.T) {
+	sig := testSignal(64)
+
+	t.Run("DCT8", func(t *testing.T) {
+		var src, plain, fused [8]float64
+		copy(src[:], sig)
+		DCT8(&plain, &src)
+		s0, s1 := DCT8ABFT(&fused, &src)
+		if plain != fused {
+			t.Fatalf("DCT8ABFT output differs from DCT8: %v vs %v", fused, plain)
+		}
+		if !ABFTVerify(fused[:], s0, s1) {
+			t.Fatalf("fused sums (%g, %g) do not verify against the output", s0, s1)
+		}
+	})
+
+	t.Run("IDCT8", func(t *testing.T) {
+		var src, plain, fused [8]float64
+		copy(src[:], sig)
+		IDCT8(&plain, &src)
+		s0, s1 := IDCT8ABFT(&fused, &src)
+		if plain != fused {
+			t.Fatalf("IDCT8ABFT output differs from IDCT8")
+		}
+		if !ABFTVerify(fused[:], s0, s1) {
+			t.Fatalf("fused sums do not verify against the output")
+		}
+	})
+
+	t.Run("DCT2D", func(t *testing.T) {
+		var plain, fused [64]float64
+		copy(plain[:], sig)
+		copy(fused[:], sig)
+		DCT2D(&plain)
+		s0, s1 := DCT2DABFT(&fused)
+		if plain != fused {
+			t.Fatalf("DCT2DABFT output differs from DCT2D")
+		}
+		if !ABFTVerify(fused[:], s0, s1) {
+			t.Fatalf("fused sums do not verify against the output")
+		}
+	})
+
+	t.Run("IDCT2D", func(t *testing.T) {
+		var plain, fused [64]float64
+		copy(plain[:], sig)
+		copy(fused[:], sig)
+		IDCT2D(&plain)
+		s0, s1 := IDCT2DABFT(&fused)
+		if plain != fused {
+			t.Fatalf("IDCT2DABFT output differs from IDCT2D")
+		}
+		if !ABFTVerify(fused[:], s0, s1) {
+			t.Fatalf("fused sums do not verify against the output")
+		}
+	})
+}
+
+// Single-element corruption must be detected, located exactly, and
+// corrected back to within float64 rounding of the original value.
+func TestABFTDetectLocateCorrect(t *testing.T) {
+	var block [64]float64
+	copy(block[:], testSignal(64))
+	s0, s1 := DCT2DABFT(&block)
+	if !ABFTVerify(block[:], s0, s1) {
+		t.Fatalf("clean block does not verify")
+	}
+	if at := ABFTLocate(block[:], s0, s1); at != -1 {
+		t.Fatalf("clean block located corruption at %d", at)
+	}
+
+	for _, at := range []int{0, 17, 63} {
+		hit := block
+		orig := hit[at]
+		hit[at] = math.Float64frombits(math.Float64bits(orig) ^ (1 << 40))
+		if ABFTVerify(hit[:], s0, s1) {
+			t.Fatalf("flip at %d not detected", at)
+		}
+		got := ABFTLocate(hit[:], s0, s1)
+		if got != at {
+			t.Fatalf("located %d, want %d", got, at)
+		}
+		ABFTCorrect(hit[:], s0, got)
+		if diff := math.Abs(hit[at] - orig); diff > 1e-9 {
+			t.Fatalf("corrected value off by %g", diff)
+		}
+	}
+}
+
+// NaN corruption makes the weighted ratio meaningless; locate must report
+// the degenerate case instead of a bogus index.
+func TestABFTLocateNaN(t *testing.T) {
+	var block [64]float64
+	copy(block[:], testSignal(64))
+	s0, s1 := DCT2DABFT(&block)
+	block[5] = math.NaN()
+	if ABFTVerify(block[:], s0, s1) {
+		t.Fatalf("NaN corruption not detected")
+	}
+	if at := ABFTLocate(block[:], s0, s1); at != -1 {
+		t.Fatalf("NaN corruption located at %d, want -1 (recompute fallback)", at)
+	}
+}
+
+// ProcessBatch must match per-sample Process bit-for-bit, including when
+// the two forms interleave on the same filter state.
+func TestFIRProcessBatchMatchesPerItem(t *testing.T) {
+	sig := testSignal(300)
+	a := MustNewFIR(LowPassTaps(31, 0.2))
+	b := MustNewFIR(LowPassTaps(31, 0.2))
+
+	var perItem []float64
+	for _, x := range sig {
+		perItem = append(perItem, a.Process(x))
+	}
+
+	// Mixed batch sizes plus a per-item stretch, mirroring the engine
+	// switching between firing paths.
+	var batched []float64
+	chunks := []int{64, 1, 7, 100}
+	pos := 0
+	for _, n := range chunks {
+		dst := make([]float64, n)
+		b.ProcessBatch(dst, sig[pos:pos+n])
+		batched = append(batched, dst...)
+		pos += n
+	}
+	for ; pos < len(sig); pos++ {
+		batched = append(batched, b.Process(sig[pos]))
+	}
+
+	for i := range perItem {
+		if math.Float64bits(perItem[i]) != math.Float64bits(batched[i]) {
+			t.Fatalf("sample %d: batch %v != per-item %v", i, batched[i], perItem[i])
+		}
+	}
+}
+
+func TestFIRProcessBatchABFT(t *testing.T) {
+	sig := testSignal(128)
+	a := MustNewFIR(LowPassTaps(31, 0.2))
+	b := MustNewFIR(LowPassTaps(31, 0.2))
+	plain := make([]float64, len(sig))
+	fused := make([]float64, len(sig))
+	a.ProcessBatch(plain, sig)
+	s0, s1 := b.ProcessBatchABFT(fused, sig)
+	for i := range plain {
+		if math.Float64bits(plain[i]) != math.Float64bits(fused[i]) {
+			t.Fatalf("sample %d: ABFT %v != plain %v", i, fused[i], plain[i])
+		}
+	}
+	if !ABFTVerify(fused, s0, s1) {
+		t.Fatalf("fused sums do not verify against the output")
+	}
+}
+
+// SaveState/LoadState must snapshot the filter exactly: replaying a batch
+// after a restore reproduces the first run bit-for-bit (the recompute
+// path of a stateful ABFT kernel).
+func TestFIRSaveLoadState(t *testing.T) {
+	sig := testSignal(200)
+	f := MustNewFIR(LowPassTaps(31, 0.2))
+	warm := make([]float64, 100)
+	f.ProcessBatch(warm, sig[:100])
+
+	state := make([]float64, f.Len()+1)
+	if n := f.SaveState(state); n != f.Len()+1 {
+		t.Fatalf("SaveState used %d slots, want %d", n, f.Len()+1)
+	}
+	first := make([]float64, 100)
+	f.ProcessBatch(first, sig[100:])
+
+	f.LoadState(state)
+	second := make([]float64, 100)
+	f.ProcessBatch(second, sig[100:])
+	for i := range first {
+		if math.Float64bits(first[i]) != math.Float64bits(second[i]) {
+			t.Fatalf("sample %d: replay %v != original %v", i, second[i], first[i])
+		}
+	}
+}

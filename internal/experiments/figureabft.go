@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"commguard/internal/campaign"
+	"commguard/internal/metrics"
+	"commguard/internal/sim"
+)
+
+// FigABFTPoint is one (benchmark, protection, MTBE) cell of the ABFT
+// comparison figure: output quality across seeds plus the scheme's
+// protection-suboperation overhead relative to committed instructions.
+type FigABFTPoint struct {
+	App        string
+	Protection sim.Protection
+	MTBE       float64
+	Quality    metrics.Summary
+	// Overhead is the mean protection suboperations per committed
+	// instruction: pointer-ECC traffic for every scheme, plus CommGuard's
+	// FSM/counter + header ECC + header-bit checks, or plus the ABFT
+	// scheme's checksum accumulates and recompute repairs.
+	Overhead float64
+	// Corrections is the mean ABFT recompute-repairs per run (zero for
+	// the other schemes).
+	Corrections float64
+}
+
+// abftProtections is the figure's scheme axis: reliable queues with no
+// compute protection (the unprotected-compute baseline), CommGuard's
+// communication guards, and the checksummed ABFT kernels.
+var abftProtections = []sim.Protection{sim.ReliableQueue, sim.CommGuard, sim.ABFT}
+
+// FigureABFT compares the three protection schemes on the media
+// benchmarks across the MTBE sweep: quality (dB vs the codec reference)
+// and overhead (suboperations per committed instruction). The expected
+// shape: ABFT repairs datapath flips inside checksummed kernels for a
+// cost that scales with kernel output rate (Table 3's one fused
+// accumulate plus one verify accumulate per item), while CommGuard
+// additionally recovers the control-flow and alignment errors that
+// dominate at low MTBE.
+func FigureABFT(o Options) ([]FigABFTPoint, error) {
+	appNames := []string{"jpeg", "mp3"}
+	type appRef struct {
+		ref []float64
+		efQ float64
+	}
+	rc := o.refCache()
+	refs := map[string]appRef{}
+	for _, name := range appNames {
+		b, err := o.builder(name)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := rc.get(b)
+		if err != nil {
+			return nil, err
+		}
+		efQ, err := rc.errorFreeQuality(b)
+		if err != nil {
+			return nil, err
+		}
+		refs[name] = appRef{ref: ref, efQ: efQ}
+	}
+
+	type job struct {
+		app  string
+		prot sim.Protection
+		mtbe float64
+		seed int64
+	}
+	type outcome struct {
+		job
+		quality     float64
+		overhead    float64
+		corrections float64
+	}
+	type payload struct {
+		Quality     campaign.Float `json:"quality"`
+		Overhead    campaign.Float `json:"overhead"`
+		Corrections float64        `json:"corrections"`
+	}
+	var jobs []job
+	for _, app := range appNames {
+		for _, prot := range abftProtections {
+			for _, mtbe := range o.MTBEs {
+				for s := 0; s < o.Seeds; s++ {
+					jobs = append(jobs, job{app: app, prot: prot, mtbe: mtbe, seed: int64(1000*s) + 7})
+				}
+			}
+		}
+	}
+	results := make([]outcome, len(jobs))
+	kjobs := make([]keyedJob, len(jobs))
+	for i := range jobs {
+		i, j := i, jobs[i]
+		kjobs[i] = keyedJob{
+			Job: campaign.Job{
+				Figure: "figabft", App: j.app, Protection: j.prot.String(),
+				MTBE: j.mtbe, Seed: j.seed,
+			},
+			Run: func(cancel <-chan struct{}) (any, error) {
+				b, err := o.builder(j.app)
+				if err != nil {
+					return nil, err
+				}
+				inst, err := b.New()
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(inst, sim.Config{
+					Protection: j.prot, MTBE: j.mtbe, Seed: j.seed,
+					Sequential: o.Sequential, Cancel: cancel,
+				}, refs[j.app].ref)
+				if err != nil {
+					return nil, err
+				}
+				ovh, corr := abftOverhead(res)
+				results[i] = outcome{job: j, quality: res.Quality, overhead: ovh, corrections: corr}
+				return payload{
+					Quality:     campaign.Float(res.Quality),
+					Overhead:    campaign.Float(ovh),
+					Corrections: corr,
+				}, nil
+			},
+			Replay: func(raw json.RawMessage) error {
+				var p payload
+				if err := json.Unmarshal(raw, &p); err != nil {
+					return err
+				}
+				results[i] = outcome{
+					job: j, quality: float64(p.Quality),
+					overhead: float64(p.Overhead), corrections: p.Corrections,
+				}
+				return nil
+			},
+		}
+	}
+	if err := o.runKeyedJobs("Figure ABFT", kjobs); err != nil {
+		return nil, err
+	}
+
+	type key struct {
+		app  string
+		prot sim.Protection
+		mtbe int
+	}
+	byPoint := map[key][]outcome{}
+	for _, r := range results {
+		k := key{r.app, r.prot, int(r.mtbe)}
+		byPoint[k] = append(byPoint[k], r)
+	}
+	var points []FigABFTPoint
+	for _, app := range appNames {
+		infCap := refs[app].efQ
+		if math.IsInf(infCap, 1) {
+			infCap = 160
+		}
+		for _, prot := range abftProtections {
+			for _, mtbe := range o.MTBEs {
+				rs := byPoint[key{app, prot, int(mtbe)}]
+				var qs []float64
+				ovh, corr := 0.0, 0.0
+				for _, r := range rs {
+					qs = append(qs, r.quality)
+					ovh += r.overhead
+					corr += r.corrections
+				}
+				if n := float64(len(rs)); n > 0 {
+					ovh /= n
+					corr /= n
+				}
+				points = append(points, FigABFTPoint{
+					App: app, Protection: prot, MTBE: mtbe,
+					Quality:     metrics.Summarize(qs, infCap),
+					Overhead:    ovh,
+					Corrections: corr,
+				})
+			}
+		}
+	}
+
+	w := o.out()
+	fmt.Fprintln(w, "Figure ABFT: unprotected vs CommGuard vs ABFT-checksummed kernels (quality and overhead)")
+	for _, app := range appNames {
+		fmt.Fprintf(w, "%s:\n", app)
+		fmt.Fprintf(w, "  %-8s", "MTBE")
+		for _, prot := range abftProtections {
+			fmt.Fprintf(w, " %14s %8s", prot, "ovh")
+		}
+		fmt.Fprintln(w)
+		for _, mtbe := range o.MTBEs {
+			fmt.Fprintf(w, "  %-8s", fmtMTBE(mtbe))
+			for _, prot := range abftProtections {
+				for _, p := range points {
+					if p.App == app && p.Protection == prot && p.MTBE == mtbe {
+						fmt.Fprintf(w, " %11s dB %7.2f%%", fmtDB(p.Quality.Mean), 100*p.Overhead)
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return points, nil
+}
+
+// abftOverhead computes a run's protection suboperations per committed
+// instruction and the ABFT correction count. Every scheme pays the
+// queue-manager pointer-ECC traffic; CommGuard adds its Table-2
+// suboperation categories; the ABFT scheme adds the fused checksum
+// accumulates and any recompute repairs (Table-3-style cost model).
+func abftOverhead(res *sim.Result) (overhead, corrections float64) {
+	instr := res.Run.TotalInstructions()
+	qt := res.Run.QueueTotals()
+	num := qt.PointerECCOps
+	if res.Guard != nil {
+		num += res.Guard.Ops.FSMCounter + res.Guard.Ops.ECC + res.Guard.Ops.HeaderBit
+	}
+	for _, c := range res.Run.Cores {
+		num += c.ABFT.Ops()
+		corrections += float64(c.ABFT.Corrections)
+	}
+	return ratio(num, instr), corrections
+}

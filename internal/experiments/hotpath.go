@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"time"
 
 	"commguard/internal/commguard"
@@ -25,14 +26,25 @@ type HotpathVariant struct {
 	BaselineNsPerItem float64 `json:"baseline_ns_per_item,omitempty"`
 }
 
+// HotpathRun is the variant set measured at one GOMAXPROCS level.
+type HotpathRun struct {
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Variants   []HotpathVariant `json:"variants"`
+}
+
 // HotpathResult is the BENCH_hotpath.json payload.
 type HotpathResult struct {
 	// Manifest stamps provenance (go version, GOMAXPROCS, commit) so the
 	// BENCH_* trajectory is self-describing across machines and PRs.
-	Manifest      obs.Manifest     `json:"manifest"`
-	Variants      []HotpathVariant `json:"variants"`
-	RunAllSeconds float64          `json:"runall_seconds"`
-	Profile       string           `json:"profile"`
+	Manifest obs.Manifest `json:"manifest"`
+	// Variants holds the measurements at the machine's native GOMAXPROCS
+	// (the historical flat format, kept for trajectory diffing).
+	Variants []HotpathVariant `json:"variants"`
+	// Runs repeats the measurement per GOMAXPROCS level (always 1, plus
+	// the machine's setting when it differs).
+	Runs          []HotpathRun `json:"runs"`
+	RunAllSeconds float64      `json:"runall_seconds"`
+	Profile       string       `json:"profile"`
 }
 
 // Pre-overhaul baselines (mutex-per-item queue, time.AfterFunc waits),
@@ -169,14 +181,28 @@ func HotpathBench(o Options, items int) (*HotpathResult, error) {
 			},
 		},
 	}
-	for _, v := range variants {
-		ns := measureTransit(items, v.producer, v.newConsumer)
-		res.Variants = append(res.Variants, HotpathVariant{
-			Name:              v.name,
-			NsPerItem:         ns,
-			Items:             items,
-			BaselineNsPerItem: hotpathBaselines[v.name],
-		})
+	defaultProcs := runtime.GOMAXPROCS(0)
+	for _, procs := range gomaxprocsLevels() {
+		runtime.GOMAXPROCS(procs)
+		run := HotpathRun{GOMAXPROCS: procs}
+		for _, v := range variants {
+			ns := measureTransit(items, v.producer, v.newConsumer)
+			run.Variants = append(run.Variants, HotpathVariant{
+				Name:              v.name,
+				NsPerItem:         ns,
+				Items:             items,
+				BaselineNsPerItem: hotpathBaselines[v.name],
+			})
+		}
+		res.Runs = append(res.Runs, run)
+		// The native-level run doubles as the historical flat variant list.
+		if procs == defaultProcs {
+			res.Variants = run.Variants
+		}
+	}
+	runtime.GOMAXPROCS(defaultProcs)
+	if res.Variants == nil && len(res.Runs) > 0 {
+		res.Variants = res.Runs[len(res.Runs)-1].Variants
 	}
 
 	start := time.Now()
@@ -205,6 +231,14 @@ func WriteHotpathJSON(path string, o Options, items int) (*HotpathResult, error)
 
 // Render prints a short human-readable summary of the measurements.
 func (r *HotpathResult) Render(w func(format string, a ...any)) {
+	for _, run := range r.Runs {
+		if run.GOMAXPROCS != r.Manifest.GOMAXPROCS {
+			w("GOMAXPROCS=%d:\n", run.GOMAXPROCS)
+			for _, v := range run.Variants {
+				w("  %-16s %10.1f ns/item\n", v.Name, v.NsPerItem)
+			}
+		}
+	}
 	for _, v := range r.Variants {
 		if v.BaselineNsPerItem > 0 {
 			w("%-18s %10.1f ns/item  (pre-overhaul %.1f, %.1fx)\n",

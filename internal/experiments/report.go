@@ -95,6 +95,17 @@ func WriteCSV(dir string, all *AllResults) error {
 			return err
 		}
 	}
+	if all.FigABFT != nil {
+		var rows [][]string
+		for _, r := range all.FigABFT {
+			rows = append(rows, []string{r.App, r.Protection.String(), f(r.MTBE),
+				f(r.Quality.Mean), f(r.Quality.StdDev), f(r.Overhead), f(r.Corrections)})
+		}
+		if err := write("figureabft.csv", []string{"benchmark", "protection", "mtbe",
+			"quality_db_mean", "quality_db_stddev", "overhead_ratio", "corrections_mean"}, rows); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -178,6 +189,15 @@ func WriteMarkdown(w io.Writer, all *AllResults) error {
 		for _, r := range all.Fig14 {
 			p("| %s | %.3f%% | %.3f%% | %.3f%% | %.3f%% |\n",
 				r.App, 100*r.FSMCounter, 100*r.ECC, 100*r.HeaderBit, 100*r.Total)
+		}
+		p("\n")
+	}
+	if all.FigABFT != nil {
+		p("## Figure ABFT — unprotected vs CommGuard vs ABFT kernels\n\n")
+		p("| benchmark | protection | MTBE | quality | overhead | corrections |\n|---|---|---|---|---|---|\n")
+		for _, r := range all.FigABFT {
+			p("| %s | %s | %s | %s dB | %.2f%% | %.1f |\n",
+				r.App, r.Protection, fmtMTBE(r.MTBE), fmtDB(r.Quality.Mean), 100*r.Overhead, r.Corrections)
 		}
 		p("\n")
 	}

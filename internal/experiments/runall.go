@@ -20,6 +20,9 @@ type AllResults struct {
 	Fig12 []Fig12Row
 	Fig13 []Fig13Row
 	Fig14 []Fig14Row
+	// FigABFT is the new three-scheme comparison (unprotected vs CommGuard
+	// vs ABFT-checksummed kernels) on the media benchmarks.
+	FigABFT []FigABFTPoint
 }
 
 // RunAll regenerates every figure in paper order, writing tables to
@@ -79,6 +82,9 @@ func RunAll(o Options) (*AllResults, error) {
 		return nil, err
 	}
 	if err = step("Figure 14", func() error { all.Fig14, err = Figure14(o); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure ABFT", func() error { all.FigABFT, err = FigureABFT(o); return err }); err != nil {
 		return nil, err
 	}
 	return all, nil

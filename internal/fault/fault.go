@@ -65,6 +65,15 @@ func (c Class) String() string {
 	return "invalid"
 }
 
+// ABFTChecksumOpsPerItem is the Table-3-style cost of the ABFT kernel
+// protection scheme: arithmetic suboperations per item produced by a
+// checksummed firing — one accumulate fused into the kernel's compute
+// loop plus one re-accumulate when the checksum is re-derived from the
+// communicated buffer at verification. Like CommGuard's suboperations
+// (Fig. 14) these are accounted against committed instructions but never
+// committed as instructions themselves.
+const ABFTChecksumOpsPerItem = 2
+
 // Model holds the manifestation weights. The defaults approximate the
 // register-file residency of data, induction-variable, address and pointer
 // values in compiled DSP loops; see DESIGN.md §7.

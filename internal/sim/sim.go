@@ -6,6 +6,9 @@
 //	SoftwareQueue — PPU cores, unprotected software queues (Fig. 3b)
 //	ReliableQueue — PPU cores, ECC-protected queues, no CommGuard (Fig. 3c)
 //	CommGuard     — PPU cores, reliable QM + HI/AM alignment (Fig. 3d)
+//	ABFT          — PPU cores, reliable QM + checksummed batch kernels
+//	                (algorithm-based fault tolerance fused into the
+//	                filter compute loops; no alignment hardware)
 //
 // and with a per-core error injector at a configurable MTBE, independent
 // RNG per core, exactly as the paper's Simics setup.
@@ -42,6 +45,14 @@ const (
 	// CommGuard adds the Header Inserter / Alignment Manager modules on
 	// top of the reliable Queue Manager (Fig. 3d).
 	CommGuard
+	// ABFT runs the reliable Queue Manager (no HI/AM) with checksummed
+	// batch kernels (stream.EngineConfig.ABFT): filters that implement
+	// stream.ABFTKernel fuse an output checksum into their compute loop
+	// and recompute the firing from the intact input buffer on a
+	// mismatch. A third point on the quality-vs-overhead curve: cheaper
+	// than CommGuard, but blind to input corruption and to control-flow
+	// slips that CommGuard's alignment headers catch.
+	ABFT
 )
 
 func (p Protection) String() string {
@@ -54,6 +65,8 @@ func (p Protection) String() string {
 		return "reliable-queue"
 	case CommGuard:
 		return "commguard"
+	case ABFT:
+		return "abft"
 	}
 	return "invalid"
 }
@@ -238,7 +251,7 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 	case CommGuard:
 		guard = commguard.NewTransport(qcfg)
 		transport = guard
-	case ErrorFree, SoftwareQueue, ReliableQueue:
+	case ErrorFree, SoftwareQueue, ReliableQueue, ABFT:
 		transport = &stream.PlainTransport{Queue: qcfg}
 	default:
 		return nil, fmt.Errorf("sim: unknown protection %d", cfg.Protection)
@@ -247,6 +260,7 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 	engCfg := stream.EngineConfig{
 		Transport:  transport,
 		FrameScale: cfg.FrameScale,
+		ABFT:       cfg.Protection == ABFT,
 		Cancel:     cfg.Cancel,
 	}
 	var tracer *obs.Tracer

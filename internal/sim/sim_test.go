@@ -17,6 +17,7 @@ func TestProtectionString(t *testing.T) {
 	want := map[Protection]string{
 		ErrorFree: "error-free", SoftwareQueue: "software-queue",
 		ReliableQueue: "reliable-queue", CommGuard: "commguard",
+		ABFT: "abft",
 	}
 	for p, s := range want {
 		if p.String() != s {
@@ -138,6 +139,51 @@ func TestCommGuardBeatsNoProtection(t *testing.T) {
 	unguarded := avg(ReliableQueue)
 	if guarded <= unguarded-1 {
 		t.Errorf("CommGuard SNR %.2f dB not better than reliable-queue-only %.2f dB", guarded, unguarded)
+	}
+}
+
+// The ABFT scheme runs the reliable QM (no guard stats) with checksummed
+// batch kernels: every run must account checksum arithmetic on the
+// kernel cores, and sequential replay must be bit-reproducible so the
+// figure pipeline can journal and replay its points.
+func TestABFTRunRecordsKernelStats(t *testing.T) {
+	cfg := Config{Protection: ABFT, MTBE: 150_000, Seed: 5, Sequential: true}
+	res, err := RunBenchmark(smallMP3(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Guard != nil {
+		t.Error("ABFT run has CommGuard guard stats")
+	}
+	var checksum uint64
+	for _, c := range res.Run.Cores {
+		checksum += c.ABFT.ChecksumOps
+	}
+	if checksum == 0 {
+		t.Error("no checksum arithmetic accounted on any core")
+	}
+	if math.IsNaN(res.Quality) {
+		t.Error("quality not computed")
+	}
+
+	again, err := RunBenchmark(smallMP3(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != len(again.Output) {
+		t.Fatalf("output lengths differ: %d vs %d", len(res.Output), len(again.Output))
+	}
+	for i := range res.Output {
+		if res.Output[i] != again.Output[i] {
+			t.Fatalf("sequential ABFT replay diverged at sample %d", i)
+		}
+	}
+	var c2 uint64
+	for _, c := range again.Run.Cores {
+		c2 += c.ABFT.ChecksumOps
+	}
+	if checksum != c2 {
+		t.Errorf("checksum accounting differed between identical runs: %d vs %d", checksum, c2)
 	}
 }
 

@@ -1,0 +1,140 @@
+package stream
+
+import "math"
+
+// Batch-kernel execution: PR 3 drove whole-firing transit through the
+// queues (PushN/PopN); this file extends the batch API through kernel
+// execution itself. A filter that implements BatchKernel gets a firing
+// path with no per-item shim machinery at all: the engine pops the whole
+// firing into reused flat slices, runs the kernel once over them, and
+// pushes the whole firing out (engine.fireBatch).
+//
+// On top of that alloc-free steady state, ABFTKernel adds
+// algorithm-based fault tolerance in the style of FT-GEMM: the kernel
+// fuses an output checksum into its compute loop, the engine re-derives
+// the checksum from the communicated buffer after transit corruption has
+// been applied, and a mismatch triggers a kernel recompute from the
+// still-intact input buffer. Surfaced as sim.ABFT, this is a third point
+// on the paper's quality-vs-overhead curve: cheaper than CommGuard
+// (no headers, no alignment FSM) but blind to input corruption and to
+// control-flow slips.
+
+// BatchKernel is an optional Filter extension: WorkBatch executes one
+// firing over whole-firing slices instead of per-item Ctx calls. in[i]
+// holds exactly PopRates()[i] items and out[o] must be filled with
+// exactly PushRates()[o] items. WorkBatch must be observably identical
+// to Work — same values in the same order, bit-for-bit (including
+// floating-point operation order) — because the engine switches between
+// the two paths per firing: batch for unperturbed steady-state firings,
+// per-item whenever a fault perturbation is armed.
+type BatchKernel interface {
+	Filter
+	WorkBatch(in, out [][]uint32)
+}
+
+// ABFTKernel extends BatchKernel with a checksummed execution mode for
+// the ABFT protection scheme. The contract ties the three methods
+// together: WorkBatchABFT fuses a float64 checksum over the produced
+// items into its compute loop; ChecksumBatch re-derives the same
+// checksum from the output buffers with the identical value sequence
+// (so a clean buffer reproduces the fused sum bit-for-bit, and any
+// corrupted item changes it); RecomputeBatch re-executes the firing
+// from the unchanged input buffers, restoring any internal state it
+// advanced, to repair a corrupted output buffer.
+type ABFTKernel interface {
+	BatchKernel
+	WorkBatchABFT(in, out [][]uint32) float64
+	ChecksumBatch(out [][]uint32) float64
+	RecomputeBatch(in, out [][]uint32)
+}
+
+// ChecksumF32 is the standard ABFT checksum for float-carrying tapes:
+// the float64 sum of the items interpreted as IEEE-754 float32, in
+// buffer order. Kernels that push F32Bits values fuse exactly this sum
+// into their output loop; ChecksumBatch implementations call it over
+// the communicated buffer.
+//
+//hotpath:entry
+func ChecksumF32(buf []uint32) float64 {
+	s := 0.0
+	for _, b := range buf {
+		s += float64(math.Float32frombits(b))
+	}
+	return s
+}
+
+// ChecksumU32 is the ABFT checksum for integer-carrying tapes (e.g. the
+// jpeg RGB stage): the float64 sum of the raw item words. Exact for
+// items below 2^53 per the float64 mantissa, i.e. always for 32-bit
+// tape items.
+//
+//hotpath:entry
+func ChecksumU32(buf []uint32) float64 {
+	s := 0.0
+	for _, b := range buf {
+		s += float64(b)
+	}
+	return s
+}
+
+// BatchFuncFilter pairs a FuncFilter with a whole-firing kernel.
+// Constructed via FuncFilter.Batch; the batch work function must be
+// observably identical to the per-item work function (see BatchKernel).
+type BatchFuncFilter struct {
+	*FuncFilter
+	workBatch func(in, out [][]uint32)
+}
+
+// Batch attaches a whole-firing kernel to the filter, returning a
+// filter that the engine fires through the batch path on unperturbed
+// steady-state firings.
+func (f *FuncFilter) Batch(work func(in, out [][]uint32)) *BatchFuncFilter {
+	return &BatchFuncFilter{FuncFilter: f, workBatch: work}
+}
+
+// WorkBatch implements BatchKernel.
+func (f *BatchFuncFilter) WorkBatch(in, out [][]uint32) { f.workBatch(in, out) }
+
+var _ BatchKernel = (*BatchFuncFilter)(nil)
+
+// ABFTFuncFilter pairs a BatchFuncFilter with the checksummed execution
+// mode. Constructed via BatchFuncFilter.ABFT.
+type ABFTFuncFilter struct {
+	*BatchFuncFilter
+	workABFT  func(in, out [][]uint32) float64
+	checksum  func(out [][]uint32) float64
+	recompute func(in, out [][]uint32)
+}
+
+// ABFT attaches the checksummed execution mode: work fuses the output
+// checksum into the compute loop, checksum re-derives it from the
+// output buffers. Stateless kernels recompute by re-running the plain
+// batch kernel; stateful ones must override with Recompute.
+func (f *BatchFuncFilter) ABFT(work func(in, out [][]uint32) float64, checksum func(out [][]uint32) float64) *ABFTFuncFilter {
+	return &ABFTFuncFilter{BatchFuncFilter: f, workABFT: work, checksum: checksum}
+}
+
+// Recompute overrides the repair step for kernels whose WorkBatch
+// advances internal state (the default re-runs workBatch, which is only
+// correct for stateless kernels).
+func (f *ABFTFuncFilter) Recompute(fn func(in, out [][]uint32)) *ABFTFuncFilter {
+	f.recompute = fn
+	return f
+}
+
+// WorkBatchABFT implements ABFTKernel.
+func (f *ABFTFuncFilter) WorkBatchABFT(in, out [][]uint32) float64 { return f.workABFT(in, out) }
+
+// ChecksumBatch implements ABFTKernel.
+func (f *ABFTFuncFilter) ChecksumBatch(out [][]uint32) float64 { return f.checksum(out) }
+
+// RecomputeBatch implements ABFTKernel.
+func (f *ABFTFuncFilter) RecomputeBatch(in, out [][]uint32) {
+	if f.recompute != nil {
+		f.recompute(in, out)
+		return
+	}
+	f.workBatch(in, out)
+}
+
+var _ ABFTKernel = (*ABFTFuncFilter)(nil)

@@ -8,6 +8,16 @@ import (
 	"commguard/internal/queue"
 )
 
+// f32Tape builds a tape of n float32-carrying items for ABFT tests
+// (the F32 checksum contract is about float payloads, not raw words).
+func f32Tape(n int) []uint32 {
+	tape := make([]uint32, n)
+	for i := range tape {
+		tape[i] = F32Bits(float32(i%101) * 0.25)
+	}
+	return tape
+}
+
 // stripBatch hides the batch capability of a transport's ports, forcing
 // the engine onto the per-item path. Used to prove the batched fast path
 // is observably identical to per-item transit.
@@ -74,5 +84,318 @@ func TestEngineBatchMatchesPerItem(t *testing.T) {
 			t.Errorf("mtbe %v: queue stats diverged\nper-item %+v\nbatch    %+v",
 				mtbe, perItemStats, batchStats)
 		}
+	}
+}
+
+// A BatchKernel attached via FuncFilter.Batch must be observably
+// identical to the per-item work function, including when the kernel
+// carries state across firings: the engine switches between the two
+// paths per firing (per-item whenever a perturbation is armed), so both
+// forms advance the same closure state in the same order.
+func TestEngineBatchFuncFilterMatchesPerItem(t *testing.T) {
+	for _, mtbe := range []float64{0, 300} {
+		run := func(batch bool) ([]uint32, queue.Stats) {
+			g := NewGraph()
+			// Running-sum kernel: each output is the wrapping prefix sum
+			// of everything popped so far — any path divergence (skipped
+			// firing, reordered item, double-fired batch) poisons every
+			// later output.
+			var acc uint32
+			ff := NewFuncFilter("prefix", 4, 4, 30, func(ctx *Ctx) {
+				for k := 0; k < 4; k++ {
+					acc += ctx.Pop(0)
+					ctx.Push(0, acc)
+				}
+			})
+			kernel := ff.Batch(func(in, out [][]uint32) {
+				for i, v := range in[0] {
+					acc += v
+					out[0][i] = acc
+				}
+			})
+			sink := NewSink("sink", 4)
+			if _, err := g.Chain(NewSource("src", 4, seqData(512)), kernel, sink); err != nil {
+				t.Fatal(err)
+			}
+			qcfg := queue.Config{WorkingSets: 4, WorkingSetUnits: 128, ProtectPointers: true, Timeout: 100}
+			var tr Transport = &PlainTransport{Queue: qcfg}
+			if !batch {
+				tr = stripBatch{inner: tr}
+			}
+			cfg := EngineConfig{Transport: tr}
+			if mtbe > 0 {
+				model := fault.DefaultModel(true)
+				cfg.NewInjector = func(core int) *fault.Injector {
+					return fault.NewInjector(mtbe, fault.CoreSeed(23, core), model)
+				}
+			}
+			eng, err := NewEngine(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := eng.RunSequential()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sink.Collected(), stats.QueueTotals()
+		}
+		perItemOut, perItemStats := run(false)
+		batchOut, batchStats := run(true)
+		if len(perItemOut) != len(batchOut) {
+			t.Fatalf("mtbe %v: lengths %d vs %d", mtbe, len(perItemOut), len(batchOut))
+		}
+		for i := range perItemOut {
+			if perItemOut[i] != batchOut[i] {
+				t.Fatalf("mtbe %v: output %d differs: per-item %d, batch %d",
+					mtbe, i, perItemOut[i], batchOut[i])
+			}
+		}
+		if perItemStats != batchStats {
+			t.Errorf("mtbe %v: queue stats diverged\nper-item %+v\nbatch    %+v",
+				mtbe, perItemStats, batchStats)
+		}
+	}
+}
+
+// The ABFT scheme's observable contract: output-side data flips are
+// detected by the checksum mismatch and repaired by recompute, while
+// input-side flips flow through the kernel exactly as they do on the
+// unprotected path (ABFT is blind to input corruption — the scheme's
+// documented coverage gap). So with a flip-only fault model, the set of
+// outputs an ABFT run corrupts must be a strict subset of what the same
+// seed corrupts unprotected, with bit-identical values on the shared
+// (input-flip) corruptions.
+func TestEngineABFTCorrectsOutputFlips(t *testing.T) {
+	const mtbe = 150
+	var model fault.Model
+	model.Weights[fault.DataBitflip] = 1
+
+	run := func(abft, inject bool) ([]uint32, *RunStats) {
+		g := NewGraph()
+		ff := NewFuncFilter("gain", 4, 4, 25, func(ctx *Ctx) {
+			for k := 0; k < 4; k++ {
+				ctx.Push(0, F32Bits(1.5*BitsF32(ctx.Pop(0))))
+			}
+		})
+		kernel := ff.Batch(func(in, out [][]uint32) {
+			for i, v := range in[0] {
+				out[0][i] = F32Bits(1.5 * BitsF32(v))
+			}
+		}).ABFT(func(in, out [][]uint32) float64 {
+			s := 0.0
+			for i, v := range in[0] {
+				y := F32Bits(1.5 * BitsF32(v))
+				out[0][i] = y
+				s += float64(BitsF32(y))
+			}
+			return s
+		}, func(out [][]uint32) float64 { return ChecksumF32(out[0]) })
+		sink := NewSink("sink", 4)
+		if _, err := g.Chain(NewSource("src", 4, f32Tape(1024)), kernel, sink); err != nil {
+			t.Fatal(err)
+		}
+		qcfg := queue.Config{WorkingSets: 4, WorkingSetUnits: 128, ProtectPointers: true, Timeout: 100}
+		cfg := EngineConfig{Transport: &PlainTransport{Queue: qcfg}, ABFT: abft}
+		if inject {
+			// Confine injection to the kernel's core (topo order: src=0,
+			// kernel=1, sink=2) so every flip lands on the protected
+			// filter's ports and the subset relation below is exact.
+			cfg.NewInjector = func(core int) *fault.Injector {
+				if core != 1 {
+					return nil
+				}
+				return fault.NewInjector(mtbe, fault.CoreSeed(31, core), model)
+			}
+		}
+		eng, err := NewEngine(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := eng.RunSequential()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sink.Collected(), stats
+	}
+
+	clean, _ := run(false, false)
+	faulty, _ := run(false, true)
+	protected, stats := run(true, true)
+	if len(clean) != len(faulty) || len(clean) != len(protected) {
+		t.Fatalf("lengths diverged: clean %d, faulty %d, protected %d",
+			len(clean), len(faulty), len(protected))
+	}
+
+	faultyDiff := map[int]bool{}
+	for i := range clean {
+		if faulty[i] != clean[i] {
+			faultyDiff[i] = true
+		}
+	}
+	protectedDiffs := 0
+	for i := range clean {
+		if protected[i] == clean[i] {
+			continue
+		}
+		protectedDiffs++
+		if !faultyDiff[i] {
+			t.Errorf("output %d corrupted only under ABFT (protected %#x, faulty %#x, clean %#x)",
+				i, protected[i], faulty[i], clean[i])
+		}
+		if protected[i] != faulty[i] {
+			t.Errorf("output %d: input-flip corruption diverged: protected %#x, faulty %#x",
+				i, protected[i], faulty[i])
+		}
+	}
+	if len(faultyDiff) == 0 {
+		t.Fatal("seed produced no corruption at all; the test exercises nothing")
+	}
+	if protectedDiffs >= len(faultyDiff) {
+		t.Errorf("ABFT repaired nothing: %d corrupted outputs protected vs %d unprotected",
+			protectedDiffs, len(faultyDiff))
+	}
+
+	var abftStats ABFTStats
+	for _, c := range stats.Cores {
+		abftStats.Add(c.ABFT)
+	}
+	if abftStats.Corrections == 0 {
+		t.Error("no corrections recorded despite repaired outputs")
+	}
+	// Every kernel firing runs checksummed: ABFTChecksumOpsPerItem per
+	// pushed item over the full 1024-item tape (Table-3-style accounting).
+	if want := uint64(fault.ABFTChecksumOpsPerItem * 1024); abftStats.ChecksumOps != want {
+		t.Errorf("ChecksumOps = %d, want %d", abftStats.ChecksumOps, want)
+	}
+	if abftStats.RecomputeOps == 0 {
+		t.Error("corrections recorded but no recompute cost charged")
+	}
+}
+
+// A stateful ABFT kernel must repair through its Recompute override:
+// recompute restores the pre-firing state snapshot before re-running, so
+// a corrected firing leaves the kernel in exactly the state a clean
+// firing would. The kernel here ignores its input values (state-driven
+// output), so with a flip-only model every corruption is repairable and
+// the protected run must match the clean run bit-for-bit — while the
+// default stateless recompute (no override) double-advances the state
+// and visibly diverges.
+func TestEngineABFTStatefulRecompute(t *testing.T) {
+	const mtbe = 150
+	var model fault.Model
+	model.Weights[fault.DataBitflip] = 1
+
+	run := func(inject, override bool) ([]uint32, *RunStats) {
+		g := NewGraph()
+		phase, snapshot := 0, 0
+		emit := func(out []uint32) {
+			for k := range out {
+				out[k] = F32Bits(float32(phase*4+k) * 0.125)
+			}
+			phase++
+		}
+		ff := NewFuncFilter("osc", 4, 4, 40, func(ctx *Ctx) {
+			for k := 0; k < 4; k++ {
+				ctx.Pop(0)
+			}
+			var out [4]uint32
+			emit(out[:])
+			for _, v := range out {
+				ctx.Push(0, v)
+			}
+		})
+		kernel := ff.Batch(func(in, out [][]uint32) {
+			emit(out[0])
+		}).ABFT(func(in, out [][]uint32) float64 {
+			snapshot = phase
+			emit(out[0])
+			return ChecksumF32(out[0])
+		}, func(out [][]uint32) float64 { return ChecksumF32(out[0]) })
+		if override {
+			kernel.Recompute(func(in, out [][]uint32) {
+				phase = snapshot
+				emit(out[0])
+			})
+		}
+		sink := NewSink("sink", 4)
+		if _, err := g.Chain(NewSource("src", 4, f32Tape(1024)), kernel, sink); err != nil {
+			t.Fatal(err)
+		}
+		qcfg := queue.Config{WorkingSets: 4, WorkingSetUnits: 128, ProtectPointers: true, Timeout: 100}
+		cfg := EngineConfig{Transport: &PlainTransport{Queue: qcfg}, ABFT: true}
+		if inject {
+			cfg.NewInjector = func(core int) *fault.Injector {
+				if core != 1 {
+					return nil
+				}
+				return fault.NewInjector(mtbe, fault.CoreSeed(31, core), model)
+			}
+		}
+		eng, err := NewEngine(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := eng.RunSequential()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sink.Collected(), stats
+	}
+
+	corrections := func(stats *RunStats) uint64 {
+		var n uint64
+		for _, c := range stats.Cores {
+			n += c.ABFT.Corrections
+		}
+		return n
+	}
+
+	clean, _ := run(false, true)
+	repaired, repairedStats := run(true, true)
+	if corrections(repairedStats) == 0 {
+		t.Fatal("seed produced no corrections; the recompute path was never exercised")
+	}
+	if len(clean) != len(repaired) {
+		t.Fatalf("lengths diverged: clean %d, repaired %d", len(clean), len(repaired))
+	}
+	for i := range clean {
+		if clean[i] != repaired[i] {
+			t.Fatalf("output %d: stateful recompute diverged from clean run (%#x vs %#x)",
+				i, repaired[i], clean[i])
+		}
+	}
+
+	// Negative control: without the Recompute override the default
+	// stateless repair re-runs the batch kernel without restoring state,
+	// double-advancing the oscillator — the divergence this test exists
+	// to catch.
+	broken, brokenStats := run(true, false)
+	if corrections(brokenStats) == 0 {
+		t.Fatal("negative control recorded no corrections")
+	}
+	diverged := false
+	for i := range clean {
+		if clean[i] != broken[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("stateless recompute of a stateful kernel did not diverge; the override test has no teeth")
+	}
+}
+
+// Runtime cross-validation of the static hot-path proof for the
+// engine-side ABFT checksum helpers (//hotpath:entry in batch.go).
+func TestHotpathAllocFree(t *testing.T) {
+	buf := make([]uint32, 256)
+	for i := range buf {
+		buf[i] = F32Bits(float32(i) * 0.5)
+	}
+	if avg := testing.AllocsPerRun(100, func() { ChecksumF32(buf) }); avg != 0 {
+		t.Errorf("ChecksumF32: %.1f allocs/run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { ChecksumU32(buf) }); avg != 0 {
+		t.Errorf("ChecksumU32: %.1f allocs/run, want 0", avg)
 	}
 }

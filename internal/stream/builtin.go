@@ -30,8 +30,21 @@ func (s *Source) Work(ctx *Ctx) {
 	}
 }
 
+// WorkBatch implements BatchKernel: the whole-firing form of Work
+// (tape values in order, zeros past the end of the tape).
+func (s *Source) WorkBatch(in, out [][]uint32) {
+	dst := out[0]
+	n := copy(dst, s.data[s.pos:])
+	s.pos += n
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
 // Remaining returns the unread portion of the tape (for diagnostics).
 func (s *Source) Remaining() int { return len(s.data) - s.pos }
+
+var _ BatchKernel = (*Source)(nil)
 
 // Sink collects the graph's output tape, rate items per firing.
 type Sink struct {
@@ -55,9 +68,18 @@ func (s *Sink) Work(ctx *Ctx) {
 	}
 }
 
+// WorkBatch implements BatchKernel. The append amortizes like Work's, so
+// Sink is deliberately not a //hotpath:entry (tape collection is test and
+// measurement plumbing, not a protected kernel).
+func (s *Sink) WorkBatch(in, out [][]uint32) {
+	s.out = append(s.out, in[0]...)
+}
+
 // Collected returns everything the sink consumed. Only read it after the
 // engine's Run has returned.
 func (s *Sink) Collected() []uint32 { return s.out }
+
+var _ BatchKernel = (*Sink)(nil)
 
 // Identity forwards rate items per firing unchanged.
 type Identity struct {
@@ -77,6 +99,15 @@ func (f *Identity) Work(ctx *Ctx) {
 		ctx.Push(0, ctx.Pop(0))
 	}
 }
+
+// WorkBatch implements BatchKernel.
+//
+//hotpath:entry
+func (f *Identity) WorkBatch(in, out [][]uint32) {
+	copy(out[0], in[0])
+}
+
+var _ BatchKernel = (*Identity)(nil)
 
 // DuplicateSplitter is StreamIt's duplicate splitter: each popped item is
 // pushed to every output branch.
@@ -110,6 +141,17 @@ func (f *DuplicateSplitter) Work(ctx *Ctx) {
 	}
 }
 
+// WorkBatch implements BatchKernel.
+//
+//hotpath:entry
+func (f *DuplicateSplitter) WorkBatch(in, out [][]uint32) {
+	for b := range out {
+		copy(out[b], in[0])
+	}
+}
+
+var _ BatchKernel = (*DuplicateSplitter)(nil)
+
 // RoundRobinSplitter deals items to branches in weighted round-robin order:
 // weights[0] items to branch 0, then weights[1] to branch 1, and so on.
 // This is StreamIt's roundrobin(w0, w1, ...) splitter; jpeg uses it to deal
@@ -142,6 +184,19 @@ func (f *RoundRobinSplitter) Work(ctx *Ctx) {
 	}
 }
 
+// WorkBatch implements BatchKernel.
+//
+//hotpath:entry
+func (f *RoundRobinSplitter) WorkBatch(in, out [][]uint32) {
+	off := 0
+	for b, w := range f.weights {
+		copy(out[b], in[0][off:off+w])
+		off += w
+	}
+}
+
+var _ BatchKernel = (*RoundRobinSplitter)(nil)
+
 // RoundRobinJoiner merges branches in weighted round-robin order, the dual
 // of RoundRobinSplitter.
 type RoundRobinJoiner struct {
@@ -173,6 +228,19 @@ func (f *RoundRobinJoiner) Work(ctx *Ctx) {
 		}
 	}
 }
+
+// WorkBatch implements BatchKernel.
+//
+//hotpath:entry
+func (f *RoundRobinJoiner) WorkBatch(in, out [][]uint32) {
+	off := 0
+	for b, w := range f.weights {
+		copy(out[0][off:off+w], in[b])
+		off += w
+	}
+}
+
+var _ BatchKernel = (*RoundRobinJoiner)(nil)
 
 // FuncFilter adapts a plain function to the Filter interface for simple
 // single-input single-output stages.

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -34,6 +35,14 @@ type EngineConfig struct {
 	// Core IDs equal node IDs; ring i belongs exclusively to node i's
 	// goroutine.
 	Tracer *obs.Tracer
+	// ABFT enables the checksummed batch-kernel execution mode on filters
+	// that implement ABFTKernel (the sim.ABFT protection scheme): batched
+	// firings fuse an output checksum into the kernel loop, data flips and
+	// addressing slips stay on the batch path, and a checksum mismatch
+	// after transit corruption triggers a kernel recompute from the intact
+	// input buffer. Filters without ABFT support run exactly as without
+	// this flag.
+	ABFT bool
 	// Cancel, when non-nil, aborts the run when closed: node goroutines
 	// stop at the next iteration boundary and the run returns ErrCancelled.
 	// To also unwind goroutines blocked inside queue push/pop wait loops,
@@ -71,6 +80,35 @@ type CoreStats struct {
 	Errors fault.Counts
 	// PPU is the protection-module view (frames, scope depth, watchdog).
 	PPU ppu.Stats
+	// ABFT is the kernel-protection view (EngineConfig.ABFT): checksum
+	// and repair activity of this core's ABFT kernel.
+	ABFT ABFTStats
+}
+
+// ABFTStats counts the ABFT scheme's protection suboperations on one
+// core. Like CommGuard's suboperations (Fig. 14), they are accounted
+// per committed instruction but never committed as instructions — the
+// overhead ratio is Ops()/CoreStats.Instructions.
+type ABFTStats struct {
+	// ChecksumOps counts checksum arithmetic: fault.ABFTChecksumOpsPerItem
+	// per item produced by a checksummed firing (one fused accumulate in
+	// the compute loop, one re-accumulate at verification).
+	ChecksumOps uint64
+	// RecomputeOps counts repair arithmetic: the kernel's firing cost for
+	// every recompute triggered by a checksum mismatch.
+	RecomputeOps uint64
+	// Corrections counts checksum mismatches repaired by recompute.
+	Corrections uint64
+}
+
+// Ops sums all ABFT suboperations (the Fig.14-style numerator).
+func (a ABFTStats) Ops() uint64 { return a.ChecksumOps + a.RecomputeOps }
+
+// Add accumulates other into a.
+func (a *ABFTStats) Add(other ABFTStats) {
+	a.ChecksumOps += other.ChecksumOps
+	a.RecomputeOps += other.RecomputeOps
+	a.Corrections += other.Corrections
 }
 
 // Fractions of compute instructions that touch memory, used to model the
@@ -226,6 +264,7 @@ func (e *Engine) execute(sequential bool) (*RunStats, error) {
 		th := newThread(n, cores[n.ID], e.sched.Multiplicity[n.ID], inj)
 		th.onError = e.cfg.OnError
 		th.cancel = e.cfg.Cancel
+		th.abft = e.cfg.ABFT && th.ak != nil
 		for i, edge := range n.In {
 			sh := &inShim{port: ins[edge.ID], rate: edge.PopRate()}
 			if bp, ok := ins[edge.ID].(BatchInPort); ok {
@@ -385,10 +424,20 @@ type thread struct {
 	trace     *obs.Ring
 	//repolint:ignore RL001 teardown signal from the campaign watchdog, not inter-node data
 	cancel <-chan struct{}
+
+	// Batch-kernel firing path: bk/ak are the filter's whole-firing
+	// interfaces (nil when unimplemented), abft enables the checksummed
+	// mode, and inBufs/outBufs are the reused per-port flat buffers
+	// (allocated once in begin, exactly one rate per port).
+	bk      BatchKernel
+	ak      ABFTKernel
+	abft    bool
+	inBufs  [][]uint32
+	outBufs [][]uint32
 }
 
 func newThread(n *Node, core *ppu.Core, mult int, inj *fault.Injector) *thread {
-	return &thread{
+	t := &thread{
 		node:  n,
 		core:  core,
 		inj:   inj,
@@ -398,6 +447,9 @@ func newThread(n *Node, core *ppu.Core, mult int, inj *fault.Injector) *thread {
 		outs:  make([]*outShim, len(n.Out)),
 		trace: core.TraceRing(),
 	}
+	t.bk, _ = n.F.(BatchKernel)
+	t.ak, _ = n.F.(ABFTKernel)
+	return t
 }
 
 // begin prepares the thread's work context and enters the global scope.
@@ -408,6 +460,16 @@ func (t *thread) begin() *Ctx {
 	}
 	for _, s := range t.outs {
 		ctx.out = append(ctx.out, s)
+	}
+	if t.bk != nil {
+		t.inBufs = make([][]uint32, len(t.ins))
+		for i, s := range t.ins {
+			t.inBufs[i] = make([]uint32, maxInt(0, s.rate))
+		}
+		t.outBufs = make([][]uint32, len(t.outs))
+		for o, s := range t.outs {
+			t.outBufs[o] = make([]uint32, maxInt(0, s.rate))
+		}
 	}
 	t.core.BeginScope("global")
 	return ctx
@@ -513,6 +575,10 @@ func (t *thread) fireWithFaults(ctx *Ctx) {
 
 // fire executes one firing and applies the shims' post-work perturbations.
 func (t *thread) fire(ctx *Ctx) {
+	if t.batchReady() {
+		t.fireBatch()
+		return
+	}
 	for _, s := range t.ins {
 		s.beginFiring()
 	}
@@ -526,6 +592,134 @@ func (t *thread) fire(ctx *Ctx) {
 	}
 	for _, s := range t.outs {
 		pushes += s.endFiring()
+	}
+	t.stats.Firings++
+	t.commit(pops + pushes)
+	t.stats.Loads += uint64(float64(t.cost)*loadFraction) + uint64(pops)
+	t.stats.Stores += uint64(float64(t.cost)*storeFraction) + uint64(pushes)
+}
+
+// batchReady reports whether this firing may take the batch-kernel path:
+// the filter implements BatchKernel, every port is batch-capable with a
+// positive static rate, and no armed perturbation requires the per-item
+// shims. Item-count perturbations (extra/starved pops, extra/dropped
+// pushes) always force the per-item path — they change *whether* units
+// are consumed. Data flips and addressing slips force it too, except in
+// ABFT mode, where they are applied to the flat buffers per-item-
+// equivalently so the checksummed kernel stays engaged.
+func (t *thread) batchReady() bool {
+	if t.bk == nil || t.inBufs == nil {
+		return false
+	}
+	for _, s := range t.ins {
+		if s.batch == nil || s.rate <= 0 {
+			return false
+		}
+		if s.extraPops > 0 || s.starvedPops > 0 {
+			return false
+		}
+		if !t.abft && (s.flipAt >= 0 || s.slipAt >= 0) {
+			return false
+		}
+	}
+	for _, s := range t.outs {
+		if s.batch == nil || s.rate <= 0 {
+			return false
+		}
+		if s.extraPushes > 0 || s.droppedPushes > 0 {
+			return false
+		}
+		if !t.abft && s.flipAt >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fireBatch executes one firing through the batch-kernel path:
+// whole-rate PopN into reused flat buffers, one WorkBatch call over
+// them, whole-rate PushN out — no per-item shim machinery. batchReady
+// guarantees observational equivalence with the per-item path: without
+// ABFT only unperturbed firings arrive here (identical transit calls,
+// identical kernel values); with ABFT, armed data flips and addressing
+// slips are applied to the buffers exactly as inShim.pop/outShim.push
+// would apply them, and output corruption — which lands after the
+// kernel fused its checksum — is detected by re-deriving the checksum
+// from the communicated buffer and repaired by recomputing the firing
+// from the intact input buffer.
+//
+//hotpath:entry
+func (t *thread) fireBatch() {
+	pops, pushes := 0, 0
+	for i, s := range t.ins {
+		buf := t.inBufs[i]
+		// Drain any prefetch/peek leftover first, exactly like next().
+		n := copy(buf, s.win[s.winStart:])
+		if n > 0 {
+			s.winStart += n
+			if s.winStart >= len(s.win) {
+				s.win = s.win[:0]
+				s.winStart = 0
+			}
+		}
+		if n < len(buf) {
+			//hotpath:ok CS023 batch ports resolve to the annotated plain/guarded PopN entries
+			s.batch.PopN(buf[n:])
+		}
+		if s.flipAt >= 0 || s.slipAt >= 0 {
+			// ABFT mode: replicate inShim.pop's perturbation sequence on
+			// the flat buffer (slip serves the previously delivered value,
+			// flip corrupts one bit, last tracks the delivered stream).
+			last := s.last
+			for idx, v := range buf {
+				if idx == s.slipAt {
+					v = last
+				}
+				if idx == s.flipAt {
+					v ^= 1 << uint(s.flipBit)
+				}
+				last = v
+				buf[idx] = v
+			}
+			s.last = last
+		} else {
+			s.last = buf[len(buf)-1]
+		}
+		s.clearPlan()
+		pops += s.rate
+	}
+	for _, s := range t.outs {
+		pushes += s.rate
+	}
+	if t.abft {
+		//hotpath:ok CS023 ABFT kernels are annotated entries of their own (dsp/codec kernels)
+		sum := t.ak.WorkBatchABFT(t.inBufs, t.outBufs)
+		t.stats.ABFT.ChecksumOps += uint64(fault.ABFTChecksumOpsPerItem * pushes)
+		for oi, s := range t.outs {
+			if s.flipAt >= 0 && s.flipAt < len(t.outBufs[oi]) {
+				// Transit corruption strikes after the checksum was fused
+				// into the compute loop — the window ABFT closes.
+				t.outBufs[oi][s.flipAt] ^= 1 << uint(s.flipBit)
+			}
+		}
+		//hotpath:ok CS023 checksum re-derivation dispatches to ChecksumF32/ChecksumU32 entries
+		check := t.ak.ChecksumBatch(t.outBufs)
+		if math.Float64bits(check) != math.Float64bits(sum) {
+			//hotpath:ok CS023 recompute re-enters the kernel's own annotated entry
+			t.ak.RecomputeBatch(t.inBufs, t.outBufs)
+			t.stats.ABFT.RecomputeOps += uint64(t.cost)
+			t.stats.ABFT.Corrections++
+		}
+	} else {
+		//hotpath:ok CS023 batch kernels are annotated entries of their own (dsp/codec kernels)
+		t.bk.WorkBatch(t.inBufs, t.outBufs)
+	}
+	for oi, s := range t.outs {
+		buf := t.outBufs[oi]
+		s.last = buf[len(buf)-1]
+		s.clearPlan()
+		//hotpath:ok CS023 batch ports resolve to the annotated plain/guarded PushN entries
+		s.batch.PushN(buf)
 	}
 	t.stats.Firings++
 	t.commit(pops + pushes)
