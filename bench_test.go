@@ -415,7 +415,7 @@ func TestTraceDisabledNoAllocs(t *testing.T) {
 		tracer *obs.Tracer
 	}{
 		{"disabled", nil},
-		{"enabled", obs.NewTracer(1, 1 << 10)},
+		{"enabled", obs.NewTracer(1, 1<<10)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			q := queue.MustNew(0, queue.Config{WorkingSets: 4, WorkingSetUnits: 64, ProtectPointers: true, Timeout: 0})
@@ -434,5 +434,65 @@ func TestTraceDisabledNoAllocs(t *testing.T) {
 				t.Errorf("guarded pop allocates %.1f objects/op, want 0", allocs)
 			}
 		})
+	}
+}
+
+// BenchmarkHealthOverhead compares guarded per-item transit with the
+// runtime-health layer disarmed (nil shards and detector, the default)
+// against fully armed: latency shards wired into the queue funnels, the
+// AM's fault→detection detector observing every pop, and the trace
+// rings running (what an armed flight recorder costs while nothing is
+// wrong). Wait timing starts only after a funnel's first fast-path
+// failure and the detector poll is one atomic load per watched core, so
+// the armed variant must stay within a few percent of the baseline.
+func BenchmarkHealthOverhead(b *testing.B) {
+	qcfg := queue.Config{WorkingSets: 8, WorkingSetUnits: 1024, ProtectPointers: true, Timeout: 0}
+	run := func(b *testing.B, h *obs.Health, tracer *obs.Tracer) {
+		q := queue.MustNew(0, qcfg)
+		q.SetTrace(tracer.Ring(0), tracer.Ring(1))
+		q.SetLatency(h.QueueShards(0, 1))
+		am := commguard.NewAlignmentManager(q, 0)
+		am.SetTrace(tracer.Ring(1))
+		am.SetDetector(h.NewDetector(1, 0, 1))
+		am.NewFrameComputation(0)
+		go func() {
+			hi := commguard.NewHeaderInserter(q)
+			hi.SetTrace(tracer.Ring(0))
+			hi.NewFrameComputation(0)
+			for {
+				q.Push(queue.DataUnit(1))
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			am.Pop()
+		}
+	}
+	b.Run("Disarmed", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("Armed", func(b *testing.B) { run(b, obs.NewHealth(2), obs.NewTracer(2, 1<<12)) })
+}
+
+// TestHealthArmedNoAllocs pins the zero-allocation contract of the
+// guarded pop path with the full runtime-health layer armed: queue
+// latency shards, the AM detector, and live trace rings.
+func TestHealthArmedNoAllocs(t *testing.T) {
+	tracer := obs.NewTracer(2, 1<<10)
+	h := obs.NewHealth(2)
+	q := queue.MustNew(0, queue.Config{WorkingSets: 4, WorkingSetUnits: 64, ProtectPointers: true, Timeout: 0})
+	q.SetTrace(tracer.Ring(0), tracer.Ring(1))
+	q.SetLatency(h.QueueShards(0, 1))
+	hi := commguard.NewHeaderInserter(q)
+	hi.SetTrace(tracer.Ring(0))
+	hi.NewFrameComputation(0)
+	for i := 0; i < 128; i++ {
+		q.Push(queue.DataUnit(uint32(i)))
+	}
+	q.Flush()
+	am := commguard.NewAlignmentManager(q, 0)
+	am.SetTrace(tracer.Ring(1))
+	am.SetDetector(h.NewDetector(1, 0, 1))
+	am.NewFrameComputation(0)
+	if allocs := testing.AllocsPerRun(100, func() { am.Pop() }); allocs != 0 {
+		t.Errorf("health-armed guarded pop allocates %.1f objects/op, want 0", allocs)
 	}
 }

@@ -1,0 +1,82 @@
+// Command benchdiff gates performance regressions: it diffs a freshly
+// generated perf snapshot (BENCH_hotpath.json / BENCH_kernels.json
+// shape) against the committed baseline, per metric, and fails only on
+// large regressions.
+//
+// Usage:
+//
+//	benchdiff [-warn 0.25] [-fatal 2.0] baseline.json fresh.json
+//
+// Metrics are compared on the intersection of the two snapshots (the
+// quick and full profiles measure different variant sets). A metric
+// slower than baseline by more than -warn (fraction) prints a WARN
+// line; at or beyond -fatal times baseline it is a hard failure.
+// Absolute ns/item varies across machines, so the default bands are
+// wide: warnings absorb runner noise, and only a 2x slowdown — an
+// algorithmic regression, not jitter — breaks the build.
+//
+// Exit status: 0 when no metric is fatal (warnings included), 1 when at
+// least one metric regressed fatally, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commguard/internal/diag"
+)
+
+func main() {
+	var (
+		warn  = flag.Float64("warn", 0.25, "fractional slowdown above which a metric warns (0.25 = 1.25x baseline)")
+		fatal = flag.Float64("fatal", 2.0, "ratio to baseline at which a metric fails the gate (2.0 = 2x)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-warn frac] [-fatal ratio] baseline.json fresh.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := os.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	d, err := diag.CompareBench(baseline, fresh, *warn, *fatal)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-28s %12s %12s %8s  %s\n", "metric", "baseline", "fresh", "ratio", "level")
+	for _, delta := range d.Deltas {
+		level := delta.Level
+		if level != "ok" {
+			level = map[string]string{"warn": "WARN", "fatal": "FATAL"}[level]
+		}
+		fmt.Printf("%-28s %10.2fns %10.2fns %7.2fx  %s\n",
+			delta.Metric, delta.BaselineNs, delta.FreshNs, delta.Ratio, level)
+	}
+	for _, m := range d.MissingInFresh {
+		fmt.Printf("%-28s only in baseline (not compared)\n", m)
+	}
+	for _, m := range d.MissingInBaseline {
+		fmt.Printf("%-28s only in fresh (not compared)\n", m)
+	}
+	if d.Warns > 0 {
+		fmt.Printf("benchdiff: %d metric(s) above the %.0f%% warn band\n", d.Warns, 100**warn)
+	}
+	if d.Fatals > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond %.1fx baseline\n", d.Fatals, *fatal)
+		os.Exit(1)
+	}
+}

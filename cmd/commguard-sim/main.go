@@ -18,6 +18,7 @@ import (
 
 	"commguard/internal/apps"
 	"commguard/internal/media"
+	"commguard/internal/obs"
 	"commguard/internal/sim"
 	"commguard/internal/stream"
 	"commguard/internal/viz"
@@ -35,10 +36,31 @@ func main() {
 		frames     = flag.Bool("frames", false, "print a per-frame damage map vs the reference (the Fig. 7 view)")
 		trace      = flag.String("trace", "", "record an event trace and write <base>.trace.json (Perfetto), <base>.jsonl (diag schema), <base>.snapshot.json (telemetry); also prints the applied-error timeline and AM state timelines")
 		sequential = flag.Bool("sequential", false, "bit-reproducible single-goroutine execution (static schedule)")
+
+		health        = flag.Bool("health", false, "collect runtime-health latency histograms (queue waits, firing durations, fault→detection latency) and print their quantiles")
+		metricsPath   = flag.String("metrics", "", "write the runtime-health histogram artifact <path>.metrics.json (implies -health)")
+		flight        = flag.String("flight", "", "arm an anomaly-triggered flight recorder: trace rings run continuously, and a fired trigger writes <base>.flight.json plus the trace pair at this artifact base")
+		flightQuality = flag.Float64("flight-quality", 0, "with -flight: trigger when output quality falls below this floor (dB, 0 disables)")
+		flightSlow    = flag.Float64("flight-slowpath", 0, "with -flight: trigger when queue timeouts exceed this rate per 1000 delivered items (0 disables)")
+		flightStorm   = flag.Float64("flight-storm", 0, "with -flight: trigger when manifested faults exceed this rate per 1000 committed instructions (0 disables)")
 	)
 	flag.Parse()
 
-	if err := run(*appName, *protection, *mtbe, *seed, *scale, *verbose, *outPath, *trace, *frames, *sequential); err != nil {
+	var fopts *obs.FlightOptions
+	if *flight != "" {
+		fopts = &obs.FlightOptions{
+			Path:              *flight,
+			Watchdog:          true,
+			QualityFloorDB:    *flightQuality,
+			SlowPathPerKItems: *flightSlow,
+			FaultsPerKInstr:   *flightStorm,
+		}
+	} else if *flightQuality != 0 || *flightSlow != 0 || *flightStorm != 0 {
+		fmt.Fprintln(os.Stderr, "commguard-sim: -flight-quality/-flight-slowpath/-flight-storm require -flight")
+		os.Exit(2)
+	}
+
+	if err := run(*appName, *protection, *mtbe, *seed, *scale, *verbose, *outPath, *trace, *frames, *sequential, *health || *metricsPath != "", *metricsPath, fopts); err != nil {
 		fmt.Fprintln(os.Stderr, "commguard-sim:", err)
 		os.Exit(1)
 	}
@@ -60,7 +82,7 @@ func parseProtection(s string) (sim.Protection, error) {
 	return 0, fmt.Errorf("unknown protection %q", s)
 }
 
-func run(appName, protection string, mtbe float64, seed int64, scale int, verbose bool, outPath, tracePath string, frames, sequential bool) error {
+func run(appName, protection string, mtbe float64, seed int64, scale int, verbose bool, outPath, tracePath string, frames, sequential, health bool, metricsPath string, fopts *obs.FlightOptions) error {
 	b, ok := apps.ByName(appName)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q", appName)
@@ -70,7 +92,7 @@ func run(appName, protection string, mtbe float64, seed int64, scale int, verbos
 		return err
 	}
 	tracing := tracePath != ""
-	cfg := sim.Config{Protection: prot, MTBE: mtbe, Seed: seed, FrameScale: scale, Trace: tracing, Sequential: sequential}
+	cfg := sim.Config{Protection: prot, MTBE: mtbe, Seed: seed, FrameScale: scale, Trace: tracing, Sequential: sequential, Health: health, Flight: fopts}
 	if tracing {
 		cfg.TraceEvents = -1 // default ring capacity
 	}
@@ -159,6 +181,27 @@ func run(appName, protection string, mtbe float64, seed int64, scale int, verbos
 			viz.CorruptedFrames(m), len(m))
 		fmt.Printf("  %s\n", m)
 	}
+	if health {
+		fmt.Println("\nruntime-health latency histograms:")
+		fmt.Printf("  %-16s %10s %12s %12s %12s %6s\n", "histogram", "count", "p50", "p90", "p99", "unit")
+		for _, s := range res.Health {
+			fmt.Printf("  %-16s %10d %12.0f %12.0f %12.0f %6s\n", s.Name, s.Count, s.P50, s.P90, s.P99, s.Unit)
+		}
+		if metricsPath != "" {
+			p, err := writeMetrics(metricsPath, res, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("metrics        written to %s\n", p)
+		}
+	}
+	if fopts != nil {
+		if len(res.FlightDumps) > 0 {
+			fmt.Printf("flight         TRIGGERED -> %s\n", strings.Join(res.FlightDumps, ", "))
+		} else {
+			fmt.Println("flight         armed, no trigger fired (no artifacts written)")
+		}
+	}
 	if outPath != "" {
 		if err := dumpOutput(outPath, res); err != nil {
 			return err
@@ -166,6 +209,21 @@ func run(appName, protection string, mtbe float64, seed int64, scale int, verbos
 		fmt.Printf("output         written to %s\n", outPath)
 	}
 	return nil
+}
+
+// writeMetrics writes the runtime-health histogram artifact
+// <base>.metrics.json under the run's manifest.
+func writeMetrics(base string, res *sim.Result, cfg sim.Config) (string, error) {
+	path := base + ".metrics.json"
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := obs.WriteMetrics(f, res.Manifest(cfg), res.Health); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // writeTrace writes the run's event-trace artifacts next to base and

@@ -42,16 +42,17 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 3|7|8|9|10|11|12|13|14|abft|sensitivity|critweight|all")
-		quickF = flag.Bool("quick", false, "reduced sweep (smaller workloads, fewer seeds)")
-		seeds  = flag.Int("seeds", 0, "override seeds per point (paper: 5)")
-		csvDir = flag.String("csv", "", "with -fig all: also write per-figure CSVs to this directory")
-		mdPath = flag.String("md", "", "with -fig all: also write a Markdown report to this path")
+		fig          = flag.String("fig", "all", "figure to regenerate: 3|7|8|9|10|11|12|13|14|abft|detectlat|sensitivity|critweight|all")
+		quickF       = flag.Bool("quick", false, "reduced sweep (smaller workloads, fewer seeds)")
+		seeds        = flag.Int("seeds", 0, "override seeds per point (paper: 5)")
+		csvDir       = flag.String("csv", "", "with -fig all: also write per-figure CSVs to this directory")
+		mdPath       = flag.String("md", "", "with -fig all: also write a Markdown report to this path")
 		bench        = flag.String("benchjson", "", "measure hot-path transit variants plus a RunAll wall-clock and write the JSON snapshot to this path; also writes the kernel bench as the sibling BENCH_kernels.json (combine with -quick for the reduced sweep)")
 		benchKernels = flag.String("benchkernels", "", "measure only the kernel firing-path variants (per-item vs batch vs abft) and write the JSON snapshot to this path")
-		verbose = flag.Bool("v", false, "print per-figure start/finish lines with elapsed time and job counts to stderr")
-		trace   = flag.String("trace", "", "record an event trace of Figure 7's representative run and write <base>.trace.json/.jsonl/.snapshot.json")
-		listen  = flag.String("listen", "", "serve live sweep progress counters over HTTP at this address (GET /debug/vars), e.g. :6060")
+		verbose      = flag.Bool("v", false, "print per-figure start/finish lines with elapsed time and job counts to stderr")
+		trace        = flag.String("trace", "", "record an event trace of Figure 7's representative run and write <base>.trace.json/.jsonl/.snapshot.json")
+		listen       = flag.String("listen", "", "serve live sweep progress counters over HTTP at this address (GET /debug/vars, OpenMetrics at GET /metrics), e.g. :6060")
+		flightDir    = flag.String("flight-dir", "", "arm a flight recorder on detection-latency sweep jobs: trace rings run continuously and are dumped into this directory when a job trips a PPU watchdog refusal or is classified as hung")
 
 		journal    = flag.String("journal", "", "append completed sweep jobs to this JSONL journal (campaign mode: watchdog, retries, graceful SIGINT)")
 		resume     = flag.Bool("resume", false, "with -journal: skip jobs already journaled, replaying their stored results")
@@ -72,6 +73,13 @@ func main() {
 	opts.Verbose = *verbose
 	opts.TracePath = *trace
 	opts.Sequential = *sequential
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		opts.FlightDir = *flightDir
+	}
 	if *listen != "" {
 		opts.Progress = obs.Live()
 		obs.ListenAndServe(*listen, func(format string, a ...any) {
@@ -120,6 +128,12 @@ func main() {
 			Progress:   opts.Progress,
 			Interrupt:  interrupt,
 			Stats:      totals,
+			OnHung: func(he *campaign.HungError) {
+				fmt.Fprintf(os.Stderr, "campaign: %v\n", he)
+				if *flightDir != "" {
+					fmt.Fprintf(os.Stderr, "campaign: flight-recorder dumps for hung jobs land in %s\n", *flightDir)
+				}
+			},
 		}
 	} else if *resume || *jobTimeout != 0 {
 		fmt.Fprintln(os.Stderr, "experiments: -resume and -job-timeout require -journal")
@@ -234,6 +248,8 @@ func run(fig string, opts experiments.Options, csvDir, mdPath string) error {
 		_, err = experiments.Figure14(opts)
 	case "abft":
 		_, err = experiments.FigureABFT(opts)
+	case "detectlat":
+		_, err = experiments.FigureDetectLat(opts)
 	case "sensitivity":
 		_, err = experiments.ClassSensitivity(opts, "mp3", 128e3)
 	case "critweight":

@@ -9,9 +9,10 @@
 //
 // The file kind is chosen by suffix: .jsonl (trace event stream),
 // .trace.json (Chrome trace-event JSON), .snapshot.json (telemetry
-// snapshot), *kernels.json (kernel firing-path benchmark, e.g.
-// BENCH_kernels.json). Exit status is non-zero if any file fails
-// validation.
+// snapshot), .metrics.json (runtime-health histograms), .flight.json
+// (flight-recorder dump), *kernels.json (kernel firing-path benchmark,
+// e.g. BENCH_kernels.json). Exit status is 1 if any file fails
+// validation, 2 on usage errors.
 package main
 
 import (
@@ -23,20 +24,27 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run validates each artifact and returns the process exit status: 0
+// when every file validates, 1 when any fails, 2 on usage errors.
+func run(paths []string) int {
+	if len(paths) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck <file>...")
-		os.Exit(2)
+		return 2
 	}
 	failed := false
-	for _, path := range os.Args[1:] {
+	for _, path := range paths {
 		if err := check(path); err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
 			failed = true
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func check(path string) error {
@@ -66,6 +74,26 @@ func check(path string) error {
 		}
 		fmt.Printf("%s: ok (chrome trace)\n", path)
 		return nil
+	case strings.HasSuffix(path, ".metrics.json"):
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := diag.ValidateMetrics(data); err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (health metrics)\n", path)
+		return nil
+	case strings.HasSuffix(path, ".flight.json"):
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := diag.ValidateFlight(data); err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (flight dump)\n", path)
+		return nil
 	case strings.HasSuffix(path, ".snapshot.json"):
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -87,5 +115,5 @@ func check(path string) error {
 		fmt.Printf("%s: ok (kernel bench)\n", path)
 		return nil
 	}
-	return fmt.Errorf("unknown artifact kind (want .jsonl, .trace.json, .snapshot.json or *kernels.json)")
+	return fmt.Errorf("unknown artifact kind (want .jsonl, .trace.json, .snapshot.json, .metrics.json, .flight.json or *kernels.json)")
 }

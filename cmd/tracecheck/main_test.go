@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write drops content into a temp file with the exact artifact-suffix
+// name tracecheck dispatches on.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const (
+	goodManifest = `"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1}`
+	goodMetrics  = `{` + goodManifest + `, "histograms": [
+		{"name": "fire_item", "unit": "ns", "count": 2, "buckets": [0, 1, 1], "p50": 1, "p90": 2, "p99": 2}]}`
+	goodFlight = `{` + goodManifest + `, "triggers": [{"kind": "hang", "detail": "cancelled"}],
+		"events": 4, "artifacts": ["x.trace.json"]}`
+)
+
+// TestExitCodeContract pins tracecheck's exit statuses: 0 all valid, 1
+// any invalid, 2 usage.
+func TestExitCodeContract(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "ok.metrics.json", goodMetrics)
+	bad := write(t, dir, "bad.metrics.json", `{}`)
+
+	if code := run(nil); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{good}); code != 0 {
+		t.Errorf("valid artifact: exit %d, want 0", code)
+	}
+	if code := run([]string{bad}); code != 1 {
+		t.Errorf("invalid artifact: exit %d, want 1", code)
+	}
+	// A bad file fails the batch even when good ones surround it, and an
+	// unknown suffix is a validation failure, not a usage error.
+	if code := run([]string{good, bad}); code != 1 {
+		t.Errorf("mixed batch: exit %d, want 1", code)
+	}
+	if code := run([]string{write(t, dir, "what.bin", "x")}); code != 1 {
+		t.Errorf("unknown suffix: exit %d, want 1", code)
+	}
+	if code := run([]string{filepath.Join(dir, "absent.metrics.json")}); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+// TestDispatchNewArtifacts pins the suffix dispatch for the
+// runtime-health artifacts: .metrics.json and .flight.json land on
+// their validators (rejecting each other's shapes), and dispatch checks
+// the most specific suffix first.
+func TestDispatchNewArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := check(write(t, dir, "run.metrics.json", goodMetrics)); err != nil {
+		t.Errorf("valid metrics rejected: %v", err)
+	}
+	if err := check(write(t, dir, "run.flight.json", goodFlight)); err != nil {
+		t.Errorf("valid flight dump rejected: %v", err)
+	}
+	if err := check(write(t, dir, "cross.metrics.json", goodFlight)); err == nil {
+		t.Error("flight dump accepted as metrics")
+	}
+	if err := check(write(t, dir, "cross.flight.json", goodMetrics)); err == nil {
+		t.Error("metrics accepted as flight dump")
+	}
+}

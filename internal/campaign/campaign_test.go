@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -398,5 +399,48 @@ func TestRunnerHardErrorStopsCampaign(t *testing.T) {
 	}
 	if after.Load() != 0 {
 		t.Error("campaign kept claiming jobs after a hard error")
+	}
+}
+
+// TestRunnerOnHungHookFires pins the hang-notification hook: each
+// watchdog-abandoned job invokes OnHung with its identity before Run
+// returns, while healthy jobs never do.
+func TestRunnerOnHungHookFires(t *testing.T) {
+	var notified []string
+	var mu sync.Mutex
+	tasks := []Task{
+		{
+			Job: Job{Figure: "t", App: "hang"},
+			Run: func(cancel <-chan struct{}) (any, error) {
+				<-make(chan struct{})
+				return nil, nil
+			},
+		},
+		{
+			Job: Job{Figure: "t", App: "fine"},
+			Run: func(<-chan struct{}) (any, error) { return "ok", nil },
+		},
+	}
+	r := &Runner{
+		Parallel:   1,
+		JobTimeout: 50 * time.Millisecond,
+		Retries:    0,
+		Backoff:    time.Millisecond,
+		Grace:      50 * time.Millisecond,
+		OnHung: func(he *HungError) {
+			mu.Lock()
+			notified = append(notified, he.Key)
+			mu.Unlock()
+		},
+	}
+	err := r.Run(tasks)
+	var hung *HungError
+	if !errors.As(err, &hung) {
+		t.Fatalf("err = %v, want a HungError", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(notified) != 1 || notified[0] != (Job{Figure: "t", App: "hang"}).Key() {
+		t.Errorf("OnHung notifications = %v", notified)
 	}
 }

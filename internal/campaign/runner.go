@@ -122,6 +122,11 @@ type Runner struct {
 	// no new jobs start, in-flight jobs drain and are journaled, Run
 	// returns ErrInterrupted.
 	Interrupt <-chan struct{}
+	// OnHung, when non-nil, is invoked (from the worker goroutine) for
+	// each job the watchdog abandons, as it is classified — before Run
+	// returns. Callers use it to surface hangs immediately and to point
+	// at the job's flight-recorder dump while the campaign keeps going.
+	OnHung func(*HungError)
 	// Stats, when non-nil, accumulates outcome counters across Run calls.
 	Stats *Stats
 }
@@ -193,6 +198,7 @@ func (r *Runner) Run(tasks []Task) error {
 				}
 
 				result, attempts, err := r.runJob(t, key)
+				var he *HungError
 				switch {
 				case err == nil:
 					if jerr := r.journal(t.Job, key, attempts, result); jerr != nil {
@@ -202,9 +208,12 @@ func (r *Runner) Run(tasks []Task) error {
 					r.Stats.addCompleted()
 					r.Progress.JobDone()
 					handled.Add(1)
-				case errors.As(err, new(*HungError)):
+				case errors.As(err, &he):
 					// Hung jobs don't wedge the pool and don't stop the
 					// campaign: record and move on.
+					if r.OnHung != nil {
+						r.OnHung(he)
+					}
 					mu.Lock()
 					hung = append(hung, err)
 					mu.Unlock()

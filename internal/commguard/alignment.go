@@ -97,6 +97,12 @@ type AlignmentManager struct {
 	qid     int32
 	trigger uint32
 
+	// det measures fault→detection latency (nil = off): Observe polls the
+	// watched cores' fault markers per pop (per contiguous span on the
+	// batch path), and every entry into an erroneous FSM state before EOC
+	// counts as this scheme's detection event.
+	det *obs.Detector
+
 	ops   OpCounters
 	stats AMStats
 }
@@ -124,6 +130,13 @@ func (am *AlignmentManager) SetTrace(r *obs.Ring) {
 	am.qid = int32(am.q.ID())
 }
 
+// SetDetector attaches the fault→detection latency detector (nil
+// disables measurement). The detector belongs to the consumer goroutine,
+// like the AM itself.
+func (am *AlignmentManager) SetDetector(d *obs.Detector) {
+	am.det = d
+}
+
 // State exposes the current FSM state (for tests and diagnostics).
 func (am *AlignmentManager) State() AMState { return am.state }
 
@@ -135,6 +148,13 @@ func (am *AlignmentManager) setState(s AMState) {
 	// realignment event (ExpHdr -> RcvCmp is the ordinary frame rollover).
 	if s == RcvCmp && (am.state == Disc || am.state == DiscFr || am.state == Pdg) {
 		am.stats.Realignments++
+	}
+	// Entering an erroneous state is this scheme's detection event: the
+	// moment the FSM concludes the stream is misaligned. Pdg entries after
+	// the producer's EOC are normal termination, not detection (eocSeen is
+	// set before that transition).
+	if !am.eocSeen && (s == Disc || s == DiscFr || s == Pdg) {
+		am.det.Detect(am.stats.ItemsDelivered)
 	}
 	am.trace.AMTransition(am.qid, uint8(am.state), uint8(s), am.activeFC, am.trigger)
 	am.state = s
@@ -184,6 +204,7 @@ func (am *AlignmentManager) EndOfComputation() {}
 //
 //hotpath:entry
 func (am *AlignmentManager) Pop() uint32 {
+	am.det.Observe(am.stats.ItemsDelivered)
 	am.ops.FSMCounter++ // FSM-check for the pop event
 	for spin := 0; spin < am.maxSpin; spin++ {
 		if am.state == Pdg {
@@ -243,6 +264,7 @@ func (am *AlignmentManager) PopN(dst []uint32) {
 			i++
 			continue
 		}
+		am.det.Observe(am.stats.ItemsDelivered)
 		n, stop := am.q.PopDataN(dst[i:])
 		if n > 0 {
 			// Per delivered item the per-item path costs one FSM check for

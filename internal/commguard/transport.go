@@ -3,6 +3,7 @@ package commguard
 import (
 	"sync"
 
+	"commguard/internal/obs"
 	"commguard/internal/ppu"
 	"commguard/internal/queue"
 	"commguard/internal/stream"
@@ -24,6 +25,13 @@ type Transport struct {
 	// Application-wide enlargement (Figs. 10-13) is instead done at the
 	// PPU level via stream.EngineConfig.FrameScale.
 	ScaleFor func(e *stream.Edge) int
+	// Health, when non-nil, gives every edge's Alignment Manager a
+	// fault→detection latency detector: the consumer-side AM watches both
+	// endpoint cores' fault markers (producer faults perturb the stream it
+	// drains; consumer faults perturb its own pops) and counts erroneous
+	// FSM entries as detections. Should be the same registry passed to
+	// stream.EngineConfig.Health.
+	Health *obs.Health
 
 	mu  sync.Mutex
 	his []*HeaderInserter
@@ -55,6 +63,7 @@ func (t *Transport) Wire(e *stream.Edge, prod, cons *ppu.Core) (stream.OutPort, 
 	prod.Subscribe(hi)
 	am := NewAlignmentManagerScaled(q, t.Pad, scale)
 	am.SetTrace(cons.TraceRing())
+	am.SetDetector(t.Health.NewDetector(cons.ID(), prod.ID(), cons.ID()))
 	cons.Subscribe(am)
 
 	t.mu.Lock()

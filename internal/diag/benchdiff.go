@@ -1,0 +1,141 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Benchmark regression gate. CI regenerates the perf snapshots
+// (BENCH_hotpath.json / BENCH_kernels.json shapes) on every run;
+// CompareBench diffs a fresh snapshot against the committed baseline
+// per metric, classifying each ns/item movement into ok / warn / fatal
+// bands. Absolute numbers vary across machines, so the gate is a ratio
+// gate: a warn band absorbs runner noise, and only a large multiple of
+// the baseline (a real algorithmic regression, not jitter) is fatal.
+
+// BenchDelta is one metric's baseline-vs-fresh comparison.
+type BenchDelta struct {
+	// Metric identifies the variant: the hot-path variant name, or
+	// "kernel/variant" (suffixed "@gN" above one thread) for kernel benches.
+	Metric     string  `json:"metric"`
+	BaselineNs float64 `json:"baseline_ns_per_item"`
+	FreshNs    float64 `json:"fresh_ns_per_item"`
+	// Ratio is fresh/baseline: 1.0 unchanged, > 1 slower.
+	Ratio float64 `json:"ratio"`
+	// Level is "ok", "warn" (above the tolerance band) or "fatal" (at or
+	// above the fatal ratio).
+	Level string `json:"level"`
+}
+
+// BenchDiff is the full comparison: per-metric deltas (sorted worst
+// first) plus the metrics only one side has (compared on the
+// intersection — profiles may differ in variant sets).
+type BenchDiff struct {
+	Deltas            []BenchDelta `json:"deltas"`
+	Warns             int          `json:"warns"`
+	Fatals            int          `json:"fatals"`
+	MissingInFresh    []string     `json:"missing_in_fresh,omitempty"`
+	MissingInBaseline []string     `json:"missing_in_baseline,omitempty"`
+}
+
+// parseBenchMetrics extracts metric -> ns/item from either perf-snapshot
+// shape: hot-path variants carry "name", kernel variants carry
+// "kernel"+"variant" (and a gomaxprocs level folded into the key above
+// one thread so scaling rows stay distinct).
+func parseBenchMetrics(data []byte) (map[string]float64, error) {
+	var doc struct {
+		Variants []struct {
+			Name       string  `json:"name"`
+			Kernel     string  `json:"kernel"`
+			Variant    string  `json:"variant"`
+			GOMAXPROCS int     `json:"gomaxprocs"`
+			NsPerItem  float64 `json:"ns_per_item"`
+		} `json:"variants"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("diag: bench snapshot: %w", err)
+	}
+	if len(doc.Variants) == 0 {
+		return nil, fmt.Errorf("diag: bench snapshot has no variants")
+	}
+	metrics := make(map[string]float64, len(doc.Variants))
+	for i, v := range doc.Variants {
+		key := v.Name
+		if key == "" {
+			if v.Kernel == "" || v.Variant == "" {
+				return nil, fmt.Errorf("diag: bench variant %d has neither a name nor kernel/variant", i)
+			}
+			key = v.Kernel + "/" + v.Variant
+			if v.GOMAXPROCS > 1 {
+				key = fmt.Sprintf("%s@g%d", key, v.GOMAXPROCS)
+			}
+		}
+		if v.NsPerItem <= 0 {
+			return nil, fmt.Errorf("diag: bench variant %q ns_per_item %g <= 0", key, v.NsPerItem)
+		}
+		metrics[key] = v.NsPerItem
+	}
+	return metrics, nil
+}
+
+// CompareBench diffs a fresh perf snapshot against a committed baseline.
+// warnTol is the fractional slowdown the warn band starts at (0.25 = warn
+// above 1.25x); fatalRatio is the multiple at which a metric becomes
+// fatal (2.0 = fatal at 2x baseline and beyond). Both snapshots must
+// parse and share at least one metric.
+func CompareBench(baseline, fresh []byte, warnTol, fatalRatio float64) (*BenchDiff, error) {
+	if warnTol < 0 {
+		return nil, fmt.Errorf("diag: negative warn tolerance %g", warnTol)
+	}
+	if fatalRatio <= 1 {
+		return nil, fmt.Errorf("diag: fatal ratio %g must exceed 1", fatalRatio)
+	}
+	base, err := parseBenchMetrics(baseline)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := parseBenchMetrics(fresh)
+	if err != nil {
+		return nil, fmt.Errorf("fresh: %w", err)
+	}
+	d := &BenchDiff{}
+	for k := range base {
+		if _, ok := cur[k]; !ok {
+			d.MissingInFresh = append(d.MissingInFresh, k)
+		}
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			d.MissingInBaseline = append(d.MissingInBaseline, k)
+		}
+	}
+	sort.Strings(d.MissingInFresh)
+	sort.Strings(d.MissingInBaseline)
+	for k, b := range base {
+		f, ok := cur[k]
+		if !ok {
+			continue
+		}
+		delta := BenchDelta{Metric: k, BaselineNs: b, FreshNs: f, Ratio: f / b, Level: "ok"}
+		switch {
+		case delta.Ratio >= fatalRatio:
+			delta.Level = "fatal"
+			d.Fatals++
+		case delta.Ratio > 1+warnTol:
+			delta.Level = "warn"
+			d.Warns++
+		}
+		d.Deltas = append(d.Deltas, delta)
+	}
+	if len(d.Deltas) == 0 {
+		return nil, fmt.Errorf("diag: bench snapshots share no metrics")
+	}
+	sort.Slice(d.Deltas, func(i, j int) bool {
+		if d.Deltas[i].Ratio != d.Deltas[j].Ratio {
+			return d.Deltas[i].Ratio > d.Deltas[j].Ratio
+		}
+		return d.Deltas[i].Metric < d.Deltas[j].Metric
+	})
+	return d, nil
+}

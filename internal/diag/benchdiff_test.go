@@ -1,0 +1,121 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+)
+
+const hotpathBase = `{
+  "manifest": {"go_version": "go1.24.0", "gomaxprocs": 1},
+  "variants": [
+    {"name": "push-pop", "ns_per_item": 40, "items": 1000},
+    {"name": "guarded-batch", "ns_per_item": 8, "items": 1000},
+    {"name": "retired", "ns_per_item": 5, "items": 1000}
+  ]
+}`
+
+const hotpathFresh = `{
+  "manifest": {"go_version": "go1.24.0", "gomaxprocs": 1},
+  "variants": [
+    {"name": "push-pop", "ns_per_item": 44, "items": 1000},
+    {"name": "guarded-batch", "ns_per_item": 24, "items": 1000},
+    {"name": "brand-new", "ns_per_item": 3, "items": 1000}
+  ]
+}`
+
+func TestCompareBenchBands(t *testing.T) {
+	d, err := CompareBench([]byte(hotpathBase), []byte(hotpathFresh), 0.25, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Deltas) != 2 {
+		t.Fatalf("deltas = %+v, want the 2 shared metrics", d.Deltas)
+	}
+	// Sorted worst first: guarded-batch tripled (fatal), push-pop +10% (ok).
+	if d.Deltas[0].Metric != "guarded-batch" || d.Deltas[0].Level != "fatal" {
+		t.Errorf("worst delta = %+v", d.Deltas[0])
+	}
+	if d.Deltas[1].Metric != "push-pop" || d.Deltas[1].Level != "ok" {
+		t.Errorf("second delta = %+v", d.Deltas[1])
+	}
+	if d.Fatals != 1 || d.Warns != 0 {
+		t.Errorf("fatals=%d warns=%d", d.Fatals, d.Warns)
+	}
+	if len(d.MissingInFresh) != 1 || d.MissingInFresh[0] != "retired" {
+		t.Errorf("missing in fresh = %v", d.MissingInFresh)
+	}
+	if len(d.MissingInBaseline) != 1 || d.MissingInBaseline[0] != "brand-new" {
+		t.Errorf("missing in baseline = %v", d.MissingInBaseline)
+	}
+}
+
+func TestCompareBenchWarnBand(t *testing.T) {
+	base := `{"variants": [{"name": "x", "ns_per_item": 100, "items": 1}]}`
+	fresh := `{"variants": [{"name": "x", "ns_per_item": 150, "items": 1}]}`
+	d, err := CompareBench([]byte(base), []byte(fresh), 0.25, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Deltas[0].Level != "warn" || d.Warns != 1 || d.Fatals != 0 {
+		t.Errorf("1.5x should warn, got %+v", d.Deltas[0])
+	}
+	// An improvement never warns.
+	d, err = CompareBench([]byte(fresh), []byte(base), 0.25, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Deltas[0].Level != "ok" {
+		t.Errorf("speedup flagged: %+v", d.Deltas[0])
+	}
+}
+
+func TestCompareBenchKernelKeys(t *testing.T) {
+	base := `{"variants": [
+		{"kernel": "dct8", "variant": "batch", "gomaxprocs": 1, "ns_per_item": 80, "items": 1},
+		{"kernel": "dct8", "variant": "batch", "gomaxprocs": 4, "ns_per_item": 30, "items": 1}
+	]}`
+	fresh := `{"variants": [
+		{"kernel": "dct8", "variant": "batch", "gomaxprocs": 1, "ns_per_item": 82, "items": 1},
+		{"kernel": "dct8", "variant": "batch", "gomaxprocs": 4, "ns_per_item": 31, "items": 1}
+	]}`
+	d, err := CompareBench([]byte(base), []byte(fresh), 0.25, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Deltas) != 2 {
+		t.Fatalf("deltas = %+v, want distinct keys per gomaxprocs level", d.Deltas)
+	}
+	names := map[string]bool{}
+	for _, delta := range d.Deltas {
+		names[delta.Metric] = true
+	}
+	if !names["dct8/batch"] || !names["dct8/batch@g4"] {
+		t.Errorf("metric keys = %v", names)
+	}
+}
+
+func TestCompareBenchRejects(t *testing.T) {
+	ok := `{"variants": [{"name": "x", "ns_per_item": 1, "items": 1}]}`
+	cases := map[string]struct {
+		base, fresh   string
+		warn, fatal   float64
+		wantErrSubstr string
+	}{
+		"garbage baseline":   {`{]`, ok, 0.25, 2, "baseline"},
+		"garbage fresh":      {ok, `{]`, 0.25, 2, "fresh"},
+		"empty variants":     {`{"variants": []}`, ok, 0.25, 2, "no variants"},
+		"disjoint metrics":   {ok, `{"variants": [{"name": "y", "ns_per_item": 1, "items": 1}]}`, 0.25, 2, "share no metrics"},
+		"bad fatal ratio":    {ok, ok, 0.25, 1.0, "must exceed 1"},
+		"negative tolerance": {ok, ok, -0.1, 2, "negative warn tolerance"},
+		"keyless variant":    {`{"variants": [{"ns_per_item": 1, "items": 1}]}`, ok, 0.25, 2, "neither a name"},
+		"zero ns":            {`{"variants": [{"name": "x", "ns_per_item": 0, "items": 1}]}`, ok, 0.25, 2, "<= 0"},
+	}
+	for name, c := range cases {
+		_, err := CompareBench([]byte(c.base), []byte(c.fresh), c.warn, c.fatal)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), c.wantErrSubstr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.wantErrSubstr)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Runtime-health artifact schemas. internal/obs emits the histogram
+// metrics document (<base>.metrics.json) and the flight-recorder dump
+// (<base>.flight.json); cmd/tracecheck and CI validate both here, next
+// to the trace/snapshot schemas they ride alongside.
+
+// ValidateMetrics checks a runtime-health histogram document: a manifest
+// with provenance, and a non-empty histogram list where every entry is
+// named, carries a unit, has a count consistent with its bucket array,
+// and reports ordered non-negative quantiles.
+func ValidateMetrics(data []byte) error {
+	var doc struct {
+		Manifest *struct {
+			GoVersion  string `json:"go_version"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+		} `json:"manifest"`
+		Histograms []struct {
+			Name    string   `json:"name"`
+			Unit    string   `json:"unit"`
+			Count   uint64   `json:"count"`
+			Buckets []uint64 `json:"buckets"`
+			P50     float64  `json:"p50"`
+			P90     float64  `json:"p90"`
+			P99     float64  `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("diag: metrics: %w", err)
+	}
+	if doc.Manifest == nil {
+		return fmt.Errorf("diag: metrics document has no manifest")
+	}
+	if doc.Manifest.GoVersion == "" {
+		return fmt.Errorf("diag: metrics manifest has empty go_version")
+	}
+	if doc.Manifest.GOMAXPROCS < 1 {
+		return fmt.Errorf("diag: metrics manifest gomaxprocs %d < 1", doc.Manifest.GOMAXPROCS)
+	}
+	if len(doc.Histograms) == 0 {
+		return fmt.Errorf("diag: metrics document has no histograms")
+	}
+	for i, h := range doc.Histograms {
+		if h.Name == "" {
+			return fmt.Errorf("diag: metrics histogram %d has no name", i)
+		}
+		if h.Unit == "" {
+			return fmt.Errorf("diag: metrics histogram %q has no unit", h.Name)
+		}
+		var bucketed uint64
+		for _, b := range h.Buckets {
+			bucketed += b
+		}
+		if bucketed != h.Count {
+			return fmt.Errorf("diag: metrics histogram %q count %d != bucket total %d", h.Name, h.Count, bucketed)
+		}
+		if h.P50 < 0 || h.P90 < 0 || h.P99 < 0 {
+			return fmt.Errorf("diag: metrics histogram %q has a negative quantile", h.Name)
+		}
+		if h.P50 > h.P90 || h.P90 > h.P99 {
+			return fmt.Errorf("diag: metrics histogram %q quantiles are not ordered (p50 %g, p90 %g, p99 %g)", h.Name, h.P50, h.P90, h.P99)
+		}
+	}
+	return nil
+}
+
+// ValidateFlight checks a flight-recorder dump: a manifest, at least one
+// fired trigger with a non-empty kind and detail, a non-negative event
+// summary, schema-valid trigger events, and non-empty artifact paths.
+func ValidateFlight(data []byte) error {
+	var doc struct {
+		Manifest *struct {
+			GoVersion  string `json:"go_version"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+		} `json:"manifest"`
+		Triggers []struct {
+			Kind   string `json:"kind"`
+			Detail string `json:"detail"`
+		} `json:"triggers"`
+		Events        int          `json:"events"`
+		TriggerEvents []TraceEvent `json:"trigger_events"`
+		Artifacts     []string     `json:"artifacts"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("diag: flight: %w", err)
+	}
+	if doc.Manifest == nil {
+		return fmt.Errorf("diag: flight dump has no manifest")
+	}
+	if doc.Manifest.GoVersion == "" {
+		return fmt.Errorf("diag: flight manifest has empty go_version")
+	}
+	if doc.Manifest.GOMAXPROCS < 1 {
+		return fmt.Errorf("diag: flight manifest gomaxprocs %d < 1", doc.Manifest.GOMAXPROCS)
+	}
+	if len(doc.Triggers) == 0 {
+		return fmt.Errorf("diag: flight dump fired no triggers (an untriggered recorder must not dump)")
+	}
+	for i, tr := range doc.Triggers {
+		if tr.Kind == "" {
+			return fmt.Errorf("diag: flight trigger %d has no kind", i)
+		}
+		if tr.Detail == "" {
+			return fmt.Errorf("diag: flight trigger %d (%s) has no detail", i, tr.Kind)
+		}
+	}
+	if doc.Events < 0 {
+		return fmt.Errorf("diag: flight dump events %d is negative", doc.Events)
+	}
+	for i := range doc.TriggerEvents {
+		if err := doc.TriggerEvents[i].Validate(); err != nil {
+			return fmt.Errorf("diag: flight trigger event %d: %w", i, err)
+		}
+	}
+	for i, a := range doc.Artifacts {
+		if a == "" {
+			return fmt.Errorf("diag: flight artifact %d is an empty path", i)
+		}
+	}
+	return nil
+}

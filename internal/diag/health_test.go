@@ -1,0 +1,86 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+)
+
+const validMetrics = `{
+  "manifest": {"go_version": "go1.24.0", "gomaxprocs": 4},
+  "histograms": [
+    {"name": "queue_push_wait", "unit": "ns", "count": 3, "sum": 70,
+     "buckets": [0, 0, 0, 0, 1, 2], "p50": 24, "p90": 30, "p99": 31},
+    {"name": "detect_items", "unit": "items", "count": 0, "sum": 0,
+     "p50": 0, "p90": 0, "p99": 0}
+  ]
+}`
+
+func TestValidateMetricsAccepts(t *testing.T) {
+	if err := ValidateMetrics([]byte(validMetrics)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateMetricsRejects(t *testing.T) {
+	cases := map[string]struct{ doc, want string }{
+		"garbage":       {`{]`, "metrics"},
+		"no manifest":   {`{"histograms": [{"name": "x", "unit": "ns", "count": 0}]}`, "no manifest"},
+		"no histograms": {`{"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1}, "histograms": []}`, "no histograms"},
+		"unnamed": {`{"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1},
+			"histograms": [{"unit": "ns", "count": 0}]}`, "no name"},
+		"no unit": {`{"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1},
+			"histograms": [{"name": "x", "count": 0}]}`, "no unit"},
+		"count mismatch": {`{"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1},
+			"histograms": [{"name": "x", "unit": "ns", "count": 5, "buckets": [1, 2]}]}`, "bucket total"},
+		"unordered quantiles": {`{"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1},
+			"histograms": [{"name": "x", "unit": "ns", "count": 1, "buckets": [1], "p50": 9, "p90": 3, "p99": 4}]}`, "not ordered"},
+	}
+	for name, c := range cases {
+		err := ValidateMetrics([]byte(c.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.want)
+		}
+	}
+}
+
+const validFlight = `{
+  "manifest": {"go_version": "go1.24.0", "gomaxprocs": 4},
+  "triggers": [{"kind": "watchdog", "detail": "3 loop-guard refusals in trace"}],
+  "events": 128,
+  "dropped": 0,
+  "trigger_events": [{"ts_ns": 10, "kind": "watchdog", "core": 1, "args": {"bound": 4096}}],
+  "artifacts": ["run.trace.json", "run.jsonl"]
+}`
+
+func TestValidateFlightAccepts(t *testing.T) {
+	if err := ValidateFlight([]byte(validFlight)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateFlightRejects(t *testing.T) {
+	cases := map[string]struct{ doc, want string }{
+		"garbage":     {`[`, "flight"},
+		"no manifest": {`{"triggers": [{"kind": "hang", "detail": "x"}]}`, "no manifest"},
+		"no triggers": {`{"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1}, "triggers": []}`, "no triggers"},
+		"kindless trigger": {`{"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1},
+			"triggers": [{"detail": "x"}]}`, "no kind"},
+		"detailless trigger": {`{"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1},
+			"triggers": [{"kind": "hang"}]}`, "no detail"},
+		"bad trigger event": {`{"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1},
+			"triggers": [{"kind": "hang", "detail": "x"}],
+			"trigger_events": [{"ts_ns": -4, "kind": "watchdog", "core": 0}]}`, "negative"},
+		"empty artifact": {`{"manifest": {"go_version": "go1.24.0", "gomaxprocs": 1},
+			"triggers": [{"kind": "hang", "detail": "x"}], "artifacts": [""]}`, "empty path"},
+	}
+	for name, c := range cases {
+		err := ValidateFlight([]byte(c.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.want)
+		}
+	}
+}

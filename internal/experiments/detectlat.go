@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"commguard/internal/campaign"
+	"commguard/internal/obs/hist"
+	"commguard/internal/sim"
+)
+
+// FigDetectLatPoint is one (benchmark, protection, MTBE) cell of the
+// detection-latency figure: how many faults the scheme detected and how
+// long detection took, in items consumed past the fault and in
+// wall-clock time. The histograms are exact cross-seed aggregates
+// (bucket-wise merges of the per-run log2 histograms, not means of
+// quantiles).
+type FigDetectLatPoint struct {
+	App        string
+	Protection sim.Protection
+	MTBE       float64
+	// Runs is the number of seeds aggregated; Detections the total
+	// detection count across them.
+	Runs       int
+	Detections uint64
+	// Wall is the fault→detection wall-clock latency aggregate (ns).
+	// Scheduling-dependent: reproducible only in distribution, never
+	// bit-for-bit.
+	Wall hist.Summary
+	// Items is the fault→detection latency in items the consumer ingested
+	// between the fault manifesting and the scheme flagging it — the
+	// paper-facing metric (wall-clock-free, bit-reproducible under
+	// -sequential). CommGuard's AM detects at the next misaligned header,
+	// so its latency is bounded by a frame; ABFT detects at its own
+	// firing's checksum verify, so its item latency is ~0.
+	Items hist.Summary
+}
+
+// detectLatProtections is the figure's scheme axis: the two schemes that
+// actually detect faults. (The unguarded baselines never detect anything
+// — there is no latency to measure.)
+var detectLatProtections = []sim.Protection{sim.CommGuard, sim.ABFT}
+
+// detectSummary pulls one named histogram out of a run's health set.
+func detectSummary(summaries []hist.Summary, name string) hist.Summary {
+	for _, s := range summaries {
+		if s.Name == name {
+			return s
+		}
+	}
+	return hist.Summary{Name: name}
+}
+
+// FigureDetectLat measures fault→detection latency on the media
+// benchmarks across the MTBE sweep, CommGuard vs ABFT — the figure the
+// runtime-health layer exists to produce. Expected shape: CommGuard's AM
+// only notices a fault when the header stream misaligns, up to a frame
+// of items later; ABFT's checksum verify runs inside the faulted firing
+// itself, detecting within ~0 items. Wall-clock columns are printed only
+// for concurrent runs (they are scheduling noise under -sequential, and
+// omitting them keeps sequential output diff-stable).
+func FigureDetectLat(o Options) ([]FigDetectLatPoint, error) {
+	appNames := []string{"jpeg", "mp3"}
+	rc := o.refCache()
+	refs := map[string][]float64{}
+	for _, name := range appNames {
+		b, err := o.builder(name)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := rc.get(b)
+		if err != nil {
+			return nil, err
+		}
+		refs[name] = ref
+	}
+
+	type job struct {
+		app  string
+		prot sim.Protection
+		mtbe float64
+		seed int64
+	}
+	type outcome struct {
+		job
+		wall  hist.Summary
+		items hist.Summary
+	}
+	// payload journals the full bucket arrays, so a resumed campaign
+	// reconstructs the exact aggregate a fresh one computes.
+	type payload struct {
+		WallBuckets []uint64 `json:"wall_buckets,omitempty"`
+		WallSum     uint64   `json:"wall_sum"`
+		ItemBuckets []uint64 `json:"item_buckets,omitempty"`
+		ItemSum     uint64   `json:"item_sum"`
+	}
+	var jobs []job
+	for _, app := range appNames {
+		for _, prot := range detectLatProtections {
+			for _, mtbe := range o.MTBEs {
+				for s := 0; s < o.Seeds; s++ {
+					jobs = append(jobs, job{app: app, prot: prot, mtbe: mtbe, seed: int64(1000*s) + 7})
+				}
+			}
+		}
+	}
+	results := make([]outcome, len(jobs))
+	kjobs := make([]keyedJob, len(jobs))
+	for i := range jobs {
+		i, j := i, jobs[i]
+		kjobs[i] = keyedJob{
+			Job: campaign.Job{
+				Figure: "detectlat", App: j.app, Protection: j.prot.String(),
+				MTBE: j.mtbe, Seed: j.seed,
+			},
+			Run: func(cancel <-chan struct{}) (any, error) {
+				b, err := o.builder(j.app)
+				if err != nil {
+					return nil, err
+				}
+				inst, err := b.New()
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(inst, sim.Config{
+					Protection: j.prot, MTBE: j.mtbe, Seed: j.seed,
+					Health:     true,
+					Flight:     o.flightOptions("detectlat", j.app, j.prot.String(), j.mtbe, j.seed),
+					Sequential: o.Sequential, Cancel: cancel,
+				}, refs[j.app])
+				if err != nil {
+					return nil, err
+				}
+				wall := detectSummary(res.Health, "detect_wall")
+				items := detectSummary(res.Health, "detect_items")
+				results[i] = outcome{job: j, wall: wall, items: items}
+				return payload{
+					WallBuckets: wall.Buckets, WallSum: wall.Sum,
+					ItemBuckets: items.Buckets, ItemSum: items.Sum,
+				}, nil
+			},
+			Replay: func(raw json.RawMessage) error {
+				var p payload
+				if err := json.Unmarshal(raw, &p); err != nil {
+					return err
+				}
+				results[i] = outcome{
+					job:   j,
+					wall:  hist.FromBuckets("detect_wall", "ns", p.WallBuckets, p.WallSum),
+					items: hist.FromBuckets("detect_items", "items", p.ItemBuckets, p.ItemSum),
+				}
+				return nil
+			},
+		}
+	}
+	if err := o.runKeyedJobs("Figure DetectLat", kjobs); err != nil {
+		return nil, err
+	}
+
+	type key struct {
+		app  string
+		prot sim.Protection
+		mtbe int
+	}
+	byPoint := map[key][]outcome{}
+	for _, r := range results {
+		k := key{r.app, r.prot, int(r.mtbe)}
+		byPoint[k] = append(byPoint[k], r)
+	}
+	var points []FigDetectLatPoint
+	for _, app := range appNames {
+		for _, prot := range detectLatProtections {
+			for _, mtbe := range o.MTBEs {
+				rs := byPoint[key{app, prot, int(mtbe)}]
+				p := FigDetectLatPoint{
+					App: app, Protection: prot, MTBE: mtbe, Runs: len(rs),
+					Wall:  hist.Summary{Name: "detect_wall", Unit: "ns"},
+					Items: hist.Summary{Name: "detect_items", Unit: "items"},
+				}
+				for _, r := range rs {
+					p.Wall.Merge(r.wall)
+					p.Items.Merge(r.items)
+				}
+				p.Detections = p.Items.Count
+				points = append(points, p)
+			}
+		}
+	}
+
+	w := o.out()
+	fmt.Fprintln(w, "Figure DetectLat: fault→detection latency, CommGuard alignment vs ABFT checksums")
+	for _, app := range appNames {
+		fmt.Fprintf(w, "%s:\n", app)
+		fmt.Fprintf(w, "  %-8s", "MTBE")
+		for _, prot := range detectLatProtections {
+			fmt.Fprintf(w, " %14s %8s %8s", prot, "itm p50", "itm p99")
+			if !o.Sequential {
+				fmt.Fprintf(w, " %9s %9s", "wall p50", "wall p99")
+			}
+		}
+		fmt.Fprintln(w)
+		for _, mtbe := range o.MTBEs {
+			fmt.Fprintf(w, "  %-8s", fmtMTBE(mtbe))
+			for _, p := range points {
+				if p.App != app || p.MTBE != mtbe {
+					continue
+				}
+				fmt.Fprintf(w, " %9d dets %8.0f %8.0f", p.Detections, p.Items.P50, p.Items.P99)
+				if !o.Sequential {
+					fmt.Fprintf(w, " %7.0fus %7.0fus", p.Wall.P50/1e3, p.Wall.P99/1e3)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return points, nil
+}

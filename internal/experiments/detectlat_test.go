@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"commguard/internal/sim"
+)
+
+// TestFigureDetectLatShape pins the detection-latency figure: full point
+// grid, detections present at the dense error rate, and the paper's
+// headline contrast — ABFT detects within its own firing (item latency
+// ~0) while CommGuard's AM waits for the stream to misalign.
+func TestFigureDetectLatShape(t *testing.T) {
+	o := quick(t)
+	o.Seeds = 2
+	o.MTBEs = []float64{64e3}
+	var buf bytes.Buffer
+	o.Out = &buf
+	pts, err := FigureDetectLat(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*len(detectLatProtections)*len(o.MTBEs) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	byProt := map[sim.Protection]FigDetectLatPoint{}
+	for _, p := range pts {
+		if p.App == "mp3" {
+			byProt[p.Protection] = p
+		}
+		if p.Wall.Count != p.Items.Count {
+			t.Errorf("%s/%s: wall count %d != items count %d", p.App, p.Protection, p.Wall.Count, p.Items.Count)
+		}
+		if p.Runs != o.Seeds {
+			t.Errorf("%s/%s aggregated %d runs, want %d", p.App, p.Protection, p.Runs, o.Seeds)
+		}
+	}
+	cg, ab := byProt[sim.CommGuard], byProt[sim.ABFT]
+	if cg.Detections == 0 {
+		t.Error("no CommGuard detections on mp3 at MTBE 64k")
+	}
+	if ab.Detections > 0 && ab.Items.P99 > cg.Items.P99 {
+		t.Errorf("ABFT item latency p99 (%.0f) should not exceed CommGuard's (%.0f)", ab.Items.P99, cg.Items.P99)
+	}
+	if !strings.Contains(buf.String(), "Figure DetectLat") {
+		t.Error("missing table header")
+	}
+}
+
+// TestFigureDetectLatSequentialReproducible pins the -sequential
+// contract: two identically-configured sequential regenerations print
+// byte-identical tables (wall-clock columns are omitted; item latencies
+// are schedule-independent).
+func TestFigureDetectLatSequentialReproducible(t *testing.T) {
+	render := func() string {
+		o := quick(t)
+		o.MTBEs = []float64{64e3}
+		o.Sequential = true
+		var buf bytes.Buffer
+		o.Out = &buf
+		if _, err := FigureDetectLat(o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("sequential detectlat output not reproducible:\n--- first\n%s--- second\n%s", a, b)
+	}
+	if strings.Contains(a, "wall p50") {
+		t.Error("sequential table must omit wall-clock columns")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -61,6 +62,11 @@ type Options struct {
 	// interleaving, so only sequential campaigns produce identical
 	// aggregates across a kill/-resume boundary.
 	Sequential bool
+	// FlightDir, when non-empty, arms an anomaly-triggered flight recorder
+	// on every detection-latency sweep job: trace rings run continuously
+	// and are dumped into this directory (one artifact trio per fired
+	// job) on a PPU watchdog refusal or a campaign-watchdog hang.
+	FlightDir string
 	// Campaign, when non-nil, routes every keyed sweep job through the
 	// resilient campaign runner: completions are journaled (crash-safe
 	// resume), each job runs under the watchdog's timeout/retry policy,
@@ -127,6 +133,19 @@ func (o Options) runJobs(phase string, n int, job func(i int) error) error {
 		}
 		return err
 	})
+}
+
+// flightOptions builds a sweep job's flight-recorder policy: nil unless
+// FlightDir is set, else a watchdog-armed recorder whose artifact base
+// encodes the job identity (so concurrent jobs never collide).
+func (o Options) flightOptions(fig, app, prot string, mtbe float64, seed int64) *obs.FlightOptions {
+	if o.FlightDir == "" {
+		return nil
+	}
+	return &obs.FlightOptions{
+		Path:     filepath.Join(o.FlightDir, fmt.Sprintf("%s-%s-%s-m%s-s%d", fig, app, prot, fmtMTBE(mtbe), seed)),
+		Watchdog: true,
+	}
 }
 
 // refCache returns the shared reference cache, or a fresh one when the

@@ -23,6 +23,9 @@ type AllResults struct {
 	// FigABFT is the new three-scheme comparison (unprotected vs CommGuard
 	// vs ABFT-checksummed kernels) on the media benchmarks.
 	FigABFT []FigABFTPoint
+	// FigDetectLat is the fault→detection latency comparison (CommGuard
+	// alignment vs ABFT checksums) from the runtime-health histograms.
+	FigDetectLat []FigDetectLatPoint
 }
 
 // RunAll regenerates every figure in paper order, writing tables to
@@ -85,6 +88,9 @@ func RunAll(o Options) (*AllResults, error) {
 		return nil, err
 	}
 	if err = step("Figure ABFT", func() error { all.FigABFT, err = FigureABFT(o); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure DetectLat", func() error { all.FigDetectLat, err = FigureDetectLat(o); return err }); err != nil {
 		return nil, err
 	}
 	return all, nil

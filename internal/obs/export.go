@@ -124,24 +124,32 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
+// diagEvent converts one trace event to its diag-schema rendering,
+// shared by the JSONL exporter and the flight recorder's trigger-event
+// capture.
+func (t *Trace) diagEvent(e Event) diag.TraceEvent {
+	ev := diag.TraceEvent{
+		TS:       e.Nanos,
+		Kind:     e.Kind.String(),
+		Core:     int(e.Core),
+		CoreName: t.CoreName(e.Core),
+		Args:     e.args(),
+	}
+	if e.Queue >= 0 {
+		q := int(e.Queue)
+		ev.Queue = &q
+		ev.QueueName = t.QueueName(e.Queue)
+	}
+	return ev
+}
+
 // WriteJSONL emits the trace as one diag.TraceEvent JSON object per line,
 // the schema ValidateTraceJSONL checks.
 func (t *Trace) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	for _, e := range t.Events {
-		ev := diag.TraceEvent{
-			TS:       e.Nanos,
-			Kind:     e.Kind.String(),
-			Core:     int(e.Core),
-			CoreName: t.CoreName(e.Core),
-			Args:     e.args(),
-		}
-		if e.Queue >= 0 {
-			q := int(e.Queue)
-			ev.Queue = &q
-			ev.QueueName = t.QueueName(e.Queue)
-		}
+		ev := t.diagEvent(e)
 		if err := enc.Encode(&ev); err != nil {
 			return err
 		}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"commguard/internal/diag"
+)
+
+// Flight recorder: the trace rings already run continuously at negligible
+// cost (fixed-size per-core buffers, oldest records overwritten), so the
+// expensive part of tracing — serializing artifacts — can be deferred
+// until something goes wrong. A FlightRecorder holds the trigger policy;
+// the run evaluates it post-join against the collected trace and run
+// metrics, and only a fired trigger turns the in-memory rings into files.
+
+// FlightOptions is the trigger policy of a flight recorder. The zero
+// value never triggers; each field arms one trigger class.
+type FlightOptions struct {
+	// Path is the artifact base: a fired recorder writes Path+".flight.json"
+	// plus the standard trace pair Path+".trace.json"/Path+".jsonl".
+	Path string
+	// Watchdog triggers when the trace contains a PPU loop-guard refusal
+	// (KindWatchdog), or when the campaign watchdog classified the run as
+	// hung (an external Trip).
+	Watchdog bool
+	// QualityFloorDB triggers when output quality falls below this floor
+	// (dB; 0 disables — note 0 dB itself cannot be used as a floor).
+	QualityFloorDB float64
+	// SlowPathPerKItems triggers when queue push/pop timeouts exceed this
+	// rate per 1000 delivered items (0 disables).
+	SlowPathPerKItems float64
+	// FaultsPerKInstr triggers on a fault storm: manifested faults per
+	// 1000 committed instructions above this rate (0 disables).
+	FaultsPerKInstr float64
+}
+
+// Armed reports whether any trigger class is configured.
+func (o FlightOptions) Armed() bool {
+	return o.Watchdog || o.QualityFloorDB != 0 || o.SlowPathPerKItems > 0 || o.FaultsPerKInstr > 0
+}
+
+// Trigger is one fired trigger: its class and a human-readable detail.
+type Trigger struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// FlightMetrics are the end-of-run aggregates the threshold triggers
+// evaluate against.
+type FlightMetrics struct {
+	// QualityDB is the run's output quality (NaN/0 when unmeasured).
+	QualityDB float64
+	// Items is the total item count delivered through guarded queues.
+	Items uint64
+	// Timeouts is the total queue push+pop timeout count.
+	Timeouts uint64
+	// Faults is the total manifested fault count.
+	Faults uint64
+	// Instructions is the total committed instruction count.
+	Instructions uint64
+}
+
+// FlightRecorder accumulates fired triggers for one run. It is used by a
+// single goroutine after the run has joined; Trip may also be called by
+// the campaign watchdog path before evaluation. Nil-safe: a nil recorder
+// ignores trips and never dumps.
+type FlightRecorder struct {
+	opts     FlightOptions
+	triggers []Trigger
+	// triggerEvents are the trace events that fired event-scoped triggers
+	// (the watchdog refusals), carried into the dump so the artifact
+	// contains its own cause.
+	triggerEvents []Event
+}
+
+// NewFlightRecorder creates a recorder with the given trigger policy.
+func NewFlightRecorder(opts FlightOptions) *FlightRecorder {
+	return &FlightRecorder{opts: opts}
+}
+
+// Options returns the recorder's trigger policy.
+func (f *FlightRecorder) Options() FlightOptions {
+	if f == nil {
+		return FlightOptions{}
+	}
+	return f.opts
+}
+
+// Trip fires an external trigger (e.g. the campaign watchdog classifying
+// the run as hung). Nil-safe.
+func (f *FlightRecorder) Trip(kind, detail string) {
+	if f == nil {
+		return
+	}
+	f.triggers = append(f.triggers, Trigger{Kind: kind, Detail: detail})
+}
+
+// Evaluate applies the threshold triggers to the run's aggregates and
+// scans the trace for watchdog refusals. Call after the run's goroutines
+// have joined, with the collected trace (nil is accepted). Nil-safe.
+func (f *FlightRecorder) Evaluate(m FlightMetrics, tr *Trace) {
+	if f == nil {
+		return
+	}
+	if f.opts.Watchdog && tr != nil {
+		n := 0
+		for _, e := range tr.Events {
+			if e.Kind == KindWatchdog {
+				if n == 0 {
+					f.triggerEvents = append(f.triggerEvents, e)
+				}
+				n++
+			}
+		}
+		if n > 0 {
+			f.Trip("watchdog", fmt.Sprintf("%d loop-guard refusals in trace", n))
+		}
+	}
+	if f.opts.QualityFloorDB != 0 && m.QualityDB == m.QualityDB && m.QualityDB < f.opts.QualityFloorDB {
+		f.Trip("quality", fmt.Sprintf("quality %.2f dB below floor %.2f dB", m.QualityDB, f.opts.QualityFloorDB))
+	}
+	if f.opts.SlowPathPerKItems > 0 && m.Items > 0 {
+		rate := float64(m.Timeouts) * 1000 / float64(m.Items)
+		if rate > f.opts.SlowPathPerKItems {
+			f.Trip("slow-path", fmt.Sprintf("%.2f queue timeouts per 1000 items (threshold %.2f)", rate, f.opts.SlowPathPerKItems))
+		}
+	}
+	if f.opts.FaultsPerKInstr > 0 && m.Instructions > 0 {
+		rate := float64(m.Faults) * 1000 / float64(m.Instructions)
+		if rate > f.opts.FaultsPerKInstr {
+			f.Trip("fault-storm", fmt.Sprintf("%.4f manifested faults per 1000 instructions (threshold %.4f)", rate, f.opts.FaultsPerKInstr))
+		}
+	}
+}
+
+// Triggered reports whether any trigger has fired.
+func (f *FlightRecorder) Triggered() bool {
+	return f != nil && len(f.triggers) > 0
+}
+
+// Triggers returns the fired triggers in firing order.
+func (f *FlightRecorder) Triggers() []Trigger {
+	if f == nil {
+		return nil
+	}
+	return f.triggers
+}
+
+// FlightDump is the <base>.flight.json document: why the recorder fired,
+// what it captured, and where the sibling trace artifacts landed. It is
+// the shape internal/diag's ValidateFlight checks.
+type FlightDump struct {
+	Manifest Manifest  `json:"manifest"`
+	Triggers []Trigger `json:"triggers"`
+	// Events and Dropped summarize the captured trace (dropped = records
+	// lost to ring overwrites before the trigger fired).
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped"`
+	// TriggerEvents are the trace events that caused event-scoped triggers
+	// (the watchdog refusals), so the dump contains its own cause even if
+	// the full trace is discarded.
+	TriggerEvents []diag.TraceEvent `json:"trigger_events,omitempty"`
+	// Artifacts are the sibling files written alongside the dump.
+	Artifacts []string `json:"artifacts"`
+}
+
+// Dump writes the flight artifacts: the full trace pair (Chrome JSON +
+// diag JSONL) and the flight.json document tying them to the fired
+// triggers. It returns every path written, flight.json first. Calling
+// Dump on an untriggered (or nil) recorder is a no-op returning no paths.
+func (f *FlightRecorder) Dump(m Manifest, tr *Trace) ([]string, error) {
+	if !f.Triggered() || f.opts.Path == "" {
+		return nil, nil
+	}
+	doc := FlightDump{Manifest: m, Triggers: f.triggers, Artifacts: []string{}}
+	if tr != nil {
+		doc.Events = len(tr.Events)
+		doc.Dropped = tr.Dropped
+		for _, e := range f.triggerEvents {
+			doc.TriggerEvents = append(doc.TriggerEvents, tr.diagEvent(e))
+		}
+		paths, err := tr.WriteFiles(f.opts.Path)
+		if err != nil {
+			return nil, err
+		}
+		doc.Artifacts = paths
+	}
+	flightPath := f.opts.Path + ".flight.json"
+	w, err := os.Create(flightPath)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(&doc); err != nil {
+		return nil, err
+	}
+	return append([]string{flightPath}, doc.Artifacts...), nil
+}

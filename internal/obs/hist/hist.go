@@ -1,0 +1,241 @@
+// Package hist provides fixed-bucket log₂-scale latency histograms with
+// per-core single-writer shards, following the same hot-path discipline as
+// the obs trace rings: fixed-size storage, atomic words, zero allocation
+// on Record, a nil shard costing exactly one branch, and merging deferred
+// until after the run's goroutines have joined.
+//
+// Values are bucketed by bits.Len64: bucket 0 holds exact zeros and bucket
+// b (1..64) holds values in [2^(b-1), 2^b). The geometric resolution is a
+// factor of two everywhere — coarse, but constant-cost, range-complete
+// (any uint64 nanosecond or item count fits), and precise enough for the
+// p50/p90/p99 summaries the runtime-health layer reports.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Buckets is the fixed bucket count of every histogram: one zero bucket
+// plus one per power of two up to 2^64.
+const Buckets = 65
+
+// bucketLow returns the inclusive lower bound of bucket b.
+func bucketLow(b int) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(uint64(1) << uint(b-1))
+}
+
+// bucketHigh returns the exclusive upper bound of bucket b.
+func bucketHigh(b int) float64 {
+	if b == 0 {
+		return 1
+	}
+	if b >= 64 {
+		return float64(1<<63) * 2
+	}
+	return float64(uint64(1) << uint(b))
+}
+
+// Shard is one core's single-writer histogram. Exactly one goroutine (the
+// owning core's) calls Record; the counters are atomic words so a
+// concurrent observer (the OpenMetrics endpoint, a diagnostics snapshot)
+// reads torn-free values, with cross-shard consistency guaranteed only
+// after the run joins. All methods are safe on a nil receiver — a nil
+// Shard is recording disabled, at the cost of a single branch.
+type Shard struct {
+	counts [Buckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// Record adds one observation. It performs two atomic adds and one
+// bits.Len64 — no allocation, no blocking, safe on the guarded-queue hot
+// path.
+func (s *Shard) Record(v uint64) {
+	if s == nil {
+		return
+	}
+	s.counts[bits.Len64(v)].Add(1)
+	s.sum.Add(v)
+}
+
+// Count returns the shard's total observation count.
+func (s *Shard) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	var n uint64
+	for i := range s.counts {
+		n += s.counts[i].Load()
+	}
+	return n
+}
+
+// Hist is a named histogram sharded per core.
+type Hist struct {
+	name   string
+	unit   string
+	shards []Shard
+}
+
+// New creates a histogram with one shard per core.
+func New(name, unit string, cores int) *Hist {
+	if cores < 1 {
+		cores = 1
+	}
+	return &Hist{name: name, unit: unit, shards: make([]Shard, cores)}
+}
+
+// Name returns the histogram's metric name.
+func (h *Hist) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Unit returns the histogram's unit label ("ns", "items").
+func (h *Hist) Unit() string {
+	if h == nil {
+		return ""
+	}
+	return h.unit
+}
+
+// Shard returns core's shard. A nil histogram or out-of-range core returns
+// nil, which Record accepts (recording disabled) — the same contract as
+// Tracer.Ring.
+func (h *Hist) Shard(core int) *Shard {
+	if h == nil || core < 0 || core >= len(h.shards) {
+		return nil
+	}
+	return &h.shards[core]
+}
+
+// Summary merges the shards into one distribution summary. Call after the
+// run's goroutines have joined (merging is the post-join step, exactly
+// like Tracer.Collect). A nil histogram returns a zero-count summary.
+func (h *Hist) Summary() Summary {
+	if h == nil {
+		return Summary{}
+	}
+	s := Summary{Name: h.name, Unit: h.unit, Buckets: make([]uint64, Buckets)}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < Buckets; b++ {
+			s.Buckets[b] += sh.counts[b].Load()
+		}
+		s.Sum += sh.sum.Load()
+	}
+	s.finish()
+	return s
+}
+
+// Summary is a merged histogram: bucket counts plus the derived count,
+// sum and quantiles. It is the JSON shape metrics artifacts carry, and it
+// merges across runs (Merge) so experiment sweeps can aggregate exact
+// distributions instead of averaging per-run quantiles.
+type Summary struct {
+	Name  string `json:"name"`
+	Unit  string `json:"unit"`
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	// Buckets holds the per-bucket counts (log₂ scale, bucket 0 = zeros).
+	// Trailing zero buckets may be trimmed in serialized form.
+	Buckets []uint64 `json:"buckets,omitempty"`
+	P50     float64  `json:"p50"`
+	P90     float64  `json:"p90"`
+	P99     float64  `json:"p99"`
+}
+
+// FromBuckets reconstructs a summary from serialized bucket counts (e.g.
+// a journaled experiment payload). Buckets beyond len(buckets) are zero.
+func FromBuckets(name, unit string, buckets []uint64, sum uint64) Summary {
+	s := Summary{Name: name, Unit: unit, Sum: sum, Buckets: make([]uint64, Buckets)}
+	copy(s.Buckets, buckets)
+	s.finish()
+	return s
+}
+
+// finish derives Count and the quantile fields from the buckets and trims
+// trailing zero buckets.
+func (s *Summary) finish() {
+	s.Count = 0
+	last := -1
+	for b, n := range s.Buckets {
+		s.Count += n
+		if n > 0 {
+			last = b
+		}
+	}
+	s.Buckets = s.Buckets[:last+1]
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+}
+
+// Merge accumulates other's buckets into s and re-derives the summary
+// fields. Unit mismatches are a programming error; Merge keeps s's labels.
+func (s *Summary) Merge(other Summary) {
+	if len(s.Buckets) < len(other.Buckets) {
+		grown := make([]uint64, len(other.Buckets))
+		copy(grown, s.Buckets)
+		s.Buckets = grown
+	}
+	for b, n := range other.Buckets {
+		s.Buckets[b] += n
+	}
+	s.Sum += other.Sum
+	s.finish()
+}
+
+// Quantile returns the value at quantile q (0..1), linearly interpolated
+// within the containing bucket's [low, high) range. With zero observations
+// it returns 0. The result is exact for bucket 0 (zeros) and within a
+// factor-of-two bucket otherwise.
+func (s Summary) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for b, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if target <= next {
+			if b == 0 {
+				return 0
+			}
+			lo, hi := bucketLow(b), bucketHigh(b)
+			return lo + (hi-lo)*(target-cum)/float64(n)
+		}
+		cum = next
+	}
+	// target == Count landed past the last bucket's midpoint walk; return
+	// the last non-empty bucket's upper bound.
+	for b := len(s.Buckets) - 1; b >= 0; b-- {
+		if s.Buckets[b] > 0 {
+			return bucketHigh(b)
+		}
+	}
+	return 0
+}
+
+// Mean returns the arithmetic mean of the recorded values (exact: the sum
+// is tracked outside the buckets).
+func (s Summary) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

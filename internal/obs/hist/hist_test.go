@@ -1,0 +1,151 @@
+package hist_test
+
+import (
+	"math"
+	"testing"
+
+	"commguard/internal/obs/hist"
+)
+
+// TestHistRecordNoAllocs pins the zero-allocation contract of Record, for
+// a live shard and for the nil shard (recording disabled).
+func TestHistRecordNoAllocs(t *testing.T) {
+	h := hist.New("test", "ns", 2)
+	s := h.Shard(0)
+	v := uint64(1)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.Record(v)
+		v = v*31 + 7
+	}); allocs != 0 {
+		t.Errorf("Shard.Record allocates %.1f objects/op, want 0", allocs)
+	}
+	var nilShard *hist.Shard
+	if allocs := testing.AllocsPerRun(1000, func() { nilShard.Record(v) }); allocs != 0 {
+		t.Errorf("nil Shard.Record allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestGoldenQuantiles records the known distribution 1..1000 and pins the
+// interpolated quantiles against hand-derived values: p50 falls in the
+// [256,512) bucket (255 observations below, 256 inside), p90 and p99 in
+// the [512,1024) bucket (511 below, 489 inside).
+func TestGoldenQuantiles(t *testing.T) {
+	h := hist.New("golden", "ns", 1)
+	s := h.Shard(0)
+	for v := uint64(1); v <= 1000; v++ {
+		s.Record(v)
+	}
+	sum := h.Summary()
+	if sum.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", sum.Count)
+	}
+	if sum.Sum != 500500 {
+		t.Fatalf("Sum = %d, want 500500", sum.Sum)
+	}
+	if got := sum.Mean(); got != 500.5 {
+		t.Errorf("Mean = %g, want 500.5", got)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 256 + 256*(500.0-255)/256}, // = 501
+		{0.90, 512 + 512*(900.0-511)/489}, // ≈ 919.26
+		{0.99, 512 + 512*(990.0-511)/489}, // ≈ 1013.5 (bucket-resolution bound)
+	} {
+		if got := sum.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if sum.P50 != sum.Quantile(0.50) || sum.P90 != sum.Quantile(0.90) || sum.P99 != sum.Quantile(0.99) {
+		t.Errorf("summary quantile fields disagree with Quantile()")
+	}
+	// Exact zeros land in bucket 0 and quantiles below their mass are 0.
+	z := hist.New("zeros", "ns", 1)
+	z.Shard(0).Record(0)
+	z.Shard(0).Record(0)
+	z.Shard(0).Record(1 << 20)
+	if got := z.Summary().Quantile(0.5); got != 0 {
+		t.Errorf("zero-heavy Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+// TestMergeAcrossCores proves shard placement is invisible post-merge:
+// the same observations spread round-robin over four per-core shards
+// summarize identically to all of them recorded on one shard.
+func TestMergeAcrossCores(t *testing.T) {
+	split := hist.New("m", "ns", 4)
+	single := hist.New("m", "ns", 1)
+	one := single.Shard(0)
+	for i := 0; i < 5000; i++ {
+		v := uint64(i*i%100000 + i)
+		split.Shard(i % 4).Record(v)
+		one.Record(v)
+	}
+	a, b := split.Summary(), single.Summary()
+	if a.Count != b.Count || a.Sum != b.Sum {
+		t.Fatalf("count/sum diverge: split (%d,%d) vs single (%d,%d)", a.Count, a.Sum, b.Count, b.Sum)
+	}
+	if len(a.Buckets) != len(b.Buckets) {
+		t.Fatalf("bucket lengths diverge: %d vs %d", len(a.Buckets), len(b.Buckets))
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			t.Fatalf("bucket %d diverges: %d vs %d", i, a.Buckets[i], b.Buckets[i])
+		}
+	}
+	if a.P50 != b.P50 || a.P90 != b.P90 || a.P99 != b.P99 {
+		t.Errorf("quantiles diverge: %+v vs %+v", a, b)
+	}
+}
+
+// TestSummaryMergeAndFromBuckets covers the cross-run aggregation path the
+// detection-latency sweep uses: journaled bucket counts round-trip through
+// FromBuckets and Merge to the same distribution as direct recording.
+func TestSummaryMergeAndFromBuckets(t *testing.T) {
+	h1 := hist.New("d", "items", 1)
+	h2 := hist.New("d", "items", 1)
+	ref := hist.New("d", "items", 1)
+	for i := uint64(0); i < 300; i++ {
+		h1.Shard(0).Record(i * 3)
+		ref.Shard(0).Record(i * 3)
+	}
+	for i := uint64(0); i < 500; i++ {
+		h2.Shard(0).Record(i * 17)
+		ref.Shard(0).Record(i * 17)
+	}
+	s1, s2 := h1.Summary(), h2.Summary()
+	merged := hist.FromBuckets(s1.Name, s1.Unit, s1.Buckets, s1.Sum)
+	merged.Merge(hist.FromBuckets(s2.Name, s2.Unit, s2.Buckets, s2.Sum))
+	want := ref.Summary()
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Fatalf("merged count/sum (%d,%d), want (%d,%d)", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	if merged.P50 != want.P50 || merged.P90 != want.P90 || merged.P99 != want.P99 {
+		t.Errorf("merged quantiles %+v, want %+v", merged, want)
+	}
+}
+
+// TestNilSafety pins the nil = disabled contract mirrored from the trace
+// rings: nil hist, nil shard, out-of-range core.
+func TestNilSafety(t *testing.T) {
+	var h *hist.Hist
+	if h.Shard(0) != nil {
+		t.Error("nil Hist.Shard(0) != nil")
+	}
+	if h.Name() != "" || h.Unit() != "" {
+		t.Error("nil Hist has non-empty labels")
+	}
+	if s := h.Summary(); s.Count != 0 {
+		t.Error("nil Hist.Summary has observations")
+	}
+	live := hist.New("x", "ns", 2)
+	if live.Shard(-1) != nil || live.Shard(2) != nil {
+		t.Error("out-of-range Shard != nil")
+	}
+	var sh *hist.Shard
+	sh.Record(42) // must not panic
+	if sh.Count() != 0 {
+		t.Error("nil Shard.Count != 0")
+	}
+}

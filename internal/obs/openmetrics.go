@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"commguard/internal/obs/hist"
+)
+
+// OpenMetrics endpoint: beside the expvar JSON at /debug/vars, the same
+// listener serves /metrics in the OpenMetrics text format, so standard
+// scrapers (Prometheus and friends) can watch a long campaign without a
+// JSON shim: the Progress job counters as gauges plus, when a run has
+// published its Health registry, every latency histogram as a summary
+// with p50/p90/p99 quantiles.
+
+// publishedHealth is the Health registry /metrics currently reports.
+// Stored atomically: runs publish post-join while the HTTP handler reads
+// concurrently.
+var publishedHealth atomic.Pointer[Health]
+
+// PublishHealth makes h's merged summaries visible on the /metrics
+// endpoint (nil unpublishes). Publish after the run's goroutines have
+// joined — the endpoint merges shards on every scrape.
+func PublishHealth(h *Health) {
+	publishedHealth.Store(h)
+}
+
+// writeOMSummary renders one histogram summary as an OpenMetrics summary
+// family.
+func writeOMSummary(w io.Writer, prefix string, s hist.Summary) {
+	name := prefix + s.Name
+	if s.Unit != "" {
+		name += "_" + s.Unit
+	}
+	fmt.Fprintf(w, "# TYPE %s summary\n", name)
+	if s.Unit != "" {
+		fmt.Fprintf(w, "# UNIT %s %s\n", name, s.Unit)
+	}
+	for _, q := range []struct {
+		q string
+		v float64
+	}{{"0.5", s.P50}, {"0.9", s.P90}, {"0.99", s.P99}} {
+		fmt.Fprintf(w, "%s{quantile=\"%s\"} %g\n", name, q.q, q.v)
+	}
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum)
+}
+
+// WriteOpenMetrics renders the current progress counters and (optionally)
+// a Health registry's histograms in the OpenMetrics text format,
+// terminated by the mandatory # EOF marker. Both arguments are nil-safe.
+func WriteOpenMetrics(w io.Writer, p *Progress, h *Health) {
+	if p != nil {
+		done, total := p.Counts()
+		retried, hung, skipped := p.CampaignCounts()
+		if phase := p.Phase(); phase != "" {
+			fmt.Fprintf(w, "# TYPE commguard_phase info\n")
+			fmt.Fprintf(w, "commguard_phase_info{phase=%q} 1\n", phase)
+		}
+		for _, g := range []struct {
+			name string
+			v    int64
+		}{
+			{"jobs_done", done}, {"jobs_total", total},
+			{"jobs_retried", retried}, {"jobs_hung", hung}, {"jobs_skipped", skipped},
+		} {
+			fmt.Fprintf(w, "# TYPE commguard_%s gauge\n", g.name)
+			fmt.Fprintf(w, "commguard_%s %d\n", g.name, g.v)
+		}
+	}
+	if h != nil {
+		for _, s := range h.Summaries() {
+			writeOMSummary(w, "commguard_", s)
+		}
+	}
+	fmt.Fprintf(w, "# EOF\n")
+}
+
+var metricsHandlerOnce sync.Once
+
+// registerMetricsHandler installs the /metrics handler on the default
+// mux exactly once (repeated ListenAndServe calls in one process must not
+// re-register — http.HandleFunc panics on duplicate patterns).
+func registerMetricsHandler() {
+	metricsHandlerOnce.Do(func() {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			WriteOpenMetrics(w, Live(), publishedHealth.Load())
+		})
+	})
+}

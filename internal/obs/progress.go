@@ -36,24 +36,41 @@ var (
 // so the registry is a singleton).
 func Live() *Progress {
 	liveOnce.Do(func() {
-		p := &Progress{
-			vars:    expvar.NewMap("commguard"),
-			phase:   new(expvar.String),
-			done:    new(expvar.Int),
-			total:   new(expvar.Int),
-			retried: new(expvar.Int),
-			hung:    new(expvar.Int),
-			skipped: new(expvar.Int),
-		}
-		p.vars.Set("phase", p.phase)
-		p.vars.Set("jobs_done", p.done)
-		p.vars.Set("jobs_total", p.total)
-		p.vars.Set("jobs_retried", p.retried)
-		p.vars.Set("jobs_hung", p.hung)
-		p.vars.Set("jobs_skipped", p.skipped)
-		live = p
+		live = newLiveProgress()
 	})
 	return live
+}
+
+// newLiveProgress builds the progress publisher around the process-global
+// "commguard" expvar map. Registration is re-entrant: expvar names are
+// process-global and NewMap panics on a duplicate, so if the map (or any
+// of its members) already exists — a prior construction in the same
+// process, a test that already touched the registry — it is reused
+// instead of re-registered.
+func newLiveProgress() *Progress {
+	p := &Progress{}
+	if m, ok := expvar.Get("commguard").(*expvar.Map); ok {
+		p.vars = m
+	} else {
+		p.vars = expvar.NewMap("commguard")
+	}
+	p.phase = reuseVar(p.vars, "phase", new(expvar.String))
+	p.done = reuseVar(p.vars, "jobs_done", new(expvar.Int))
+	p.total = reuseVar(p.vars, "jobs_total", new(expvar.Int))
+	p.retried = reuseVar(p.vars, "jobs_retried", new(expvar.Int))
+	p.hung = reuseVar(p.vars, "jobs_hung", new(expvar.Int))
+	p.skipped = reuseVar(p.vars, "jobs_skipped", new(expvar.Int))
+	return p
+}
+
+// reuseVar returns the map's existing member of the wanted type, or
+// registers (and returns) fresh otherwise.
+func reuseVar[V expvar.Var](m *expvar.Map, name string, fresh V) V {
+	if v, ok := m.Get(name).(V); ok {
+		return v
+	}
+	m.Set(name, fresh)
+	return fresh
 }
 
 // StartPhase marks a new named phase (figure, sweep) with total pending
@@ -119,10 +136,20 @@ func (p *Progress) Counts() (done, total int64) {
 	return p.done.Value(), p.total.Value()
 }
 
-// ListenAndServe serves the expvar endpoint (GET /debug/vars) on addr in
-// a background goroutine, returning once the listener is requested. Serve
-// errors (port in use...) are reported through errf.
+// Phase returns the current phase name ("" before the first StartPhase).
+func (p *Progress) Phase() string {
+	if p == nil {
+		return ""
+	}
+	return p.phase.Value()
+}
+
+// ListenAndServe serves the expvar endpoint (GET /debug/vars) and the
+// OpenMetrics endpoint (GET /metrics) on addr in a background goroutine,
+// returning once the listener is requested. Serve errors (port in use...)
+// are reported through errf.
 func ListenAndServe(addr string, errf func(format string, args ...any)) {
+	registerMetricsHandler()
 	go func() {
 		// expvar self-registers its handler on http.DefaultServeMux.
 		if err := http.ListenAndServe(addr, nil); err != nil && errf != nil {

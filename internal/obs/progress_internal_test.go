@@ -1,0 +1,30 @@
+package obs
+
+import "testing"
+
+// TestLiveProgressReentrant pins the satellite fix: constructing the live
+// progress publisher twice in one process must not panic on the
+// process-global expvar names, and the second construction must observe
+// the same underlying counters.
+func TestLiveProgressReentrant(t *testing.T) {
+	p1 := newLiveProgress()
+	p1.StartPhase("reentrancy", 3)
+	p1.JobDone()
+	p2 := newLiveProgress() // would panic via expvar.NewMap without reuse
+	if done, total := p2.Counts(); done != 1 || total != 3 {
+		t.Errorf("second registration sees (%d/%d), want the first's (1/3)", done, total)
+	}
+	if p2.Phase() != "reentrancy" {
+		t.Errorf("second registration phase = %q", p2.Phase())
+	}
+	p2.JobDone()
+	if done, _ := p1.Counts(); done != 2 {
+		t.Errorf("counters diverged: first sees done=%d, want 2", done)
+	}
+	p2.JobRetried()
+	r1, _, _ := p1.CampaignCounts()
+	r2, _, _ := p2.CampaignCounts()
+	if r1 != r2 {
+		t.Errorf("campaign counters diverged: %d vs %d", r1, r2)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"commguard/internal/ecc"
 	"commguard/internal/obs"
+	"commguard/internal/obs/hist"
 )
 
 // Config describes the geometry and protection level of one queue.
@@ -289,6 +290,17 @@ type Queue struct {
 	// tracing is off; every emit sits on a slow path, never per item.
 	traceProd *obs.Ring //queue:owned-by producer
 	traceCons *obs.Ring //queue:owned-by consumer
+
+	// Latency shards (nil when health recording is off). Wait shards
+	// record time spent blocked in the acquire funnels — entered only
+	// after the cached peer view says no slot is available, so the
+	// lock-free per-item fast path never reads the clock. The
+	// publish/return shards time the mutexed ECC pointer exchanges. Each
+	// shard belongs to the side that writes it, like the rings above.
+	hPushWait *hist.Shard //queue:owned-by producer
+	hPublish  *hist.Shard //queue:owned-by producer
+	hPopWait  *hist.Shard //queue:owned-by consumer
+	hReturn   *hist.Shard //queue:owned-by consumer
 }
 
 // backoffFloor is the minimum blocking budget under repeated starvation.
@@ -350,6 +362,19 @@ func (q *Queue) Capacity() int { return q.cfg.WorkingSets * q.cfg.WorkingSetUnit
 func (q *Queue) SetTrace(prod, cons *obs.Ring) {
 	q.traceProd = prod
 	q.traceCons = cons
+}
+
+// SetLatency attaches the slow-path latency shards (obs.Health's
+// QueueShards order: producer-side push-wait and publish, consumer-side
+// pop-wait and return). Call before transit starts; any shard may be nil
+// (that measurement disabled at one branch per slow-path entry).
+//
+//queue:side init
+func (q *Queue) SetLatency(pushWait, publish, popWait, ret *hist.Shard) {
+	q.hPushWait = pushWait
+	q.hPublish = publish
+	q.hPopWait = popWait
+	q.hReturn = ret
 }
 
 // SetNonBlocking makes Pop fail immediately on an empty queue and Push
@@ -493,6 +518,12 @@ func (q *Queue) acquireFillSlot() {
 	if q.canFill() {
 		return
 	}
+	// Past this point the producer genuinely waits; the fast path above
+	// never reads the clock.
+	if q.hPushWait != nil {
+		waitStart := time.Now()
+		defer func() { q.hPushWait.Record(uint64(time.Since(waitStart))) }()
+	}
 	wait := budget(q.cfg.Timeout, q.pushStreak)
 	var deadline time.Time
 	if q.cfg.Timeout > 0 {
@@ -562,6 +593,10 @@ func (q *Queue) Push(u Unit) {
 //queue:side producer
 //hotpath:ok working-set exchange slow path: mutexed ECC pointer swap once per working set (Fig. 6, Table 3)
 func (q *Queue) publish(n uint32) {
+	var t0 time.Time
+	if q.hPublish != nil {
+		t0 = time.Now()
+	}
 	k := uint32(q.cfg.WorkingSets)
 	q.wsLen[q.prodWSIdx].Store(n)
 	q.traceProd.QueuePublish(int32(q.id), q.prodWS.Load(), n)
@@ -571,6 +606,9 @@ func (q *Queue) publish(n uint32) {
 	q.mu.Unlock()
 	q.stats.correctedPointerErrors.Add(c)
 	q.stats.pointerECCOps.Add(10)
+	if q.hPublish != nil {
+		q.hPublish.Record(uint64(time.Since(t0)))
+	}
 	q.prodWS.Store(f + 1)
 	q.prodWSIdx = (f + 1) % k
 	q.prodBase = q.prodWSIdx * uint32(q.cfg.WorkingSetUnits)
@@ -642,6 +680,12 @@ func (q *Queue) acquireDrainSlot() bool {
 		q.traceCons.PopTimeout(int32(q.id))
 		return false
 	}
+	// Past this point the consumer genuinely waits; the fast path above
+	// never reads the clock.
+	if q.hPopWait != nil {
+		waitStart := time.Now()
+		defer func() { q.hPopWait.Record(uint64(time.Since(waitStart))) }()
+	}
 	wait := budget(q.cfg.Timeout, q.popStreak)
 	var deadline time.Time
 	if q.cfg.Timeout > 0 {
@@ -711,6 +755,10 @@ func (q *Queue) Pop() (u Unit, ok bool) {
 //queue:side consumer
 //hotpath:ok working-set exchange slow path: mutexed ECC pointer swap once per working set (Fig. 6, Table 3)
 func (q *Queue) returnWS() {
+	var t0 time.Time
+	if q.hReturn != nil {
+		t0 = time.Now()
+	}
 	q.traceCons.QueueReturn(int32(q.id), q.consWS.Load())
 	q.mu.Lock()
 	d, c := q.drained.load()
@@ -718,6 +766,9 @@ func (q *Queue) returnWS() {
 	q.mu.Unlock()
 	q.stats.correctedPointerErrors.Add(c)
 	q.stats.pointerECCOps.Add(10)
+	if q.hReturn != nil {
+		q.hReturn.Record(uint64(time.Since(t0)))
+	}
 	nw := q.consWS.Load() + 1
 	q.consWS.Store(nw)
 	q.consWSIdx = nw % uint32(q.cfg.WorkingSets)

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"commguard/internal/commguard"
 	"commguard/internal/fault"
 	"commguard/internal/obs"
+	"commguard/internal/obs/hist"
 	"commguard/internal/queue"
 	"commguard/internal/stream"
 )
@@ -102,6 +104,21 @@ type Config struct {
 	// per-core ring capacity, < 0 uses obs.DefaultEventsPerCore, 0 disables
 	// tracing (no rings allocated, every emit site a single nil branch).
 	TraceEvents int
+	// Health enables the runtime-health histogram registry: queue wait and
+	// slow-path funnel latencies, per-filter firing durations, and
+	// fault→detection latency (wall-clock and items-consumed) for the
+	// protection scheme in play. Recording is zero-alloc single-writer
+	// sharded (internal/obs/hist); merged summaries land in Result.Health.
+	Health bool
+	// Flight, when non-nil with at least one trigger armed, runs the run
+	// under an anomaly-triggered flight recorder: the event tracer is
+	// forced on (rings run continuously), and if a trigger fires — PPU
+	// watchdog refusal, quality below floor, slow-path rate spike, fault
+	// storm, or an external hang trip — the rings are serialized to
+	// Flight.Path artifacts (Result.FlightDumps). Excluded from
+	// serialization (the artifact path is process-local) so
+	// obs.ConfigHash stays process-independent.
+	Flight *obs.FlightOptions `json:"-"`
 	// Sequential executes the graph on a single goroutine following the
 	// static schedule: error-prone runs become bit-reproducible (the
 	// concurrent engine's realignment details depend on goroutine
@@ -144,8 +161,15 @@ type Result struct {
 	// CommGuard).
 	Guard *commguard.Stats
 	// Trace is the merged event stream (nil unless Config.TraceEvents was
-	// set), with core tracks named after nodes and queue tracks after edges.
+	// set or Config.Flight was armed), with core tracks named after nodes
+	// and queue tracks after edges.
 	Trace *obs.Trace
+	// Health is the merged runtime-health histogram set (nil unless
+	// Config.Health), in the fixed order of obs.Health.Summaries.
+	Health []hist.Summary
+	// FlightDumps lists the artifact paths written by a fired flight
+	// recorder (nil when no trigger fired), flight.json first.
+	FlightDumps []string
 }
 
 // DataLossRatio returns Fig. 8's measure for a CommGuard run: padded +
@@ -263,14 +287,25 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 		ABFT:       cfg.Protection == ABFT,
 		Cancel:     cfg.Cancel,
 	}
+	// An armed flight recorder forces the tracer on: the rings are its
+	// continuously-running capture buffer.
+	flightArmed := cfg.Flight != nil && cfg.Flight.Armed()
 	var tracer *obs.Tracer
-	if cfg.TraceEvents != 0 {
+	if cfg.TraceEvents != 0 || flightArmed {
 		capacity := cfg.TraceEvents
-		if capacity < 0 {
+		if capacity <= 0 {
 			capacity = obs.DefaultEventsPerCore
 		}
 		tracer = obs.NewTracer(len(inst.Graph.Nodes), capacity)
 		engCfg.Tracer = tracer
+	}
+	var health *obs.Health
+	if cfg.Health {
+		health = obs.NewHealth(len(inst.Graph.Nodes))
+		engCfg.Health = health
+		if guard != nil {
+			guard.Health = health
+		}
 	}
 	var traceMu sync.Mutex
 	var traced []stream.ErrorEvent
@@ -326,6 +361,18 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 		runStats, err = eng.Run()
 	}
 	if err != nil {
+		// A cancelled run is the flight recorder's hang trigger: the
+		// engine has joined its goroutines (Run does not return before
+		// unwinding), so the rings are safe to collect and dump.
+		if flightArmed && errors.Is(err, stream.ErrCancelled) {
+			fr := obs.NewFlightRecorder(*cfg.Flight)
+			fr.Trip("hang", "run cancelled before completion: "+err.Error())
+			stub := &Result{App: inst.Name, Protection: cfg.Protection,
+				MTBE: cfg.MTBE, Seed: cfg.Seed, FrameScale: cfg.FrameScale}
+			if paths, derr := fr.Dump(stub.Manifest(cfg), collectTrace(tracer, inst)); derr == nil && len(paths) > 0 {
+				err = fmt.Errorf("%w (flight dump: %s)", err, paths[0])
+			}
+		}
 		return nil, err
 	}
 
@@ -353,16 +400,9 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 		gs := guard.Stats()
 		res.Guard = &gs
 	}
-	if tracer != nil {
-		coreNames := make([]string, len(inst.Graph.Nodes))
-		for i, n := range inst.Graph.Nodes {
-			coreNames[i] = n.Name()
-		}
-		queueNames := make([]string, len(inst.Graph.Edges))
-		for _, e := range inst.Graph.Edges {
-			queueNames[e.ID] = e.Src.Name() + " -> " + e.Dst.Name()
-		}
-		res.Trace = tracer.Collect(coreNames, queueNames)
+	res.Trace = collectTrace(tracer, inst)
+	if health != nil {
+		res.Health = health.Summaries()
 	}
 
 	ref := inst.Reference
@@ -373,7 +413,45 @@ func Run(inst *apps.Instance, cfg Config, reference []float64) (*Result, error) 
 		res.Quality = inst.Quality(res.Output, ref)
 		res.Reference = ref
 	}
+
+	if flightArmed {
+		fr := obs.NewFlightRecorder(*cfg.Flight)
+		qt := runStats.QueueTotals()
+		var faults uint64
+		for _, c := range runStats.Cores {
+			faults += c.Errors.Total()
+		}
+		fr.Evaluate(obs.FlightMetrics{
+			QualityDB:    res.Quality,
+			Items:        qt.ItemLoads,
+			Timeouts:     qt.PushTimeouts + qt.PopTimeouts,
+			Faults:       faults,
+			Instructions: runStats.TotalInstructions(),
+		}, res.Trace)
+		paths, derr := fr.Dump(res.Manifest(cfg), res.Trace)
+		if derr != nil {
+			return nil, fmt.Errorf("sim: flight dump: %w", derr)
+		}
+		res.FlightDumps = paths
+	}
 	return res, nil
+}
+
+// collectTrace merges the tracer's rings with core tracks named after
+// nodes and queue tracks after edges. Nil tracer yields nil.
+func collectTrace(tracer *obs.Tracer, inst *apps.Instance) *obs.Trace {
+	if tracer == nil {
+		return nil
+	}
+	coreNames := make([]string, len(inst.Graph.Nodes))
+	for i, n := range inst.Graph.Nodes {
+		coreNames[i] = n.Name()
+	}
+	queueNames := make([]string, len(inst.Graph.Edges))
+	for _, e := range inst.Graph.Edges {
+		queueNames[e.ID] = e.Src.Name() + " -> " + e.Dst.Name()
+	}
+	return tracer.Collect(coreNames, queueNames)
 }
 
 // referenceConfig derives the configuration of the error-free reference

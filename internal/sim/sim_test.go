@@ -1,14 +1,19 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"commguard/internal/apps"
 	"commguard/internal/fault"
+	"commguard/internal/obs"
+	"commguard/internal/obs/hist"
 	"commguard/internal/queue"
 	"commguard/internal/stream"
 )
@@ -496,5 +501,112 @@ func TestCritFractionForLookup(t *testing.T) {
 	}
 	if _, ok := critFractionFor(map[string]float64{"other.Thing": 1}, src); ok {
 		t.Error("unrelated key matched")
+	}
+}
+
+// TestHealthHistogramsPopulated pins the runtime-health integration: a
+// guarded run with Config.Health collects the full fixed histogram set,
+// with firing durations recorded and the detection-latency pair
+// internally consistent (every detection has both a wall and an items
+// sample).
+func TestHealthHistogramsPopulated(t *testing.T) {
+	find := func(res *Result, name string) hist.Summary {
+		for _, s := range res.Health {
+			if s.Name == name {
+				return s
+			}
+		}
+		t.Fatalf("histogram %q missing from Result.Health", name)
+		return hist.Summary{}
+	}
+	var detections uint64
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := RunBenchmark(smallMP3(), Config{Protection: CommGuard, MTBE: 50_000, Seed: seed, Health: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Health) != 9 {
+			t.Fatalf("Result.Health has %d summaries, want 9", len(res.Health))
+		}
+		if find(res, "fire_item").Count+find(res, "fire_batch").Count == 0 {
+			t.Error("no firing durations recorded")
+		}
+		wall, items := find(res, "detect_wall"), find(res, "detect_items")
+		if wall.Count != items.Count {
+			t.Errorf("seed %d: detect_wall.Count=%d != detect_items.Count=%d", seed, wall.Count, items.Count)
+		}
+		if wall.Unit != "ns" || items.Unit != "items" {
+			t.Errorf("detection units = %q/%q", wall.Unit, items.Unit)
+		}
+		detections += wall.Count
+		snap := res.Snapshot(Config{Protection: CommGuard, MTBE: 50_000, Seed: seed, Health: true})
+		if _, ok := snap.Sections["latency"]; !ok {
+			t.Error("snapshot missing latency section")
+		}
+	}
+	if detections == 0 {
+		t.Error("no AM detections across 5 seeds at MTBE 50k")
+	}
+}
+
+// TestFlightTriggerDumpsArtifacts pins the flight-recorder integration: a
+// run whose fault rate exceeds the armed threshold writes the artifact
+// trio even though event tracing was never explicitly enabled.
+func TestFlightTriggerDumpsArtifacts(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "storm")
+	res, err := RunBenchmark(smallComplexFIR(), Config{
+		Protection: ReliableQueue, MTBE: 10_000, Seed: 2,
+		Flight: &obs.FlightOptions{Path: base, FaultsPerKInstr: 1e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("armed flight recorder did not force the tracer on")
+	}
+	if len(res.FlightDumps) != 3 {
+		t.Fatalf("FlightDumps = %v, want flight.json + trace pair", res.FlightDumps)
+	}
+	raw, err := os.ReadFile(res.FlightDumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Triggers) != 1 || dump.Triggers[0].Kind != "fault-storm" {
+		t.Errorf("triggers = %+v, want one fault-storm", dump.Triggers)
+	}
+	if len(dump.Artifacts) != 2 {
+		t.Errorf("artifacts = %v", dump.Artifacts)
+	}
+	for _, p := range res.FlightDumps {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("listed artifact missing: %v", err)
+		}
+	}
+}
+
+// TestFlightUntriggeredWritesNothing: armed thresholds that never fire
+// leave no artifacts behind.
+func TestFlightUntriggeredWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunBenchmark(smallComplexFIR(), Config{
+		Protection: ErrorFree,
+		Flight:     &obs.FlightOptions{Path: filepath.Join(dir, "quiet"), Watchdog: true, FaultsPerKInstr: 1e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlightDumps != nil {
+		t.Errorf("FlightDumps = %v on a clean run", res.FlightDumps)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("artifacts written without a trigger: %v", entries)
 	}
 }

@@ -59,6 +59,9 @@ func (r *Result) Snapshot(cfg Config) *obs.Snapshot {
 	if r.Guard != nil {
 		s.Add("guard", r.Guard)
 	}
+	if len(r.Health) > 0 {
+		s.Add("latency", obs.HealthSection{Histograms: r.Health})
+	}
 	if r.Trace != nil {
 		s.Add("trace", map[string]any{
 			"events":  len(r.Trace.Events),

@@ -8,6 +8,7 @@ import (
 
 	"commguard/internal/fault"
 	"commguard/internal/obs"
+	"commguard/internal/obs/hist"
 	"commguard/internal/ppu"
 	"commguard/internal/queue"
 )
@@ -35,6 +36,12 @@ type EngineConfig struct {
 	// Core IDs equal node IDs; ring i belongs exclusively to node i's
 	// goroutine.
 	Tracer *obs.Tracer
+	// Health, when non-nil, records runtime-health latency histograms
+	// (queue slow-path waits, firing durations per execution path,
+	// fault→detection latency) into per-core shards. Core IDs equal node
+	// IDs, mirroring Tracer; nil disables recording at one branch per
+	// would-be observation.
+	Health *obs.Health
 	// ABFT enables the checksummed batch-kernel execution mode on filters
 	// that implement ABFTKernel (the sim.ABFT protection scheme): batched
 	// firings fuse an output checksum into the kernel loop, data flips and
@@ -252,6 +259,10 @@ func (e *Engine) execute(sequential bool) (*RunStats, error) {
 			// publish/push-timeout on the producer's, return/pop-timeout on
 			// the consumer's, keeping every ring single-writer.
 			q.SetTrace(cores[edge.Src.ID].TraceRing(), cores[edge.Dst.ID].TraceRing())
+			// Latency shards follow the same ownership split (producer-side
+			// wait/publish, consumer-side wait/return); nil Health degrades
+			// to all-nil shards.
+			q.SetLatency(e.cfg.Health.QueueShards(edge.Src.ID, edge.Dst.ID))
 		}
 	}
 
@@ -265,6 +276,13 @@ func (e *Engine) execute(sequential bool) (*RunStats, error) {
 		th.onError = e.cfg.OnError
 		th.cancel = e.cfg.Cancel
 		th.abft = e.cfg.ABFT && th.ak != nil
+		th.health = e.cfg.Health
+		th.hItem, th.hBatch, th.hABFT = e.cfg.Health.FireShards(n.ID)
+		if th.abft {
+			// ABFT self-detection: the checksummed kernel notices output
+			// corruption injected on its own core, within the firing.
+			th.det = e.cfg.Health.NewDetector(n.ID, n.ID)
+		}
 		for i, edge := range n.In {
 			sh := &inShim{port: ins[edge.ID], rate: edge.PopRate()}
 			if bp, ok := ins[edge.ID].(BatchInPort); ok {
@@ -434,6 +452,17 @@ type thread struct {
 	abft    bool
 	inBufs  [][]uint32
 	outBufs [][]uint32
+
+	// Runtime-health recording (all nil when EngineConfig.Health is):
+	// firing-duration shards per execution path, the fault marker registry,
+	// the ABFT self-detector, and the monotone input-item count it measures
+	// detection latency against.
+	health  *obs.Health
+	hItem   *hist.Shard
+	hBatch  *hist.Shard
+	hABFT   *hist.Shard
+	det     *obs.Detector
+	itemsIn uint64
 }
 
 func newThread(n *Node, core *ppu.Core, mult int, inj *fault.Injector) *thread {
@@ -557,6 +586,20 @@ func (t *thread) fireWithFaults(ctx *Ctx) {
 		case fault.QueuePtr:
 			t.planQueuePtr()
 		}
+		if !t.abft {
+			// Fault→detection marking for the alignment-based schemes:
+			// only manifestations that perturb stream alignment (item
+			// counts, skipped/repeated firings, queue management) are ones
+			// an Alignment Manager can notice, so only those arm the
+			// latency measurement. Data flips and addressing slips keep
+			// alignment and would pollute the metric with undetectable
+			// marks. ABFT marks at its own detectable site (fireBatch's
+			// post-checksum output corruption) instead.
+			switch c {
+			case fault.ControlTrip, fault.ControlFrame, fault.QueuePtr:
+				t.health.MarkFault(t.core.ID())
+			}
+		}
 	}
 
 	if skip {
@@ -579,6 +622,10 @@ func (t *thread) fire(ctx *Ctx) {
 		t.fireBatch()
 		return
 	}
+	var t0 time.Time
+	if t.hItem != nil {
+		t0 = time.Now()
+	}
 	for _, s := range t.ins {
 		s.beginFiring()
 	}
@@ -597,6 +644,10 @@ func (t *thread) fire(ctx *Ctx) {
 	t.commit(pops + pushes)
 	t.stats.Loads += uint64(float64(t.cost)*loadFraction) + uint64(pops)
 	t.stats.Stores += uint64(float64(t.cost)*storeFraction) + uint64(pushes)
+	if t.hItem != nil {
+		t.hItem.Record(uint64(time.Since(t0)))
+	}
+	t.itemsIn += uint64(pops)
 }
 
 // batchReady reports whether this firing may take the batch-kernel path:
@@ -650,6 +701,10 @@ func (t *thread) batchReady() bool {
 //
 //hotpath:entry
 func (t *thread) fireBatch() {
+	var t0 time.Time
+	if t.hBatch != nil {
+		t0 = time.Now()
+	}
 	pops, pushes := 0, 0
 	for i, s := range t.ins {
 		buf := t.inBufs[i]
@@ -691,6 +746,7 @@ func (t *thread) fireBatch() {
 	for _, s := range t.outs {
 		pushes += s.rate
 	}
+	t.itemsIn += uint64(pops)
 	if t.abft {
 		//hotpath:ok CS023 ABFT kernels are annotated entries of their own (dsp/codec kernels)
 		sum := t.ak.WorkBatchABFT(t.inBufs, t.outBufs)
@@ -698,13 +754,19 @@ func (t *thread) fireBatch() {
 		for oi, s := range t.outs {
 			if s.flipAt >= 0 && s.flipAt < len(t.outBufs[oi]) {
 				// Transit corruption strikes after the checksum was fused
-				// into the compute loop — the window ABFT closes.
+				// into the compute loop — the window ABFT closes. This is
+				// the scheme's detectable-fault site, so the detection-
+				// latency measurement arms here (and only here: input-side
+				// corruption slips under the fused checksum).
 				t.outBufs[oi][s.flipAt] ^= 1 << uint(s.flipBit)
+				t.health.MarkFault(t.core.ID())
 			}
 		}
+		t.det.Observe(t.itemsIn)
 		//hotpath:ok CS023 checksum re-derivation dispatches to ChecksumF32/ChecksumU32 entries
 		check := t.ak.ChecksumBatch(t.outBufs)
 		if math.Float64bits(check) != math.Float64bits(sum) {
+			t.det.Detect(t.itemsIn)
 			//hotpath:ok CS023 recompute re-enters the kernel's own annotated entry
 			t.ak.RecomputeBatch(t.inBufs, t.outBufs)
 			t.stats.ABFT.RecomputeOps += uint64(t.cost)
@@ -725,6 +787,14 @@ func (t *thread) fireBatch() {
 	t.commit(pops + pushes)
 	t.stats.Loads += uint64(float64(t.cost)*loadFraction) + uint64(pops)
 	t.stats.Stores += uint64(float64(t.cost)*storeFraction) + uint64(pushes)
+	if t.hBatch != nil {
+		d := uint64(time.Since(t0))
+		if t.abft {
+			t.hABFT.Record(d)
+		} else {
+			t.hBatch.Record(d)
+		}
+	}
 }
 
 func (t *thread) commit(n int) {
