@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"commguard/internal/apps"
+	"commguard/internal/ecc"
 	"commguard/internal/media"
 	"commguard/internal/obs"
 	"commguard/internal/sim"
@@ -36,6 +37,7 @@ func main() {
 		frames     = flag.Bool("frames", false, "print a per-frame damage map vs the reference (the Fig. 7 view)")
 		trace      = flag.String("trace", "", "record an event trace and write <base>.trace.json (Perfetto), <base>.jsonl (diag schema), <base>.snapshot.json (telemetry); also prints the applied-error timeline and AM state timelines")
 		sequential = flag.Bool("sequential", false, "bit-reproducible single-goroutine execution (static schedule)")
+		coder      = flag.String("coder", "", "ECC backend protecting headers and shared pointers: hamming (default), ldpc, or ldpc-N-WC-WR")
 
 		health        = flag.Bool("health", false, "collect runtime-health latency histograms (queue waits, firing durations, fault→detection latency) and print their quantiles")
 		metricsPath   = flag.String("metrics", "", "write the runtime-health histogram artifact <path>.metrics.json (implies -health)")
@@ -60,7 +62,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*appName, *protection, *mtbe, *seed, *scale, *verbose, *outPath, *trace, *frames, *sequential, *health || *metricsPath != "", *metricsPath, fopts); err != nil {
+	if err := run(*appName, *protection, *coder, *mtbe, *seed, *scale, *verbose, *outPath, *trace, *frames, *sequential, *health || *metricsPath != "", *metricsPath, fopts); err != nil {
 		fmt.Fprintln(os.Stderr, "commguard-sim:", err)
 		os.Exit(1)
 	}
@@ -82,7 +84,7 @@ func parseProtection(s string) (sim.Protection, error) {
 	return 0, fmt.Errorf("unknown protection %q", s)
 }
 
-func run(appName, protection string, mtbe float64, seed int64, scale int, verbose bool, outPath, tracePath string, frames, sequential, health bool, metricsPath string, fopts *obs.FlightOptions) error {
+func run(appName, protection, coder string, mtbe float64, seed int64, scale int, verbose bool, outPath, tracePath string, frames, sequential, health bool, metricsPath string, fopts *obs.FlightOptions) error {
 	b, ok := apps.ByName(appName)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q", appName)
@@ -91,8 +93,11 @@ func run(appName, protection string, mtbe float64, seed int64, scale int, verbos
 	if err != nil {
 		return err
 	}
+	if _, err := ecc.ParseCoder(coder); err != nil {
+		return err
+	}
 	tracing := tracePath != ""
-	cfg := sim.Config{Protection: prot, MTBE: mtbe, Seed: seed, FrameScale: scale, Trace: tracing, Sequential: sequential, Health: health, Flight: fopts}
+	cfg := sim.Config{Protection: prot, MTBE: mtbe, Seed: seed, FrameScale: scale, Coder: coder, Trace: tracing, Sequential: sequential, Health: health, Flight: fopts}
 	if tracing {
 		cfg.TraceEvents = -1 // default ring capacity
 	}
@@ -108,6 +113,9 @@ func run(appName, protection string, mtbe float64, seed int64, scale int, verbos
 		fmt.Printf("seed           %d\n", res.Seed)
 	}
 	fmt.Printf("frame scale    x%d\n", res.FrameScale)
+	if coder != "" {
+		fmt.Printf("coder          %s\n", ecc.MustCoder(coder).Name())
+	}
 	fmt.Printf("iterations     %d steady-state frames\n", res.Run.Iterations)
 	fmt.Printf("instructions   %d committed across %d cores\n", res.Run.TotalInstructions(), len(res.Run.Cores))
 	fmt.Printf("wall clock     %s\n", res.Run.Elapsed)

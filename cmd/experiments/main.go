@@ -42,7 +42,7 @@ import (
 
 func main() {
 	var (
-		fig          = flag.String("fig", "all", "figure to regenerate: 3|7|8|9|10|11|12|13|14|abft|detectlat|sensitivity|critweight|all")
+		fig          = flag.String("fig", "all", "figure to regenerate: 3|7|8|9|10|11|12|13|14|abft|detectlat|coder|sensitivity|critweight|all")
 		quickF       = flag.Bool("quick", false, "reduced sweep (smaller workloads, fewer seeds)")
 		seeds        = flag.Int("seeds", 0, "override seeds per point (paper: 5)")
 		csvDir       = flag.String("csv", "", "with -fig all: also write per-figure CSVs to this directory")
@@ -250,6 +250,8 @@ func run(fig string, opts experiments.Options, csvDir, mdPath string) error {
 		_, err = experiments.FigureABFT(opts)
 	case "detectlat":
 		_, err = experiments.FigureDetectLat(opts)
+	case "coder":
+		_, err = experiments.FigureCoder(opts)
 	case "sensitivity":
 		_, err = experiments.ClassSensitivity(opts, "mp3", 128e3)
 	case "critweight":

@@ -54,6 +54,37 @@ func TestKeyDistinguishesFigures(t *testing.T) {
 	}
 }
 
+// Job.Coder serializes with omitempty so every journal key minted before
+// the coder axis existed is still reachable after resuming with the new
+// binary; the pinned key is what this job hashed to before the field.
+func TestKeyStableAcrossCoderFieldAddition(t *testing.T) {
+	j := Job{Figure: "fig8", App: "jpeg", Protection: "commguard", MTBE: 64000, Seed: 7, FrameScale: 1}
+	if got, want := j.Key(), "fig8/jpeg/commguard/7e8fc61382e7bf51"; got != want {
+		t.Fatalf("Key = %s, want %s (pre-coder journals would be orphaned)", got, want)
+	}
+	withCoder := j
+	withCoder.Coder = "ldpc"
+	if withCoder.Key() == j.Key() {
+		t.Fatal("coder axis does not separate job keys")
+	}
+}
+
+func TestExpandCoderAxis(t *testing.T) {
+	axes := Axes{
+		Figure: "figcoder",
+		Apps:   []string{"jpeg"},
+		Coders: []string{"hamming", "ldpc-48-3-9"},
+		Seeds:  []int64{1},
+	}
+	jobs := axes.Expand()
+	if len(jobs) != 2 {
+		t.Fatalf("expanded %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].Coder != "hamming" || jobs[1].Coder != "ldpc-48-3-9" {
+		t.Fatalf("coder axis not threaded: %+v", jobs)
+	}
+}
+
 func TestFloatRoundTripsIEEESpecials(t *testing.T) {
 	in := []Float{Float(math.NaN()), Float(math.Inf(1)), Float(math.Inf(-1)), 3.25, 0}
 	data, err := json.Marshal(in)

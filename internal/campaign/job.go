@@ -30,6 +30,9 @@ type Job struct {
 	MTBE       float64 `json:"mtbe,omitempty"`
 	Seed       int64   `json:"seed,omitempty"`
 	FrameScale int     `json:"frame_scale,omitempty"`
+	// Coder is the ECC backend axis ("" = Hamming; omitted when empty so
+	// pre-existing journal keys are unchanged).
+	Coder string `json:"coder,omitempty"`
 }
 
 // Key returns the job's stable identity: a human-scannable prefix plus the
@@ -51,18 +54,20 @@ func (j Job) Manifest() obs.Manifest {
 	m.Seed = j.Seed
 	m.MTBE = uint64(j.MTBE)
 	m.FrameScale = j.FrameScale
+	m.Coder = j.Coder
 	m.ConfigHash = obs.ConfigHash(j)
 	return m
 }
 
 // Axes is a sweep lattice: the cross product of its non-empty axes, in
-// deterministic nesting order (app, protection, MTBE, seed, frame scale —
-// slowest to fastest). An empty axis contributes the zero value once, so
-// figures only populate the axes they sweep.
+// deterministic nesting order (app, protection, coder, MTBE, seed, frame
+// scale — slowest to fastest). An empty axis contributes the zero value
+// once, so figures only populate the axes they sweep.
 type Axes struct {
 	Figure      string
 	Apps        []string
 	Protections []string
+	Coders      []string
 	MTBEs       []float64
 	Seeds       []int64
 	FrameScales []int
@@ -93,16 +98,22 @@ func (a Axes) Expand() []Job {
 	if len(scales) == 0 {
 		scales = []int{0}
 	}
-	jobs := make([]Job, 0, len(apps)*len(prots)*len(mtbes)*len(seeds)*len(scales))
+	coders := a.Coders
+	if len(coders) == 0 {
+		coders = []string{""}
+	}
+	jobs := make([]Job, 0, len(apps)*len(prots)*len(coders)*len(mtbes)*len(seeds)*len(scales))
 	for _, app := range apps {
 		for _, p := range prots {
-			for _, m := range mtbes {
-				for _, s := range seeds {
-					for _, fs := range scales {
-						jobs = append(jobs, Job{
-							Figure: a.Figure, App: app, Protection: p,
-							MTBE: m, Seed: s, FrameScale: fs,
-						})
+			for _, c := range coders {
+				for _, m := range mtbes {
+					for _, s := range seeds {
+						for _, fs := range scales {
+							jobs = append(jobs, Job{
+								Figure: a.Figure, App: app, Protection: p,
+								MTBE: m, Seed: s, FrameScale: fs, Coder: c,
+							})
+						}
 					}
 				}
 			}

@@ -103,6 +103,11 @@ type AlignmentManager struct {
 	// counts as this scheme's detection event.
 	det *obs.Detector
 
+	// coder is the queue's ECC backend, resolved once at construction;
+	// decOps is its per-header check-ECC price (CostModel.HeaderDecodeOps).
+	coder  ecc.Coder
+	decOps uint64
+
 	ops   OpCounters
 	stats AMStats
 }
@@ -120,7 +125,11 @@ func NewAlignmentManager(q *queue.Queue, pad uint32) *AlignmentManager {
 // domain covering scale frame computations per frame (§5.4); it must match
 // the producer side's scale.
 func NewAlignmentManagerScaled(q *queue.Queue, pad uint32, scale int) *AlignmentManager {
-	return &AlignmentManager{q: q, pad: pad, domain: newFrameDomain(scale), state: RcvCmp, maxSpin: 1 << 20}
+	c := q.Coder()
+	return &AlignmentManager{
+		q: q, pad: pad, domain: newFrameDomain(scale), state: RcvCmp, maxSpin: 1 << 20,
+		coder: c, decOps: c.Cost().HeaderDecodeOps,
+	}
 }
 
 // SetTrace attaches the consumer core's event ring; every FSM transition
@@ -229,8 +238,8 @@ func (am *AlignmentManager) Pop() uint32 {
 			am.stats.DiscardedItems++
 			continue
 		}
-		am.ops.ECC++ // check-ECC for header
-		id, res := u.HeaderID()
+		am.ops.ECC += am.decOps // check-ECC for header, at the backend's price
+		id, res := u.DecodeHeader(am.coder)
 		if res == ecc.Uncorrectable {
 			// A destroyed header is just a garbage unit: drop it.
 			am.stats.UncorrectableHeaders++

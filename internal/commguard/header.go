@@ -1,6 +1,7 @@
 package commguard
 
 import (
+	"commguard/internal/ecc"
 	"commguard/internal/obs"
 	"commguard/internal/queue"
 )
@@ -14,6 +15,11 @@ type HeaderInserter struct {
 	domain frameDomain
 	ops    OpCounters
 	stats  HIStats
+
+	// coder is the queue's ECC backend, resolved once at construction;
+	// encOps is its per-header compute-ECC price (CostModel.HeaderEncodeOps).
+	coder  ecc.Coder
+	encOps uint64
 
 	// trace records header insertions into the producer core's ring (nil =
 	// tracing off).
@@ -39,7 +45,8 @@ func NewHeaderInserter(q *queue.Queue) *HeaderInserter {
 // domain covering scale frame computations per frame (§5.4). The consumer
 // side of the edge must use the same scale.
 func NewHeaderInserterScaled(q *queue.Queue, scale int) *HeaderInserter {
-	return &HeaderInserter{q: q, domain: newFrameDomain(scale)}
+	c := q.Coder()
+	return &HeaderInserter{q: q, domain: newFrameDomain(scale), coder: c, encOps: c.Cost().HeaderEncodeOps}
 }
 
 // SetTrace attaches the producer core's event ring (nil disables tracing).
@@ -63,12 +70,12 @@ func (hi *HeaderInserter) NewFrameComputation(uint32) {
 		return
 	}
 	// prepare-header: read-then-increment active-fc, set header bit
-	// (Table 3); compute-ECC for the header word.
+	// (Table 3); compute-ECC for the header word at the backend's price.
 	hi.ops.FSMCounter++
 	hi.ops.HeaderBit++
-	hi.ops.ECC++
+	hi.ops.ECC += hi.encOps
 	hi.trace.HIHeader(hi.qid, id)
-	hi.q.Push(queue.HeaderUnit(id))
+	hi.q.Push(queue.EncodeHeader(hi.coder, id))
 	hi.stats.HeadersInserted++
 }
 
@@ -90,9 +97,9 @@ func (hi *HeaderInserter) PushData(vs []uint32) {
 func (hi *HeaderInserter) EndOfComputation() {
 	hi.ops.FSMCounter++
 	hi.ops.HeaderBit++
-	hi.ops.ECC++
+	hi.ops.ECC += hi.encOps
 	hi.trace.HIEOC(hi.qid)
-	hi.q.Push(queue.HeaderUnit(queue.EOCHeaderID))
+	hi.q.Push(queue.EncodeHeader(hi.coder, queue.EOCHeaderID))
 	hi.stats.EOCInserted++
 	hi.q.Flush()
 }

@@ -17,14 +17,18 @@ import (
 func TestHotpathAllocFree(t *testing.T) {
 	const payload = 63 // + 1 header = one 64-unit working set per run
 
-	newEdge := func(t *testing.T) (*HeaderInserter, *AlignmentManager) {
+	newEdgeCoder := func(t *testing.T, coder string) (*HeaderInserter, *AlignmentManager) {
 		t.Helper()
-		q := queue.MustNew(1, queue.Config{WorkingSets: 4, WorkingSetUnits: 64, ProtectPointers: true, Timeout: time.Second})
+		q := queue.MustNew(1, queue.Config{WorkingSets: 4, WorkingSetUnits: 64, ProtectPointers: true, Timeout: time.Second, Coder: coder})
 		// Each run produces and consumes exactly one working set, so the
 		// exchange never waits; non-blocking mode keeps even a pathological
 		// schedule out of the timer machinery.
 		q.SetNonBlocking(true)
 		return NewHeaderInserter(q), NewAlignmentManager(q, 0)
+	}
+	newEdge := func(t *testing.T) (*HeaderInserter, *AlignmentManager) {
+		t.Helper()
+		return newEdgeCoder(t, "")
 	}
 
 	assertZero := func(t *testing.T, f func()) {
@@ -36,6 +40,26 @@ func TestHotpathAllocFree(t *testing.T) {
 
 	t.Run("HeaderInserter.PushData+AlignmentManager.PopN", func(t *testing.T) {
 		hi, am := newEdge(t)
+		vs := make([]uint32, payload)
+		for i := range vs {
+			vs[i] = uint32(i) + 1
+		}
+		dst := make([]uint32, payload)
+		assertZero(t, func() {
+			hi.NewFrameComputation(0)
+			hi.PushData(vs)
+			am.NewFrameComputation(0)
+			am.PopN(dst)
+		})
+		if got := am.Stats(); got.PaddedItems != 0 || got.DiscardedItems != 0 {
+			t.Errorf("alignment disturbed during alloc run: %+v", got)
+		}
+	})
+
+	// Header encode/decode dispatch through the LDPC backend must stay
+	// alloc-free too (the coder is resolved once at queue construction).
+	t.Run("HeaderInserter.PushData+AlignmentManager.PopN/ldpc", func(t *testing.T) {
+		hi, am := newEdgeCoder(t, "ldpc")
 		vs := make([]uint32, payload)
 		for i := range vs {
 			vs[i] = uint32(i) + 1

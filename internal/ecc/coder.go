@@ -1,0 +1,170 @@
+package ecc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Coder is a pluggable word-sized ECC backend. CommGuard protects two
+// kinds of words with it — frame headers and the shared working-set
+// pointers — and the paper's Table 3 charges every protected access a
+// fixed number of "check/compute-ECC" suboperations. Making the backend
+// an interface turns protection *strength* into an experimental axis:
+// the (39,32) Hamming SEC-DED default reproduces the paper exactly,
+// while stronger/cheaper codes shift the quality/overhead curves.
+//
+// Implementations must be immutable after construction: one Coder value
+// is shared by every queue and guard module of a run, concurrently.
+type Coder interface {
+	// Name returns the canonical spec string (parseable by ParseCoder).
+	Name() string
+	// Width is the number of meaningful bits in a Codeword produced by
+	// Encode. Fault injectors draw flip positions from [0, Width).
+	// Width never exceeds 63: header codewords share a uint64 with the
+	// queue's is-header tag bit (bit 63).
+	Width() int
+	// Encode computes the codeword protecting a 32-bit data word.
+	Encode(data uint32) Codeword
+	// Decode checks cw, correcting errors within the code's correction
+	// radius. It returns the (possibly corrected) data word and the
+	// classification of what it saw.
+	Decode(cw Codeword) (uint32, CheckResult)
+	// FlipBit returns cw with bit i inverted; i outside [0, Width)
+	// panics (a silent no-op would mask injector bugs).
+	FlipBit(cw Codeword, i int) Codeword
+	// Cost returns the backend's Table 3 suboperation prices.
+	Cost() CostModel
+}
+
+// CostModel parameterizes the paper's Table 3 suboperation accounting
+// per backend. The Hamming defaults reproduce the table verbatim
+// ("QM-get-new-workset: 10 check/compute-ECC operations"); other codes
+// scale the prices by their parity-check count relative to Hamming's
+// seven checks (six Hamming parities plus the overall SEC-DED bit).
+type CostModel struct {
+	// WorksetExchangeOps is charged per shared-pointer exchange when a
+	// working set is published or returned (Table 3: 10 for Hamming).
+	WorksetExchangeOps uint64
+	// RefreshFillOps is charged when the producer refreshes its cached
+	// view of the consumer's drained pointer (Table 3: 2).
+	RefreshFillOps uint64
+	// RefreshDrainOps is charged when the consumer refreshes its cached
+	// view of the producer's filled pointer (Table 3: 1).
+	RefreshDrainOps uint64
+	// ScrubOps is charged for the extra re-encode that writes a
+	// corrected shared-pointer word back to storage (scrubbing).
+	ScrubOps uint64
+	// HeaderEncodeOps is charged per header the Header Inserter encodes
+	// (Table 3 prepare-header: 1 compute-ECC).
+	HeaderEncodeOps uint64
+	// HeaderDecodeOps is charged per header codeword the Alignment
+	// Manager checks (Table 2 check-ECC: 1).
+	HeaderDecodeOps uint64
+}
+
+// scaled multiplies every price by r (the backend's parity-check count
+// relative to Hamming's seven).
+func (c CostModel) scaled(r uint64) CostModel {
+	return CostModel{
+		WorksetExchangeOps: c.WorksetExchangeOps * r,
+		RefreshFillOps:     c.RefreshFillOps * r,
+		RefreshDrainOps:    c.RefreshDrainOps * r,
+		ScrubOps:           c.ScrubOps * r,
+		HeaderEncodeOps:    c.HeaderEncodeOps * r,
+		HeaderDecodeOps:    c.HeaderDecodeOps * r,
+	}
+}
+
+// hammingCost is Table 3 verbatim, plus the scrub re-encode price.
+var hammingCost = CostModel{
+	WorksetExchangeOps: 10,
+	RefreshFillOps:     2,
+	RefreshDrainOps:    1,
+	ScrubOps:           1,
+	HeaderEncodeOps:    1,
+	HeaderDecodeOps:    1,
+}
+
+// hammingCoder adapts the package-level (39,32) SEC-DED functions to
+// the Coder interface, bit-identically.
+type hammingCoder struct{}
+
+func (hammingCoder) Name() string    { return "hamming" }
+func (hammingCoder) Width() int      { return TotalBits }
+func (hammingCoder) Cost() CostModel { return hammingCost }
+
+//hotpath:entry
+func (hammingCoder) Encode(data uint32) Codeword { return Encode(data) }
+
+//hotpath:entry
+func (hammingCoder) Decode(cw Codeword) (uint32, CheckResult) { return Decode(cw) }
+
+func (hammingCoder) FlipBit(cw Codeword, i int) Codeword { return FlipBit(cw, i) }
+
+// Hamming is the default backend: the paper's (39,32) Hamming SEC-DED
+// code, delegating to the package-level Encode/Decode/FlipBit.
+var Hamming Coder = hammingCoder{}
+
+// DefaultLDPCSpec is the spec "ldpc" resolves to: a (48,32) regular
+// bit-flipping code with column weight 3 and row weight 9.
+const DefaultLDPCSpec = "ldpc-48-3-9"
+
+// ldpcCache memoizes constructed LDPC backends by spec so that the
+// per-run queue construction path never repeats the (allocating,
+// search-based) parity-check matrix build.
+var ldpcCache sync.Map // string -> *LDPC
+
+// ParseCoder resolves a coder spec string:
+//
+//	""               the default (hamming)
+//	"hamming"        the (39,32) SEC-DED code
+//	"ldpc"           DefaultLDPCSpec
+//	"ldpc-N-WC-WR"   a regular (N,32) bit-flipping LDPC code with
+//	                 column weight WC and row weight WR
+//
+// LDPC backends are memoized: repeated parses of the same spec return
+// the same *LDPC value.
+func ParseCoder(spec string) (Coder, error) {
+	switch spec {
+	case "", "hamming":
+		return Hamming, nil
+	case "ldpc":
+		spec = DefaultLDPCSpec
+	}
+	if c, ok := ldpcCache.Load(spec); ok {
+		return c.(*LDPC), nil
+	}
+	rest, ok := strings.CutPrefix(spec, "ldpc-")
+	if !ok {
+		return nil, fmt.Errorf("ecc: unknown coder spec %q (want \"hamming\", \"ldpc\" or \"ldpc-N-WC-WR\")", spec)
+	}
+	parts := strings.Split(rest, "-")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("ecc: malformed LDPC spec %q (want \"ldpc-N-WC-WR\")", spec)
+	}
+	var dims [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("ecc: malformed LDPC spec %q: %v", spec, err)
+		}
+		dims[i] = v
+	}
+	c, err := NewLDPC(dims[0], dims[1], dims[2])
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := ldpcCache.LoadOrStore(spec, c)
+	return actual.(*LDPC), nil
+}
+
+// MustCoder is ParseCoder for known-good specs.
+func MustCoder(spec string) Coder {
+	c, err := ParseCoder(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

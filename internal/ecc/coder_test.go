@@ -1,0 +1,259 @@
+package ecc
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+func TestParseCoder(t *testing.T) {
+	for _, spec := range []string{"", "hamming"} {
+		c, err := ParseCoder(spec)
+		if err != nil {
+			t.Fatalf("ParseCoder(%q): %v", spec, err)
+		}
+		if c != Hamming {
+			t.Fatalf("ParseCoder(%q) != Hamming", spec)
+		}
+	}
+	c, err := ParseCoder("ldpc")
+	if err != nil {
+		t.Fatalf("ParseCoder(ldpc): %v", err)
+	}
+	if c.Name() != DefaultLDPCSpec {
+		t.Fatalf("ParseCoder(ldpc).Name() = %q, want %q", c.Name(), DefaultLDPCSpec)
+	}
+	explicit, err := ParseCoder(DefaultLDPCSpec)
+	if err != nil {
+		t.Fatalf("ParseCoder(%s): %v", DefaultLDPCSpec, err)
+	}
+	if c != explicit {
+		t.Error("ParseCoder did not memoize the default LDPC backend")
+	}
+	for _, bad := range []string{"ldpc-", "ldpc-48-3", "ldpc-48-3-9-1", "ldpc-a-b-c", "reed-solomon", "ldpc-64-3-6", "ldpc-40-2-10", "ldpc-48-4-12"} {
+		if _, err := ParseCoder(bad); err == nil {
+			t.Errorf("ParseCoder(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// The Hamming backend must be bit-identical to the package-level
+// functions: every existing golden test depends on that.
+func TestHammingCoderBitIdentical(t *testing.T) {
+	if Hamming.Width() != TotalBits {
+		t.Fatalf("Hamming.Width() = %d, want %d", Hamming.Width(), TotalBits)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 256; i++ {
+		d := rng.Uint32()
+		cw := Hamming.Encode(d)
+		if cw != Encode(d) {
+			t.Fatalf("Hamming.Encode(%#x) = %#x, want %#x", d, cw, Encode(d))
+		}
+		bit := rng.Intn(TotalBits)
+		flipped := Hamming.FlipBit(cw, bit)
+		if flipped != FlipBit(cw, bit) {
+			t.Fatalf("Hamming.FlipBit mismatch at bit %d", bit)
+		}
+		gv, gr := Hamming.Decode(flipped)
+		wv, wr := Decode(flipped)
+		if gv != wv || gr != wr {
+			t.Fatalf("Hamming.Decode mismatch: (%#x,%v) vs (%#x,%v)", gv, gr, wv, wr)
+		}
+	}
+}
+
+// The Hamming cost model is Table 3 verbatim; LDPC prices scale with
+// the parity-check count relative to Hamming's seven checks.
+func TestCostModels(t *testing.T) {
+	hc := Hamming.Cost()
+	want := CostModel{WorksetExchangeOps: 10, RefreshFillOps: 2, RefreshDrainOps: 1, ScrubOps: 1, HeaderEncodeOps: 1, HeaderDecodeOps: 1}
+	if hc != want {
+		t.Fatalf("Hamming cost = %+v, want %+v", hc, want)
+	}
+	for _, tc := range []struct {
+		spec  string
+		scale uint64
+	}{
+		{"ldpc-48-3-9", 3},  // m=16 -> ceil(16/7) = 3
+		{"ldpc-40-3-15", 2}, // m=8  -> ceil(8/7)  = 2
+	} {
+		c := MustCoder(tc.spec)
+		if got := c.Cost(); got != want.scaled(tc.scale) {
+			t.Errorf("%s cost = %+v, want %+v", tc.spec, got, want.scaled(tc.scale))
+		}
+	}
+}
+
+// ldpcVariants are the geometries the experiments sweep; the tests
+// verify the construction invariants and the correction/detection
+// properties for each.
+var ldpcVariants = []string{"ldpc-48-3-9", "ldpc-40-3-15"}
+
+// The constructed matrix must be regular (every column weight wc, every
+// row weight wr), have distinct columns, and annihilate every encoded
+// codeword. Deterministic: the same spec always builds the same matrix.
+func TestLDPCConstruction(t *testing.T) {
+	for _, spec := range ldpcVariants {
+		c := MustCoder(spec).(*LDPC)
+		n, wc, wr := c.Params()
+		m := n - 32
+		if len(c.row) != m || len(c.col) != n {
+			t.Fatalf("%s: matrix dims %dx%d, want %dx%d", spec, len(c.row), len(c.col), m, n)
+		}
+		for i, row := range c.row {
+			if got := bits.OnesCount64(row); got != wr {
+				t.Errorf("%s: row %d weight %d, want %d", spec, i, got, wr)
+			}
+			if row>>uint(n) != 0 {
+				t.Errorf("%s: row %d has bits beyond width %d", spec, i, n)
+			}
+		}
+		seen := map[uint32]bool{}
+		for j, col := range c.col {
+			if got := bits.OnesCount32(col); got != wc {
+				t.Errorf("%s: column %d weight %d, want %d", spec, j, got, wc)
+			}
+			if seen[col] {
+				t.Errorf("%s: duplicate column at %d", spec, j)
+			}
+			seen[col] = true
+		}
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 512; i++ {
+			d := rng.Uint32()
+			cw := c.Encode(d)
+			if uint32(cw) != d {
+				t.Fatalf("%s: Encode(%#x) not systematic in the low 32 bits", spec, d)
+			}
+			if uint64(cw)>>uint(n) != 0 {
+				t.Fatalf("%s: Encode(%#x) has bits beyond width %d", spec, d, n)
+			}
+			if s := c.syndrome(uint64(cw)); s != 0 {
+				t.Fatalf("%s: H * Encode(%#x) = %#x, want 0", spec, d, s)
+			}
+		}
+		// Rebuilding from the spec must give the identical matrix (the
+		// construction search is seeded from the parameters).
+		again, err := NewLDPC(n, wc, wr)
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", spec, err)
+		}
+		for i := range c.row {
+			if c.row[i] != again.row[i] {
+				t.Fatalf("%s: construction not deterministic (row %d differs)", spec, i)
+			}
+		}
+	}
+}
+
+// Every single-bit flip anywhere in an LDPC codeword must decode
+// Corrected back to the original word (the one-step majority-flip
+// guarantee: distinct columns overlap in < wc checks).
+func TestLDPCSingleBitCorrection(t *testing.T) {
+	for _, spec := range ldpcVariants {
+		c := MustCoder(spec)
+		words := []uint32{0, 0xFFFFFFFF, 0x12345678, 0xCAFEBABE, 1, 0x80000001}
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 64; i++ {
+			words = append(words, rng.Uint32())
+		}
+		for _, d := range words {
+			cw := c.Encode(d)
+			for bit := 0; bit < c.Width(); bit++ {
+				got, res := c.Decode(c.FlipBit(cw, bit))
+				if res != Corrected {
+					t.Fatalf("%s data %#x bit %d: result = %v, want Corrected", spec, d, bit, res)
+				}
+				if got != d {
+					t.Fatalf("%s data %#x bit %d: decoded %#x, want %#x", spec, d, bit, got, d)
+				}
+			}
+		}
+	}
+}
+
+// Every double-bit flip must classify Uncorrectable — never OK (distinct
+// columns keep the syndrome nonzero) and never Corrected (odd column
+// weight: one flip cannot zero an even-weight syndrome). Exhaustive over
+// all C(n,2) pairs for a sample of data words.
+func TestLDPCDoubleBitDetection(t *testing.T) {
+	for _, spec := range ldpcVariants {
+		c := MustCoder(spec)
+		words := []uint32{0, 0xFFFFFFFF, 0x12345678}
+		rng := rand.New(rand.NewSource(6))
+		for i := 0; i < 8; i++ {
+			words = append(words, rng.Uint32())
+		}
+		for _, d := range words {
+			cw := c.Encode(d)
+			for i := 0; i < c.Width(); i++ {
+				for j := i + 1; j < c.Width(); j++ {
+					_, res := c.Decode(c.FlipBit(c.FlipBit(cw, i), j))
+					if res != Uncorrectable {
+						t.Fatalf("%s data %#x bits (%d,%d): result = %v, want Uncorrectable", spec, d, i, j, res)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLDPCFlipBitOutOfRange(t *testing.T) {
+	c := MustCoder("ldpc")
+	cw := c.Encode(7)
+	for _, i := range []int{-1, c.Width(), 63, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LDPC FlipBit(cw, %d) did not panic", i)
+				}
+			}()
+			c.FlipBit(cw, i)
+		}()
+	}
+}
+
+// Header codewords share their uint64 with the queue's is-header tag at
+// bit 63; no backend may produce codewords that wide.
+func TestCoderWidthsBelowTagBit(t *testing.T) {
+	for _, spec := range append([]string{"hamming"}, ldpcVariants...) {
+		if w := MustCoder(spec).Width(); w > 63 {
+			t.Errorf("%s width %d collides with the header tag bit", spec, w)
+		}
+	}
+}
+
+// Encode/Decode must stay allocation-free for every backend: they run
+// on the queue's shared-pointer slow path and on CommGuard's per-header
+// hot path.
+func TestCoderAllocFree(t *testing.T) {
+	for _, spec := range append([]string{"hamming"}, ldpcVariants...) {
+		c := MustCoder(spec)
+		cw := c.Encode(0xDEADBEEF)
+		bad := c.FlipBit(cw, 5)
+		if n := testing.AllocsPerRun(200, func() {
+			cw = c.Encode(uint32(cw))
+			c.Decode(cw)
+			c.Decode(bad)
+		}); n != 0 {
+			t.Errorf("%s: %v allocs per encode/decode round, want 0", spec, n)
+		}
+	}
+}
+
+func BenchmarkLDPCEncode(b *testing.B) {
+	c := MustCoder("ldpc")
+	for i := 0; i < b.N; i++ {
+		c.Encode(uint32(i))
+	}
+}
+
+func BenchmarkLDPCDecodeClean(b *testing.B) {
+	c := MustCoder("ldpc")
+	cw := c.Encode(0xDEADBEEF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(cw)
+	}
+}

@@ -7,9 +7,18 @@
 // (paper §4.1, §5.1). The code here is the classic extended Hamming code:
 // six parity bits cover positions addressed by powers of two, plus one
 // overall parity bit for double-error detection.
+//
+// The package-level Encode/Decode/FlipBit are that fixed Hamming code;
+// the Coder interface (coder.go) makes the backend pluggable, with the
+// Hamming singleton as the bit-identical default and a configurable
+// bit-flipping LDPC family (ldpc.go) as the alternative.
 package ecc
 
-// Codeword is a 39-bit SEC-DED codeword stored in the low bits of a uint64.
+import "fmt"
+
+// Codeword is a word-sized ECC codeword stored in the low bits of a
+// uint64: 39 bits for the default Hamming backend, up to 63 for LDPC
+// backends (Coder.Width names the meaningful bit count).
 type Codeword uint64
 
 // Layout of a Codeword (least significant bits first):
@@ -152,10 +161,12 @@ func Decode(cw Codeword) (uint32, CheckResult) {
 
 // FlipBit returns cw with bit i (0 <= i < TotalBits) inverted. It is used
 // by fault injectors to model storage/transmission errors on protected
-// words.
+// words. An out-of-range index panics: a silent no-op here would make an
+// injector believe it applied an error that never landed, skewing every
+// downstream error-rate measurement.
 func FlipBit(cw Codeword, i int) Codeword {
 	if i < 0 || i >= TotalBits {
-		return cw
+		panic(fmt.Sprintf("ecc: FlipBit index %d out of range [0,%d)", i, TotalBits))
 	}
 	return cw ^ (1 << uint(i))
 }

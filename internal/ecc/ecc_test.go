@@ -73,13 +73,20 @@ func TestDoubleBitDetection(t *testing.T) {
 	}
 }
 
+// An out-of-range flip index is an injector bug; it must panic loudly
+// instead of silently returning the codeword unchanged (the old no-op
+// behavior made injectors believe errors landed that never did).
 func TestFlipBitOutOfRange(t *testing.T) {
 	cw := Encode(0xABCD)
-	if FlipBit(cw, -1) != cw {
-		t.Error("FlipBit(-1) modified the codeword")
-	}
-	if FlipBit(cw, TotalBits) != cw {
-		t.Error("FlipBit(TotalBits) modified the codeword")
+	for _, i := range []int{-1, TotalBits, TotalBits + 24, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FlipBit(cw, %d) did not panic", i)
+				}
+			}()
+			FlipBit(cw, i)
+		}()
 	}
 }
 

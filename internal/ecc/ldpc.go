@@ -1,0 +1,302 @@
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LDPC is a regular (n,32) low-density parity-check code decoded by
+// one-step majority bit flipping (Gallager's hard-decision algorithm,
+// the decoder shape of the falcon_LDPC exemplar the ROADMAP cites).
+// The parity-check matrix H is m×n with m = n-32, every column holding
+// exactly wc ones and every row exactly wr ones.
+//
+// Construction guarantees (checked at build time, verified by tests):
+//
+//   - all columns distinct, so any two columns overlap in at most wc-1
+//     rows; a single flipped bit is then the unique column with all wc
+//     of its checks unsatisfied, and one-step majority flipping always
+//     corrects it;
+//   - wc odd, so the syndrome weight of a double error (even) can never
+//     be zeroed by one flip (each flip changes the weight's parity by
+//     wc): double errors never decode OK and never silently miscorrect
+//     — they classify Uncorrectable, like Hamming's DED extension.
+//
+// Codewords are systematic in the permuted layout: data occupies bits
+// 0..31, parity bits 32..n-1. n is capped at 63 so a header codeword
+// never collides with the queue's is-header tag bit (bit 63).
+type LDPC struct {
+	n, m, wc, wr int
+	name         string
+
+	// row[i] is parity check i as a mask over the n codeword bits.
+	row []uint64
+	// col[j] is the set of checks covering codeword bit j, as a mask
+	// over the m syndrome bits (m <= 31, so a uint32 holds it).
+	col []uint32
+	// enc[i] is the data-bit mask whose parity is codeword bit 32+i
+	// (from the reduced row echelon form of H).
+	enc []uint32
+
+	cost CostModel
+}
+
+// ldpcAttempts bounds the randomized construction search. The
+// deterministic seeded search succeeds within a handful of attempts
+// for every sane geometry; the bound exists to turn a truly
+// unsatisfiable parameter choice into an error instead of a spin.
+const ldpcAttempts = 1000
+
+// NewLDPC constructs a regular (n,32) LDPC backend with column weight
+// wc and row weight wr. The geometry must satisfy 33+wc-1 <= n <= 63,
+// wc odd and >= 3, wc <= m, and the regularity identity m*wr == n*wc.
+// Construction is deterministic: the same parameters always yield the
+// same matrix (the search RNG is seeded from them).
+func NewLDPC(n, wc, wr int) (*LDPC, error) {
+	m := n - 32
+	switch {
+	case n < 33 || n > 63:
+		return nil, fmt.Errorf("ecc: LDPC length n=%d out of range [33,63]", n)
+	case wc < 3 || wc%2 == 0:
+		return nil, fmt.Errorf("ecc: LDPC column weight wc=%d must be odd and >= 3 (odd weight is what keeps double errors detectable)", wc)
+	case wc > m:
+		return nil, fmt.Errorf("ecc: LDPC column weight wc=%d exceeds parity checks m=%d", wc, m)
+	case wr < 1 || m*wr != n*wc:
+		return nil, fmt.Errorf("ecc: LDPC geometry not regular: m*wr=%d*%d != n*wc=%d*%d", m, wr, n, wc)
+	}
+
+	c := &LDPC{
+		n: n, m: m, wc: wc, wr: wr,
+		name: fmt.Sprintf("ldpc-%d-%d-%d", n, wc, wr),
+		// Prices scale with the backend's parity computations relative
+		// to Hamming's seven (six parities + the overall bit): each
+		// protected-word check/compute evaluates m parities here.
+		cost: hammingCost.scaled(uint64((m + 6) / 7)),
+	}
+
+	rng := splitmix(uint64(n)<<16 | uint64(wc)<<8 | uint64(wr))
+	for attempt := 0; attempt < ldpcAttempts; attempt++ {
+		if c.tryBuild(&rng) {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("ecc: no regular rank-%d (%d,32) matrix with wc=%d wr=%d found in %d attempts", m, n, wc, wr, ldpcAttempts)
+}
+
+// splitmix is the SplitMix64 sequence, the repo's standard deterministic
+// seeding primitive (fault.CoreSeed uses the same mix).
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// tryBuild makes one randomized attempt at the column-by-column greedy
+// construction, then validates distinct columns, full rank, and a
+// systematic form. It fills c's tables and reports success.
+func (c *LDPC) tryBuild(rng *splitmix) bool {
+	n, m, wc, wr := c.n, c.m, c.wc, c.wr
+	// cols[j] is column j as a mask over the m rows. Columns must be
+	// distinct: overlap between two distinct weight-wc columns is at
+	// most wc-1, which is the single-error correction guarantee. Small
+	// geometries (few rows) collide often, so each column redraws
+	// locally instead of restarting the whole attempt.
+	cols := make([]uint32, n)
+	load := make([]int, m) // ones placed in each row so far
+	seen := map[uint32]bool{}
+	cand := make([]int, 0, m)
+	for j := 0; j < n; j++ {
+		placed := false
+		for draw := 0; draw < 64 && !placed; draw++ {
+			cand = cand[:0]
+			for i := 0; i < m; i++ {
+				if load[i] < wr {
+					cand = append(cand, i)
+				}
+			}
+			if len(cand) < wc {
+				return false // capacity dead end; restart the attempt
+			}
+			// Partial Fisher-Yates: pick wc distinct candidate rows.
+			var col uint32
+			for k := 0; k < wc; k++ {
+				p := k + int(rng.next()%uint64(len(cand)-k))
+				cand[k], cand[p] = cand[p], cand[k]
+				col |= 1 << uint(cand[k])
+			}
+			if seen[col] {
+				continue
+			}
+			seen[col] = true
+			cols[j] = col
+			for k := 0; k < wc; k++ {
+				load[cand[k]]++
+			}
+			placed = true
+		}
+		if !placed {
+			return false
+		}
+	}
+
+	// Row masks from the columns.
+	rowsH := make([]uint64, m)
+	for j, col := range cols {
+		for i := 0; i < m; i++ {
+			if col&(1<<uint(i)) != 0 {
+				rowsH[i] |= 1 << uint(j)
+			}
+		}
+	}
+
+	// Reduced row echelon form of a copy of H over GF(2). pivot[i] is
+	// the pivot column of reduced row i; we need m pivots (full rank).
+	red := append([]uint64(nil), rowsH...)
+	pivot := make([]int, 0, m)
+	r := 0
+	for j := 0; j < n && r < m; j++ {
+		sel := -1
+		for i := r; i < m; i++ {
+			if red[i]&(1<<uint(j)) != 0 {
+				sel = i
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		red[r], red[sel] = red[sel], red[r]
+		for i := 0; i < m; i++ {
+			if i != r && red[i]&(1<<uint(j)) != 0 {
+				red[i] ^= red[r]
+			}
+		}
+		pivot = append(pivot, j)
+		r++
+	}
+	if r < m {
+		return false // rank-deficient; retry
+	}
+
+	// Column permutation: free (non-pivot) columns become data bits
+	// 0..31 in increasing original order; pivot column of reduced row i
+	// becomes parity bit 32+i.
+	isPivot := make([]bool, n)
+	for _, p := range pivot {
+		isPivot[p] = true
+	}
+	perm := make([]int, n) // original column -> permuted position
+	d := 0
+	for j := 0; j < n; j++ {
+		if !isPivot[j] {
+			perm[j] = d
+			d++
+		}
+	}
+	for i, p := range pivot {
+		perm[p] = 32 + i
+	}
+
+	// Permuted sparse rows (for decoding) and per-bit check sets.
+	c.row = make([]uint64, m)
+	c.col = make([]uint32, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if rowsH[i]&(1<<uint(j)) != 0 {
+				c.row[i] |= 1 << uint(perm[j])
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		c.col[perm[j]] = cols[j]
+	}
+	// Encoding masks from the reduced rows: reduced row i reads
+	// "parity bit 32+i = parity of these data bits" (all its non-pivot
+	// entries are free columns).
+	c.enc = make([]uint32, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if j != pivot[i] && red[i]&(1<<uint(j)) != 0 {
+				c.enc[i] |= 1 << uint(perm[j])
+			}
+		}
+	}
+	return true
+}
+
+// Name returns the canonical spec string.
+func (c *LDPC) Name() string { return c.name }
+
+// Width returns the codeword length n.
+func (c *LDPC) Width() int { return c.n }
+
+// Cost returns the backend's scaled Table 3 prices.
+func (c *LDPC) Cost() CostModel { return c.cost }
+
+// Params returns the code geometry (n, wc, wr).
+func (c *LDPC) Params() (n, wc, wr int) { return c.n, c.wc, c.wr }
+
+// Encode computes the systematic codeword for a 32-bit data word: the
+// word itself in bits 0..31, one parity per reduced check in 32..n-1.
+//
+//hotpath:entry
+func (c *LDPC) Encode(data uint32) Codeword {
+	x := uint64(data)
+	enc := c.enc
+	for i := 0; i < len(enc); i++ {
+		x |= uint64(bits.OnesCount32(enc[i]&data)&1) << uint(32+i)
+	}
+	return Codeword(x)
+}
+
+// syndrome evaluates all m parity checks of x; bit i set means check i
+// is unsatisfied.
+func (c *LDPC) syndrome(x uint64) uint32 {
+	var s uint32
+	row := c.row
+	for i := 0; i < len(row); i++ {
+		s |= uint32(bits.OnesCount64(row[i]&x)&1) << uint(i)
+	}
+	return s
+}
+
+// Decode checks cw with one-step majority bit flipping: if the syndrome
+// is nonzero, the bit participating in the most unsatisfied checks is
+// flipped; a clean syndrome after the flip is a corrected single error,
+// anything else is uncorrectable (the data is returned as stored).
+//
+//hotpath:entry
+func (c *LDPC) Decode(cw Codeword) (uint32, CheckResult) {
+	x := uint64(cw)
+	s := c.syndrome(x)
+	if s == 0 {
+		return uint32(x), OK
+	}
+	best, bestCnt := 0, -1
+	col := c.col
+	for j := 0; j < len(col); j++ {
+		if cnt := bits.OnesCount32(col[j] & s); cnt > bestCnt {
+			best, bestCnt = j, cnt
+		}
+	}
+	fixed := x ^ (1 << uint(best))
+	if c.syndrome(fixed) == 0 {
+		return uint32(fixed), Corrected
+	}
+	return uint32(x), Uncorrectable
+}
+
+// FlipBit returns cw with bit i inverted, panicking for i outside
+// [0, Width) like the package-level FlipBit.
+func (c *LDPC) FlipBit(cw Codeword, i int) Codeword {
+	if i < 0 || i >= c.n {
+		panic(fmt.Sprintf("ecc: FlipBit index %d out of range [0,%d)", i, c.n))
+	}
+	return cw ^ (1 << uint(i))
+}
+
+var _ Coder = (*LDPC)(nil)

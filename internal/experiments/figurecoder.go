@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"commguard/internal/apps"
+	"commguard/internal/campaign"
+	"commguard/internal/metrics"
+	"commguard/internal/sim"
+)
+
+// FigCoderPoint is one (benchmark, coder, MTBE) cell of the ECC-backend
+// comparison: output quality across seeds plus the word-ECC suboperation
+// overhead relative to committed instructions.
+type FigCoderPoint struct {
+	App     string
+	Coder   string
+	MTBE    float64
+	Quality metrics.Summary
+	// ECCOverhead is the mean word-sized-ECC suboperations per committed
+	// instruction: the Queue Manager's pointer-ECC traffic plus the
+	// HI/AM header encode/check ops, both priced by the backend's
+	// CostModel. This is the axis the coder sweep trades against
+	// correction strength.
+	ECCOverhead float64
+}
+
+// coderSpecs is the figure's backend axis: the paper's (39,32) Hamming
+// SEC-DED baseline and two regular bit-flipping LDPC geometries — a
+// 16-check (48,32) code and a cheaper 8-check (40,32) code.
+var coderSpecs = []string{"hamming", "ldpc-48-3-9", "ldpc-40-3-15"}
+
+// coderBuilders is the benchmark set for the coder sweep: the six
+// streaming benchmarks plus the do-all extension, so every builtin
+// exercises each backend.
+func coderBuilders(o Options) []apps.Builder {
+	doall := apps.Builder{Name: "doall", New: func() (*apps.Instance, error) {
+		return apps.NewDoAll(apps.DefaultDoAllConfig())
+	}}
+	if o.Quick {
+		doall.New = func() (*apps.Instance, error) {
+			return apps.NewDoAll(apps.DoAllConfig{Workers: 4, Tasks: 512, IterationsPerTask: 8})
+		}
+	}
+	return append(o.builders(), doall)
+}
+
+// FigureCoder sweeps the word-ECC backend axis under CommGuard across
+// every builtin benchmark and the MTBE axis: all backends correct the
+// single-bit flips that dominate pointer/header corruption, so quality
+// curves should coincide within seed noise, while the ECC-op overhead
+// scales with each backend's parity-check count (Table 3 prices times
+// the CostModel scale factor).
+func FigureCoder(o Options) ([]FigCoderPoint, error) {
+	builders := coderBuilders(o)
+	rc := o.refCache()
+
+	type job struct {
+		app   string
+		coder string
+		mtbe  float64
+		seed  int64
+	}
+	type outcome struct {
+		job
+		quality  float64
+		overhead float64
+	}
+	type payload struct {
+		Quality  campaign.Float `json:"quality"`
+		Overhead campaign.Float `json:"overhead"`
+	}
+	byName := map[string]apps.Builder{}
+	refs := map[string][]float64{}
+	efqs := map[string]float64{}
+	for _, b := range builders {
+		ref, err := rc.get(b)
+		if err != nil {
+			return nil, err
+		}
+		efQ, err := rc.errorFreeQuality(b)
+		if err != nil {
+			return nil, err
+		}
+		byName[b.Name] = b
+		refs[b.Name] = ref
+		efqs[b.Name] = efQ
+	}
+
+	var jobs []job
+	for _, b := range builders {
+		for _, spec := range coderSpecs {
+			for _, mtbe := range o.MTBEs {
+				for s := 0; s < o.Seeds; s++ {
+					jobs = append(jobs, job{app: b.Name, coder: spec, mtbe: mtbe, seed: int64(1000*s) + 7})
+				}
+			}
+		}
+	}
+	results := make([]outcome, len(jobs))
+	kjobs := make([]keyedJob, len(jobs))
+	for i := range jobs {
+		i, j := i, jobs[i]
+		kjobs[i] = keyedJob{
+			Job: campaign.Job{
+				Figure: "figcoder", App: j.app, Protection: sim.CommGuard.String(),
+				MTBE: j.mtbe, Seed: j.seed, Coder: j.coder,
+			},
+			Run: func(cancel <-chan struct{}) (any, error) {
+				inst, err := byName[j.app].New()
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(inst, sim.Config{
+					Protection: sim.CommGuard, MTBE: j.mtbe, Seed: j.seed,
+					Coder: j.coder, Sequential: o.Sequential, Cancel: cancel,
+				}, refs[j.app])
+				if err != nil {
+					return nil, err
+				}
+				ovh := coderOverhead(res)
+				results[i] = outcome{job: j, quality: res.Quality, overhead: ovh}
+				return payload{Quality: campaign.Float(res.Quality), Overhead: campaign.Float(ovh)}, nil
+			},
+			Replay: func(raw json.RawMessage) error {
+				var p payload
+				if err := json.Unmarshal(raw, &p); err != nil {
+					return err
+				}
+				results[i] = outcome{job: j, quality: float64(p.Quality), overhead: float64(p.Overhead)}
+				return nil
+			},
+		}
+	}
+	if err := o.runKeyedJobs("Figure Coder", kjobs); err != nil {
+		return nil, err
+	}
+
+	type key struct {
+		app   string
+		coder string
+		mtbe  int
+	}
+	byPoint := map[key][]outcome{}
+	for _, r := range results {
+		k := key{r.app, r.coder, int(r.mtbe)}
+		byPoint[k] = append(byPoint[k], r)
+	}
+	var points []FigCoderPoint
+	for _, b := range builders {
+		infCap := efqs[b.Name]
+		if math.IsInf(infCap, 1) {
+			infCap = 160
+		}
+		for _, spec := range coderSpecs {
+			for _, mtbe := range o.MTBEs {
+				rs := byPoint[key{b.Name, spec, int(mtbe)}]
+				var qs []float64
+				ovh := 0.0
+				for _, r := range rs {
+					qs = append(qs, r.quality)
+					ovh += r.overhead
+				}
+				if n := float64(len(rs)); n > 0 {
+					ovh /= n
+				}
+				points = append(points, FigCoderPoint{
+					App: b.Name, Coder: spec, MTBE: mtbe,
+					Quality:     metrics.Summarize(qs, infCap),
+					ECCOverhead: ovh,
+				})
+			}
+		}
+	}
+
+	w := o.out()
+	fmt.Fprintln(w, "Figure Coder: word-ECC backend comparison under CommGuard (quality and ECC-op overhead)")
+	for _, b := range builders {
+		fmt.Fprintf(w, "%s:\n", b.Name)
+		fmt.Fprintf(w, "  %-8s", "MTBE")
+		for _, spec := range coderSpecs {
+			fmt.Fprintf(w, " %15s %8s", spec, "ecc-ovh")
+		}
+		fmt.Fprintln(w)
+		for _, mtbe := range o.MTBEs {
+			fmt.Fprintf(w, "  %-8s", fmtMTBE(mtbe))
+			for _, spec := range coderSpecs {
+				for _, p := range points {
+					if p.App == b.Name && p.Coder == spec && p.MTBE == mtbe {
+						fmt.Fprintf(w, " %12s dB %7.3f%%", fmtDB(p.Quality.Mean), 100*p.ECCOverhead)
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return points, nil
+}
+
+// coderOverhead computes a run's word-sized-ECC suboperations per
+// committed instruction: the Queue Manager's pointer-ECC traffic plus
+// the guard modules' header encode/check ops, both already priced by
+// the backend's CostModel at the recording sites.
+func coderOverhead(res *sim.Result) float64 {
+	num := res.Run.QueueTotals().PointerECCOps
+	if res.Guard != nil {
+		num += res.Guard.Ops.ECC
+	}
+	return ratio(num, res.Run.TotalInstructions())
+}

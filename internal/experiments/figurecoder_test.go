@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+
+	"commguard/internal/campaign"
+)
+
+// The coder sweep must be bit-reproducible in sequential mode, cover
+// every builtin benchmark on every backend, show the LDPC cost scaling
+// in the ECC-op overhead, and aggregate identically when resumed from a
+// journal.
+func TestFigureCoderReproducibleAndJournaled(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sequential = true
+	opts.Seeds = 1
+	opts.MTBEs = []float64{512e3}
+
+	want, err := FigureCoder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := coderBuilders(opts)
+	if got, wantN := len(want), len(apps)*len(coderSpecs); got != wantN {
+		t.Fatalf("coder sweep produced %d points, want %d (%d apps x %d coders)", got, wantN, len(apps), len(coderSpecs))
+	}
+
+	byApp := map[string]map[string]FigCoderPoint{}
+	for _, p := range want {
+		if byApp[p.App] == nil {
+			byApp[p.App] = map[string]FigCoderPoint{}
+		}
+		byApp[p.App][p.Coder] = p
+	}
+	for _, b := range apps {
+		ps := byApp[b.Name]
+		if len(ps) != len(coderSpecs) {
+			t.Fatalf("%s: covered %d coders, want %d", b.Name, len(ps), len(coderSpecs))
+		}
+		// The LDPC backends price every word-ECC access at 3x / 2x the
+		// Hamming cost; the overhead ordering must reflect that.
+		h, l48, l40 := ps["hamming"], ps["ldpc-48-3-9"], ps["ldpc-40-3-15"]
+		if h.ECCOverhead <= 0 {
+			t.Errorf("%s: hamming ECC overhead = %v, want > 0", b.Name, h.ECCOverhead)
+		}
+		if l48.ECCOverhead <= l40.ECCOverhead || l40.ECCOverhead <= h.ECCOverhead {
+			t.Errorf("%s: overhead ordering violated: hamming %v, ldpc-40 %v, ldpc-48 %v",
+				b.Name, h.ECCOverhead, l40.ECCOverhead, l48.ECCOverhead)
+		}
+	}
+
+	// Bit-reproducible: a second sequential run aggregates identically.
+	again, err := FigureCoder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if again[i] != want[i] {
+			t.Errorf("rerun point %d = %+v, want %+v", i, again[i], want[i])
+		}
+	}
+
+	// Journal everything, then resume: pure replay, identical points.
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := campaign.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Campaign = &campaign.Runner{Parallel: 2, Journal: j}
+	if _, err := FigureCoder(opts); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := campaign.Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	stats := &campaign.Stats{}
+	opts.Campaign = &campaign.Runner{Parallel: 2, Journal: j2, Stats: stats}
+	resumed, err := FigureCoder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stats.Snapshot(); s.Completed != 0 || s.Skipped != int64(len(want)) {
+		t.Fatalf("resume stats = %+v, want pure skip of %d jobs", s, len(want))
+	}
+	for i := range want {
+		if resumed[i] != want[i] {
+			t.Errorf("resumed point %d = %+v, want %+v", i, resumed[i], want[i])
+		}
+	}
+}

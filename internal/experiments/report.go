@@ -106,6 +106,17 @@ func WriteCSV(dir string, all *AllResults) error {
 			return err
 		}
 	}
+	if all.FigCoder != nil {
+		var rows [][]string
+		for _, r := range all.FigCoder {
+			rows = append(rows, []string{r.App, r.Coder, f(r.MTBE),
+				f(r.Quality.Mean), f(r.Quality.StdDev), f(r.ECCOverhead)})
+		}
+		if err := write("figurecoder.csv", []string{"benchmark", "coder", "mtbe",
+			"quality_db_mean", "quality_db_stddev", "ecc_overhead_ratio"}, rows); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -198,6 +209,15 @@ func WriteMarkdown(w io.Writer, all *AllResults) error {
 		for _, r := range all.FigABFT {
 			p("| %s | %s | %s | %s dB | %.2f%% | %.1f |\n",
 				r.App, r.Protection, fmtMTBE(r.MTBE), fmtDB(r.Quality.Mean), 100*r.Overhead, r.Corrections)
+		}
+		p("\n")
+	}
+	if all.FigCoder != nil {
+		p("## Figure Coder — word-ECC backend comparison under CommGuard\n\n")
+		p("| benchmark | coder | MTBE | quality | ECC overhead |\n|---|---|---|---|---|\n")
+		for _, r := range all.FigCoder {
+			p("| %s | %s | %s | %s dB | %.3f%% |\n",
+				r.App, r.Coder, fmtMTBE(r.MTBE), fmtDB(r.Quality.Mean), 100*r.ECCOverhead)
 		}
 		p("\n")
 	}

@@ -26,6 +26,9 @@ type AllResults struct {
 	// FigDetectLat is the fault→detection latency comparison (CommGuard
 	// alignment vs ABFT checksums) from the runtime-health histograms.
 	FigDetectLat []FigDetectLatPoint
+	// FigCoder is the word-ECC backend comparison (Hamming vs LDPC
+	// variants) across every builtin benchmark.
+	FigCoder []FigCoderPoint
 }
 
 // RunAll regenerates every figure in paper order, writing tables to
@@ -91,6 +94,9 @@ func RunAll(o Options) (*AllResults, error) {
 		return nil, err
 	}
 	if err = step("Figure DetectLat", func() error { all.FigDetectLat, err = FigureDetectLat(o); return err }); err != nil {
+		return nil, err
+	}
+	if err = step("Figure Coder", func() error { all.FigCoder, err = FigureCoder(o); return err }); err != nil {
 		return nil, err
 	}
 	return all, nil

@@ -22,6 +22,8 @@ type Manifest struct {
 	// MTBE is the mean time between errors in instructions (0 = fault-free).
 	MTBE       uint64 `json:"mtbe,omitempty"`
 	FrameScale int    `json:"frame_scale,omitempty"`
+	// Coder is the ECC backend spec ("" = the default Hamming SEC-DED).
+	Coder string `json:"coder,omitempty"`
 	// ConfigHash fingerprints the full run configuration (FNV-1a of its
 	// canonical rendering) so identical configs are recognizable at a glance.
 	ConfigHash string `json:"config_hash,omitempty"`

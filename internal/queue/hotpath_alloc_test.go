@@ -14,7 +14,12 @@ import (
 
 func allocTestQueue(t *testing.T) *Queue {
 	t.Helper()
-	q := MustNew(1, Config{WorkingSets: 4, WorkingSetUnits: 64, ProtectPointers: true, Timeout: time.Second})
+	return allocTestQueueCoder(t, "")
+}
+
+func allocTestQueueCoder(t *testing.T, coder string) *Queue {
+	t.Helper()
+	q := MustNew(1, Config{WorkingSets: 4, WorkingSetUnits: 64, ProtectPointers: true, Timeout: time.Second, Coder: coder})
 	// Production and consumption below are balanced per run, so the
 	// working-set exchange never waits; non-blocking mode keeps even a
 	// pathological scheduler from entering the timer machinery.
@@ -72,6 +77,22 @@ func TestHotpathAllocFree(t *testing.T) {
 			q.PushDataN(vs)
 			if got, stop := q.PopDataN(dst); got != n || stop != PopStopFull {
 				t.Fatalf("PopDataN delivered %d (stop %v), want %d", got, stop, n)
+			}
+		})
+	})
+
+	// The coder is resolved once at New; dynamic dispatch through it on
+	// the pointer-protection path must not reintroduce allocations.
+	t.Run("Queue.Push+Queue.Pop/ldpc", func(t *testing.T) {
+		q := allocTestQueueCoder(t, "ldpc")
+		assertZeroAllocs(t, "Push/Pop (ldpc)", func() {
+			for i := 0; i < n; i++ {
+				q.Push(DataUnit(uint32(i)))
+			}
+			for i := 0; i < n; i++ {
+				if _, ok := q.Pop(); !ok {
+					t.Fatal("pop failed mid-run")
+				}
 			}
 		})
 	})

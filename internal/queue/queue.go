@@ -24,6 +24,12 @@ type Config struct {
 	// queue models the plain software queue whose management state is
 	// corruptible (queue-management errors, §3).
 	ProtectPointers bool
+	// Coder selects the ECC backend protecting shared pointers and frame
+	// headers (ecc.ParseCoder spec: "hamming", "ldpc", "ldpc-N-WC-WR").
+	// Empty means hamming, the paper's (39,32) SEC-DED code; omitted
+	// from serialization when empty so pre-existing obs.ConfigHash
+	// values are unchanged.
+	Coder string `json:",omitempty"`
 	// Timeout bounds blocking push/pop operations, as required by §5.1:
 	// "the QM needs timeout mechanisms to avoid indefinite blocking. A
 	// timeout may cause incorrect data to be transmitted". Zero means
@@ -62,7 +68,19 @@ func (c Config) Validate() error {
 	if c.Timeout < 0 {
 		return fmt.Errorf("queue: negative timeout %v (use 0 to block indefinitely)", c.Timeout)
 	}
+	if _, err := ecc.ParseCoder(c.Coder); err != nil {
+		return err
+	}
 	return nil
+}
+
+// coder resolves the configured ECC backend (hamming when unset).
+func (c Config) coder() ecc.Coder {
+	coder, err := ecc.ParseCoder(c.Coder)
+	if err != nil {
+		panic(err) // Validate rejected this before construction
+	}
+	return coder
 }
 
 // Stats counts the memory events and protection activity of one queue.
@@ -147,23 +165,26 @@ func (s *atomicStats) snapshot() Stats {
 // mutexed slow path, entered once per working set, never per item.
 type sharedCounter struct {
 	protected bool
+	coder     ecc.Coder
 	raw       uint32
 	cw        ecc.Codeword
 }
 
-func newSharedCounter(protected bool) sharedCounter {
-	return sharedCounter{protected: protected, cw: ecc.Encode(0)}
+func newSharedCounter(protected bool, coder ecc.Coder) sharedCounter {
+	return sharedCounter{protected: protected, coder: coder, cw: coder.Encode(0)}
 }
 
 // load reads the counter, correcting single-bit errors when protected.
-// It returns the value and the number of corrected errors (0 or 1).
+// It returns the value and the number of corrected errors (0 or 1); a
+// correction implies one extra encode (the scrub write-back), which the
+// caller charges as CostModel.ScrubOps.
 func (c *sharedCounter) load() (uint32, uint64) {
 	if !c.protected {
 		return c.raw, 0
 	}
-	v, res := ecc.Decode(c.cw)
+	v, res := c.coder.Decode(c.cw)
 	if res == ecc.Corrected {
-		c.cw = ecc.Encode(v) // scrub
+		c.cw = c.coder.Encode(v) // scrub (charged as ScrubOps by the caller)
 		return v, 1
 	}
 	return v, 0
@@ -174,18 +195,19 @@ func (c *sharedCounter) store(v uint32) {
 		c.raw = v
 		return
 	}
-	c.cw = ecc.Encode(v)
+	c.cw = c.coder.Encode(v)
 }
 
 // corrupt flips one random bit of the stored representation. For protected
 // counters the flip lands in the codeword (and will be repaired); for raw
-// counters it lands in the value.
+// counters it lands in the value. Flip positions are drawn from the
+// backend's codeword width, not a hardwired 39.
 func (c *sharedCounter) corrupt(r *rand.Rand) {
 	if !c.protected {
 		c.raw ^= 1 << uint(r.Intn(32))
 		return
 	}
-	c.cw = ecc.FlipBit(c.cw, r.Intn(ecc.TotalBits))
+	c.cw = c.coder.FlipBit(c.cw, r.Intn(c.coder.Width()))
 }
 
 // Queue is a single-producer single-consumer working-set queue.
@@ -217,6 +239,13 @@ func (c *sharedCounter) corrupt(r *rand.Rand) {
 type Queue struct {
 	id  int
 	cfg Config
+
+	// coder is the resolved ECC backend; cost carries its Table 3
+	// suboperation prices, copied out once at construction so the
+	// accounting sites below never dispatch through the interface.
+	// Both are immutable after New, like cfg.
+	coder ecc.Coder
+	cost  ecc.CostModel
 
 	// mu guards the shared working-set pointers (filled/drained). It is
 	// the working-set-exchange slow path; per-item operations do not take
@@ -327,13 +356,16 @@ func New(id int, cfg Config) (*Queue, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	coder := cfg.coder()
 	q := &Queue{
 		id:       id,
 		cfg:      cfg,
+		coder:    coder,
+		cost:     coder.Cost(),
 		buf:      make([]atomic.Uint64, cfg.WorkingSets*cfg.WorkingSetUnits),
 		wsLen:    make([]atomic.Uint32, cfg.WorkingSets),
-		filled:   newSharedCounter(cfg.ProtectPointers),
-		drained:  newSharedCounter(cfg.ProtectPointers),
+		filled:   newSharedCounter(cfg.ProtectPointers, coder),
+		drained:  newSharedCounter(cfg.ProtectPointers, coder),
 		notFull:  make(chan struct{}, 1),
 		notEmpty: make(chan struct{}, 1),
 	}
@@ -351,6 +383,11 @@ func MustNew(id int, cfg Config) *Queue {
 
 // ID returns the queue identifier.
 func (q *Queue) ID() int { return q.id }
+
+// Coder returns the queue's resolved ECC backend. CommGuard's HI/AM
+// modules use it so header codewords match the queue's pointer
+// protection scheme.
+func (q *Queue) Coder() ecc.Coder { return q.coder }
 
 // Capacity returns the total units the queue's region holds.
 func (q *Queue) Capacity() int { return q.cfg.WorkingSets * q.cfg.WorkingSetUnits }
@@ -489,7 +526,7 @@ func (q *Queue) canFill() bool {
 	d, c := q.drained.load()
 	q.mu.Unlock()
 	q.stats.correctedPointerErrors.Add(c)
-	q.stats.pointerECCOps.Add(2)
+	q.stats.pointerECCOps.Add(q.cost.RefreshFillOps + c*q.cost.ScrubOps)
 	q.cachedDrained = d
 	if ws-d < k {
 		q.pushStreak = 0
@@ -588,7 +625,9 @@ func (q *Queue) Push(u Unit) {
 
 // publish hands the current working set to the consumer. This is the
 // QM-get-new-workset exchange; per Table 3 it costs 10 single-word ECC
-// set/check operations for the shared pointer access.
+// set/check operations for the shared pointer access under the default
+// Hamming backend (CostModel.WorksetExchangeOps in general, plus the
+// scrub re-encode when the load corrected a corrupted pointer).
 //
 //queue:side producer
 //hotpath:ok working-set exchange slow path: mutexed ECC pointer swap once per working set (Fig. 6, Table 3)
@@ -605,7 +644,7 @@ func (q *Queue) publish(n uint32) {
 	q.filled.store(f + 1)
 	q.mu.Unlock()
 	q.stats.correctedPointerErrors.Add(c)
-	q.stats.pointerECCOps.Add(10)
+	q.stats.pointerECCOps.Add(q.cost.WorksetExchangeOps + c*q.cost.ScrubOps)
 	if q.hPublish != nil {
 		q.hPublish.Record(uint64(time.Since(t0)))
 	}
@@ -651,7 +690,7 @@ func (q *Queue) canDrain() bool {
 	f, c := q.filled.load()
 	q.mu.Unlock()
 	q.stats.correctedPointerErrors.Add(c)
-	q.stats.pointerECCOps.Add(1)
+	q.stats.pointerECCOps.Add(q.cost.RefreshDrainOps + c*q.cost.ScrubOps)
 	q.cachedFilled = f
 	// Comparison is on free-running counters; after a raw-pointer
 	// corruption these can disagree wildly — the consumer may see a huge
@@ -750,7 +789,8 @@ func (q *Queue) Pop() (u Unit, ok bool) {
 }
 
 // returnWS returns the drained working set to the producer (the consumer
-// side's shared pointer exchange; 10 ECC suboperations per Table 3).
+// side's shared pointer exchange; 10 ECC suboperations per Table 3 under
+// Hamming — CostModel.WorksetExchangeOps in general).
 //
 //queue:side consumer
 //hotpath:ok working-set exchange slow path: mutexed ECC pointer swap once per working set (Fig. 6, Table 3)
@@ -765,7 +805,7 @@ func (q *Queue) returnWS() {
 	q.drained.store(d + 1)
 	q.mu.Unlock()
 	q.stats.correctedPointerErrors.Add(c)
-	q.stats.pointerECCOps.Add(10)
+	q.stats.pointerECCOps.Add(q.cost.WorksetExchangeOps + c*q.cost.ScrubOps)
 	if q.hReturn != nil {
 		q.hReturn.Record(uint64(time.Since(t0)))
 	}
@@ -817,6 +857,27 @@ func (q *Queue) CorruptPointer(r *rand.Rand) {
 	q.mu.Unlock()
 	signal(q.notEmpty)
 	signal(q.notFull)
+}
+
+// CorruptUnit flips one random bit of one random in-flight buffer slot,
+// covering the full unit word: the payload/codeword bits AND the
+// is-header tag bit (bit 63). Tag-bit flips model header<->data
+// confusion — a data unit masquerading as a header, or a header
+// demoted to a garbage item — which payload-only injection
+// (Unit.WithBitFlipped) can never produce. The CAS makes the flip
+// race-free against the owner sides' atomic slot accesses.
+//
+//queue:side injector
+func (q *Queue) CorruptUnit(r *rand.Rand) {
+	slot := &q.buf[r.Intn(len(q.buf))]
+	bit := r.Intn(q.coder.Width() + 1) // the last draw targets the tag bit
+	for {
+		old := slot.Load()
+		nw := uint64(Unit(old).WithUnitBitFlipped(q.coder, bit))
+		if slot.CompareAndSwap(old, nw) {
+			return
+		}
+	}
 }
 
 // CorruptLocalOffset flips a bit in a local (per-core, register-resident)

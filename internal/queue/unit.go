@@ -8,7 +8,11 @@
 // hardware queue of §4.3).
 package queue
 
-import "commguard/internal/ecc"
+import (
+	"fmt"
+
+	"commguard/internal/ecc"
+)
 
 // Unit is one word-sized data unit in flight on a queue: either a regular
 // 32-bit data item or a frame header. The paper transmits headers in-band
@@ -18,7 +22,9 @@ import "commguard/internal/ecc"
 // Layout (least significant bits first):
 //
 //	data unit:   bits 0..31 payload, bit 63 = 0
-//	header unit: bits 0..38 ecc.Codeword of the header ID, bit 63 = 1
+//	header unit: bits 0..Width-1 ecc.Codeword of the header ID (39 bits
+//	             under the default Hamming backend, up to 63 for LDPC
+//	             backends), bit 63 = 1
 type Unit uint64
 
 const headerTag Unit = 1 << 63
@@ -30,9 +36,19 @@ const EOCHeaderID uint32 = 0xFFFFFFFF
 // DataUnit wraps a 32-bit payload as a regular item.
 func DataUnit(v uint32) Unit { return Unit(v) }
 
-// HeaderUnit builds an ECC-protected frame header carrying id.
+// HeaderUnit builds an ECC-protected frame header carrying id with the
+// default Hamming backend. Coder-parameterized callers (CommGuard's HI)
+// use EncodeHeader with the queue's resolved backend instead.
 func HeaderUnit(id uint32) Unit {
 	return headerTag | Unit(ecc.Encode(id))
+}
+
+// EncodeHeader builds a frame header carrying id, protected by the
+// given ECC backend. The codeword occupies bits 0..Width-1; Width stays
+// below 63, so the tag bit is never clobbered.
+func EncodeHeader(c ecc.Coder, id uint32) Unit {
+	//hotpath:ok CS023 coder resolved once at queue construction; backends' Encode are annotated entries of their own
+	return headerTag | Unit(c.Encode(id))
 }
 
 // IsHeader reports whether u carries a frame header ("header-bit" check).
@@ -41,13 +57,22 @@ func (u Unit) IsHeader() bool { return u&headerTag != 0 }
 // Payload returns the data value of a regular item.
 func (u Unit) Payload() uint32 { return uint32(u) }
 
-// HeaderID decodes and ECC-checks the frame ID of a header unit. The
-// CheckResult reports whether the stored codeword was clean, corrected, or
-// uncorrectable (headers are end-to-end protected, so in practice a flip is
-// corrected; uncorrectable headers are treated by callers as items).
+// HeaderID decodes and ECC-checks the frame ID of a header unit with
+// the default Hamming backend (see DecodeHeader). The CheckResult
+// reports whether the stored codeword was clean, corrected, or
+// uncorrectable (headers are end-to-end protected, so in practice a
+// flip is corrected; uncorrectable headers are treated by callers as
+// items).
 func (u Unit) HeaderID() (uint32, ecc.CheckResult) {
 	cw := ecc.Codeword(u &^ headerTag)
 	return ecc.Decode(cw)
+}
+
+// DecodeHeader decodes and checks the frame ID of a header unit with
+// the given ECC backend — the coder-parameterized HeaderID.
+func (u Unit) DecodeHeader(c ecc.Coder) (uint32, ecc.CheckResult) {
+	//hotpath:ok CS023 coder resolved once at queue construction; backends' Decode are annotated entries of their own
+	return c.Decode(ecc.Codeword(u &^ headerTag))
 }
 
 // WithBitFlipped returns the unit with payload bit i flipped. Only the
@@ -59,4 +84,21 @@ func (u Unit) WithBitFlipped(i int) Unit {
 		return u
 	}
 	return u ^ Unit(uint32(1)<<uint(i))
+}
+
+// WithUnitBitFlipped returns the unit with storage bit i flipped,
+// regardless of unit kind: i in [0, c.Width()) flips a payload/codeword
+// bit, i == c.Width() flips the is-header tag bit (bit 63), modeling
+// header<->data confusion. Out-of-range i panics — a silent no-op here
+// would hide injector bugs (the same contract as ecc.FlipBit).
+func (u Unit) WithUnitBitFlipped(c ecc.Coder, i int) Unit {
+	w := c.Width()
+	switch {
+	case i < 0 || i > w:
+		panic(fmt.Sprintf("queue: unit bit index %d out of range [0,%d]", i, w))
+	case i == w:
+		return u ^ headerTag
+	default:
+		return u ^ Unit(1)<<uint(i)
+	}
 }

@@ -83,6 +83,11 @@ type Config struct {
 	Seed int64
 	// FrameScale enlarges frames by this factor (1, 2, 4, 8 in the paper).
 	FrameScale int
+	// Coder selects the word-sized ECC backend protecting headers and
+	// shared pointers (ecc.ParseCoder spec; empty = the paper's Hamming
+	// SEC-DED). Omitted from serialization when empty so pre-existing
+	// obs.ConfigHash values are unchanged.
+	Coder string `json:",omitempty"`
 	// Queue overrides the queue geometry; zero value uses defaults tuned
 	// per protection level.
 	Queue queue.Config
@@ -238,6 +243,9 @@ func (c Config) queueConfig() queue.Config {
 	}
 	q.ProtectPointers = c.Protection != SoftwareQueue
 	q.Cancel = c.Cancel
+	if c.Coder != "" {
+		q.Coder = c.Coder
+	}
 	return q
 }
 

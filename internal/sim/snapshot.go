@@ -18,6 +18,7 @@ func (r *Result) Manifest(cfg Config) obs.Manifest {
 		m.MTBE = uint64(r.MTBE)
 	}
 	m.FrameScale = r.FrameScale
+	m.Coder = cfg.Coder
 	m.ConfigHash = obs.ConfigHash(cfg)
 	return m
 }
